@@ -1,0 +1,16 @@
+"""Benchmark fixtures: the shared run cache and import path."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import SCALE, RunCache  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def runs():
+    """One cache of compiled binaries and runs for the whole session."""
+    return RunCache(SCALE)

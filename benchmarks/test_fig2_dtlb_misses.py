@@ -1,0 +1,95 @@
+"""Figure 2: level-1 DTLB misses per 1000 instructions.
+
+The paper measures the suite with Intel PMU counters under the
+traditional model and finds rates spanning four orders of magnitude
+(up to 116 MPKI for the pointer-chasers; walks average 47 cycles).
+
+Scaling note: our workload footprints are scaled ~10^3 below the
+originals (DESIGN.md), so a full-size 64-entry DTLB would cover every
+working set and hide the phenomenon the figure exists to show.  The TLBs
+here are scaled by the same factor — an 8-entry 2-way DTLB and a 64-entry
+4-way STLB — preserving the footprint/reach ratio that determines miss
+behaviour.  The full-size hierarchy remains the default everywhere else.
+
+Expected shape: pointer-chasing / random-reach workloads (deepsjeng,
+canneal, mcf, cg) orders of magnitude above the dense sweepers; EP at
+the bottom; walk latencies in the tens of cycles.
+"""
+
+from harness import SUITE, arith_mean, emit_table
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.tlb import TLB
+from repro.machine.interp import Interpreter
+
+SCALED_DTLB = dict(entries=8, ways=2, name="l1-dtlb/scaled")
+SCALED_STLB = dict(entries=64, ways=4, name="stlb/scaled")
+
+#: This experiment needs working sets larger than the scaled DTLB reach
+#: (8 pages) for capacity misses to exist at all; the 'small' tier's
+#: footprints (tens to hundreds of pages) provide that while staying
+#: cheap because only this one configuration runs at that tier.
+FIG2_SCALE = "small"
+
+
+def _run_scaled(runs, name):
+    from harness import _compile_options
+    from repro.carat.pipeline import compile_carat
+    from repro.workloads import get_workload
+
+    source = get_workload(name, FIG2_SCALE).source
+    binary = compile_carat(
+        source, _compile_options("traditional"), module_name=name
+    )
+    kernel = Kernel()
+    process = kernel.load_traditional(binary)
+    process.mmu.dtlb = TLB(**SCALED_DTLB)
+    process.mmu.stlb = TLB(**SCALED_STLB)
+    interp = Interpreter(process, kernel)
+    interp.run("main", max_steps=50_000_000)
+    return process, interp
+
+
+def _collect(runs):
+    rows = []
+    for name in SUITE:
+        process, interp = _run_scaled(runs, name)
+        mmu = process.mmu
+        rows.append(
+            (
+                name,
+                mmu.stats.dtlb_mpki(interp.stats.instructions),
+                mmu.stats.walks_per_1k(interp.stats.instructions),
+                mmu.stats.mean_walk_cycles(),
+            )
+        )
+    return rows
+
+
+def test_fig2_dtlb_miss_rates(runs, benchmark):
+    rows = benchmark.pedantic(_collect, args=(runs,), rounds=1, iterations=1)
+    emit_table(
+        "fig2_dtlb_misses",
+        "Figure 2: L1 DTLB misses / 1K instructions "
+        "(traditional model, reach-scaled TLBs)",
+        ["benchmark", "dtlb_mpki", "walks_per_1k", "mean_walk_cycles"],
+        rows,
+        footer=[
+            f"mean walks/1K: {arith_mean([r[2] for r in rows]):.3f} "
+            f"(paper: ~1 walk/1K instructions on average)",
+        ],
+    )
+    by_name = {r[0]: r[1] for r in rows}
+    # Shape assertions from the paper's narrative: random-reach workloads
+    # thrash; EP barely misses.
+    assert by_name["deepsjeng"] > 5 * by_name["ep"]
+    assert by_name["canneal"] > by_name["ep"]
+    assert by_name["mcf"] > by_name["ep"]
+    assert by_name["deepsjeng"] > by_name["lu"]
+    # STLB filters some DTLB misses: walks/1K <= dtlb mpki.
+    for name, mpki, walks, _ in rows:
+        assert walks <= mpki + 1e-9, name
+    # Walk latency lands in the tens of cycles, as measured.
+    walk_costs = [r[3] for r in rows if r[3] > 0]
+    assert 20 <= arith_mean(walk_costs) <= 60
+    assert len(rows) == len(SUITE)

@@ -1,0 +1,95 @@
+"""Figure 4: software multi-region guard latency vs number of regions.
+
+Two panels on the paper's T620: (a) random access pattern, where the
+if-tree's branches mispredict and binary search's log factor dominates;
+(b) strided access, where the if-tree's path repeats and prediction
+flattens its cost curve.  The shape to reproduce: costs grow with region
+count; under random access both mechanisms are expensive (tens to
+hundreds of cycles at 10k regions); under strided access the if-tree is
+dramatically cheaper than its random-access self.
+"""
+
+import random
+
+from harness import emit_table
+
+from repro.runtime.regions import (
+    BinarySearchGuard,
+    IfTreeGuard,
+    PERM_RW,
+    Region,
+    RegionSet,
+)
+
+REGION_COUNTS = [1, 4, 16, 64, 256, 1024, 4096, 10000]
+PROBES = 400
+
+
+def _region_set(count):
+    # Bulk-load: RegionSet.add is O(n) per insert (overlap check), which a
+    # 10k-region microbenchmark does not need to pay.
+    rs = RegionSet()
+    rs.replace_all([Region(i * 0x20000, 0x10000, PERM_RW) for i in range(count)])
+    return rs
+
+
+def _mean_cycles(guard_factory, regions, addresses):
+    guard = guard_factory()
+    total = 0
+    for address in addresses:
+        outcome = guard.check(regions, address, 8, "read")
+        assert outcome.allowed
+        total += outcome.cycles
+    return total / len(addresses)
+
+
+def _collect():
+    rng = random.Random(42)
+    rows = []
+    for count in REGION_COUNTS:
+        regions = _region_set(count)
+        random_addrs = [
+            rng.randrange(count) * 0x20000 + rng.randrange(0x10000 - 8)
+            for _ in range(PROBES)
+        ]
+        # Strided: sweep one region linearly, as an Opt-2-style loop does.
+        strided_addrs = [
+            (i % count) * 0x20000 + (i * 64) % (0x10000 - 8)
+            for i in range(0, PROBES)
+        ]
+        # A strided sweep stays in one region for long runs:
+        strided_addrs = [
+            ((i // 64) % count) * 0x20000 + (i * 64) % (0x10000 - 8)
+            for i in range(PROBES)
+        ]
+        rows.append(
+            (
+                count,
+                _mean_cycles(BinarySearchGuard, regions, random_addrs),
+                _mean_cycles(lambda: IfTreeGuard(), regions, random_addrs),
+                _mean_cycles(BinarySearchGuard, regions, strided_addrs),
+                _mean_cycles(lambda: IfTreeGuard(), regions, strided_addrs),
+            )
+        )
+    return rows
+
+
+def test_fig4_multiregion_guard_latency(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    emit_table(
+        "fig4_multiregion_guards",
+        "Figure 4: guard cycles vs #regions (random / strided access)",
+        ["regions", "bsearch_rand", "iftree_rand", "bsearch_stride", "iftree_stride"],
+        rows,
+    )
+    by_count = {r[0]: r for r in rows}
+    # Costs grow with the number of regions for both mechanisms (random).
+    assert by_count[10000][1] > by_count[4][1]
+    assert by_count[10000][2] > by_count[4][2]
+    # Figure 4b's point: strided access makes the if-tree far cheaper than
+    # it is under random access at high region counts.
+    assert by_count[10000][4] < by_count[10000][2] / 2
+    # Binary search does not benefit from striding (data-dependent path).
+    assert abs(by_count[10000][3] - by_count[10000][1]) < 2
+    # Single-region guards are just a couple of compares.
+    assert by_count[1][1] <= 6

@@ -1,0 +1,55 @@
+"""Figure 5: histogram of escapes per allocation.
+
+The paper finds that 90% of allocations across all benchmarks have 10 or
+fewer escapes, that most have 0-2, and that only ~22 allocations in the
+whole suite exceed 50 escapes — nab being the outlier with a single
+allocation collecting enormous escape counts.
+"""
+
+from harness import SUITE, emit_table
+
+
+def _collect(runs):
+    per_workload = {}
+    for name in SUITE:
+        per_workload[name] = runs.run(name, "full").escape_histogram
+    return per_workload
+
+
+def test_fig5_escapes_per_allocation(runs, benchmark):
+    per_workload = benchmark.pedantic(_collect, args=(runs,), rounds=1, iterations=1)
+    total_allocations = 0
+    at_most_10 = 0
+    over_50 = 0
+    rows = []
+    for name in SUITE:
+        histogram = per_workload[name]
+        allocations = sum(histogram.values())
+        small = sum(c for e, c in histogram.items() if e <= 10)
+        big = sum(c for e, c in histogram.items() if e > 50)
+        max_escapes = max(histogram.keys(), default=0)
+        total_allocations += allocations
+        at_most_10 += small
+        over_50 += big
+        rows.append((name, allocations, small, big, max_escapes))
+    frac_small = at_most_10 / total_allocations if total_allocations else 0.0
+    emit_table(
+        "fig5_escape_histogram",
+        "Figure 5: escapes per allocation",
+        ["benchmark", "allocations", "<=10_escapes", ">50_escapes", "max_escapes"],
+        rows,
+        footer=[
+            f"fraction of allocations with <=10 escapes: {frac_small:.3f} "
+            f"(paper: ~0.90)",
+            f"allocations with >50 escapes, suite-wide: {over_50} "
+            f"(paper: 22 across all benchmarks)",
+        ],
+    )
+    # The paper's two headline facts:
+    assert frac_small >= 0.90
+    assert over_50 <= 0.01 * total_allocations + 25
+    # nab is the outlier with a huge per-allocation escape count.
+    nab_max = dict((r[0], r[4]) for r in rows)["nab"]
+    assert nab_max > 50
+    others_max = max(r[4] for r in rows if r[0] != "nab")
+    assert nab_max >= others_max

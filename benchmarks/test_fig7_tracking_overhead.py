@@ -1,0 +1,39 @@
+"""Figure 7: run-time overhead of tracking allocations and escapes.
+
+Tracking-only instrumentation (no guards) vs the uninstrumented baseline.
+The paper's geomean overhead is 1.9% — "negligible and therefore a
+nonissue" — with no workload far above ~1.1x, including streamcluster
+despite its early escape burst.
+"""
+
+from harness import SUITE, emit_table, geomean
+
+
+def _collect(runs):
+    rows = []
+    for name in SUITE:
+        overhead = runs.overhead(name, "tracking")
+        tracked = runs.run(name, "tracking")
+        rows.append(
+            (name, overhead, tracked.tracking_events, tracked.escapes_recorded)
+        )
+    return rows
+
+
+def test_fig7_tracking_time_overhead(runs, benchmark):
+    rows = benchmark.pedantic(_collect, args=(runs,), rounds=1, iterations=1)
+    gm = geomean([r[1] for r in rows])
+    emit_table(
+        "fig7_tracking_overhead",
+        "Figure 7: time overhead of allocation/escape tracking",
+        ["benchmark", "overhead", "tracking_events", "escape_records"],
+        rows,
+        footer=[f"geomean overhead: {gm:.4f} (paper: 1.019)"],
+    )
+    # The headline: tracking is cheap.
+    assert gm < 1.10
+    # Nothing blows up: even the allocation-heavy workloads stay modest.
+    assert max(r[1] for r in rows) < 1.5
+    # But tracking is real work — workloads with many events cost >= 1.0.
+    busiest = max(rows, key=lambda r: r[2])
+    assert busiest[1] >= 1.0

@@ -1,0 +1,62 @@
+"""Table 1: effectiveness of the CARAT-specific guard optimizations.
+
+For each benchmark the paper reports, as fractions of the originally
+injected guards: the guards statically remaining after optimization
+("Opt. Guards"), those no optimization touched ("Untouched"), and those
+handled by Opt 1 (hoisting), Opt 2 (scalar evolution merging), and Opt 3
+(redundancy elimination).  The fractions of the last four columns sum to
+one by construction.
+
+Paper means: Opt.Guards 0.587, Untouched 0.331, Opt1 0.113, Opt2 0.143,
+Opt3 0.414.  Expected shape here: a large minority untouched, every
+optimization contributing, array-sweep workloads leaning on Opt2.
+"""
+
+from harness import SUITE, arith_mean, emit_table
+
+
+def _collect(runs):
+    rows = []
+    for name in SUITE:
+        binary = runs.binary(name, "guards_carat+mpx")
+        row = binary.guard_stats.as_table1_row()
+        rows.append(
+            (
+                name,
+                row["opt_guards"],
+                row["untouched"],
+                row["opt1_hoist"],
+                row["opt2_scev"],
+                row["opt3_redundancy"],
+            )
+        )
+    return rows
+
+
+def test_tab1_guard_optimization_fractions(runs, benchmark):
+    rows = benchmark.pedantic(_collect, args=(runs,), rounds=1, iterations=1)
+    means = [arith_mean([r[i] for r in rows]) for i in range(1, 6)]
+    emit_table(
+        "tab1_guard_opts",
+        "Table 1: fraction of guards per optimization outcome",
+        ["benchmark", "opt_guards", "untouched", "opt1_hoist", "opt2_scev", "opt3_redund"],
+        rows,
+        footer=[
+            "arith mean  "
+            + "  ".join(f"{m:.3f}" for m in means)
+            + "   (paper: 0.587 0.331 0.113 0.143 0.414)"
+        ],
+    )
+    for row in rows:
+        name, opt_guards, untouched, opt1, opt2, opt3 = row
+        # Accounting identities.
+        assert abs(untouched + opt1 + opt2 + opt3 - 1.0) < 1e-9, name
+        assert abs(opt_guards - (untouched + opt1 + opt2)) < 1e-9, name
+    # The optimizations must matter in aggregate: a meaningful fraction of
+    # guards is optimized away or amortized.
+    mean_untouched = means[1]
+    assert mean_untouched < 0.9
+    mean_opt2 = means[3]
+    mean_opt3 = means[4]
+    assert mean_opt2 > 0.0  # SCEV merging fires somewhere
+    assert mean_opt3 > 0.0  # redundancy elimination fires somewhere

@@ -1,0 +1,144 @@
+"""Table 2: page (4KB) allocation and movement rates under Linux.
+
+The paper instruments the kernel (MMU notifiers + footprint tracking) and
+finds that demand allocations are common (hundreds to thousands per
+second) while physical page *moves* are almost nonexistent (<1/s).  We
+run the suite under the traditional model: first-touch demand paging
+generates allocation events; a background rebalance policy (standing in
+for NUMA/compaction activity) occasionally moves a mapped page, at the
+paper-observed rarity.
+
+Shape to reproduce: alloc events >> move events for every workload; FT's
+static footprint approximately equals its total allocations (the
+pre-allocatable case the paper highlights).
+"""
+
+from harness import SUITE, emit_table, geomean
+
+from repro.kernel.pagetable import PAGE_SHIFT
+
+#: Simulated clock: the paper's 2.3 GHz testbed scaled by the same ~10^3
+#: as the workload footprints, so rates land in comparable units.
+CLOCK_HZ = 2.3e6
+
+#: Background page-move policy: one rebalance every this many cycles.
+#: Rare on the simulated clock (~15 per simulated second), so short
+#: workloads see 0 moves and long ones a handful — Table 2's profile.
+REBALANCE_PERIOD_CYCLES = 150_000
+
+
+#: Table 2 measures several inputs for x264 and xz; reproduce the row set
+#: with seed/size variants of the same programs.
+INPUT_VARIANTS = {
+    "x264 pass1": ("x264", {"lcg_state = 2024;": "lcg_state = 1111;"}),
+    "x264 pass2": ("x264", {"lcg_state = 2024;": "lcg_state = 2222;"}),
+    "x264 seek500": ("x264", {"lcg_state = 2024;": "lcg_state = 500;"}),
+    "xz cld": ("xz", {"lcg_state = 424242;": "lcg_state = 777;"}),
+    "xz cpu2006": ("xz", {"lcg_state = 424242;": "lcg_state = 2006;"}),
+}
+
+
+def _variant_binary(runs, label):
+    from harness import _compile_options
+    from repro.carat.pipeline import compile_carat
+    from repro.workloads import get_workload
+
+    base_name, substitutions = INPUT_VARIANTS[label]
+    source = get_workload(base_name, runs.scale).source
+    for old, new in substitutions.items():
+        assert old in source, f"variant substitution missing: {old!r}"
+        source = source.replace(old, new)
+    return compile_carat(
+        source, _compile_options("traditional"), module_name=base_name
+    )
+
+
+def _run_with_rebalance(runs, name):
+    """A traditional run with the background move policy attached."""
+    from repro.machine.interp import Interpreter
+
+    if name in INPUT_VARIANTS:
+        binary = _variant_binary(runs, name)
+    else:
+        binary = runs.binary(name, "traditional")
+    from repro.kernel.kernel import Kernel
+
+    kernel = Kernel()
+    process = kernel.load_traditional(binary)
+    interp = Interpreter(process, kernel)
+
+    state = {"next_move": REBALANCE_PERIOD_CYCLES}
+
+    def rebalance(it):
+        if it.stats.cycles < state["next_move"]:
+            return
+        state["next_move"] += REBALANCE_PERIOD_CYCLES
+        # Move the first mapped heap page (kernel compaction analog).
+        for vpn, _ in process.page_table.entries():
+            vaddr = vpn << PAGE_SHIFT
+            if process.layout.heap_base <= vaddr < (
+                process.layout.heap_base + process.layout.heap_size
+            ):
+                move_cycles = kernel.move_page_traditional(process, vaddr)
+                it.stats.cycles += move_cycles
+                return
+
+    interp.tick_hook = rebalance
+    interp.tick_interval = 5_000
+    interp.run("main", max_steps=50_000_000)
+    return process, interp
+
+
+def _collect(runs):
+    rows = []
+    names = [n for n in SUITE if n not in ("x264", "x264_s", "xz")]
+    names += list(INPUT_VARIANTS)
+    for name in names:
+        process, interp = _run_with_rebalance(runs, name)
+        seconds = interp.stats.cycles / CLOCK_HZ
+        allocs = process.demand_page_allocs
+        moves = process.pages_moved
+        rows.append(
+            (
+                name,
+                process.static_footprint_pages,
+                process.initial_pages,
+                allocs,
+                moves,
+                seconds,
+                allocs / seconds if seconds else 0.0,
+                moves / seconds if seconds else 0.0,
+            )
+        )
+    return rows
+
+
+def test_tab2_allocation_and_move_rates(runs, benchmark):
+    rows = benchmark.pedantic(_collect, args=(runs,), rounds=1, iterations=1)
+    alloc_rates = [r[6] for r in rows if r[6] > 0]
+    move_rates = [r[7] for r in rows]
+    emit_table(
+        "tab2_alloc_move_rates",
+        "Table 2: page allocation and movement rates (traditional model)",
+        [
+            "benchmark", "static_pages", "initial_pages", "page_allocs",
+            "page_moves", "exec_s", "alloc_rate/s", "move_rate/s",
+        ],
+        rows,
+        footer=[
+            f"geomean alloc rate: {geomean(alloc_rates):.1f}/s  "
+            f"mean move rate: {sum(move_rates)/len(move_rates):.3f}/s",
+            "paper: geomean alloc 159/s, move <1/s — moves are rare events",
+        ],
+    )
+    by_name = {r[0]: r for r in rows}
+    for row in rows:
+        name, _static, _initial, allocs, moves, *_ = row
+        # The headline: allocation events dominate movement events.
+        assert moves <= max(3, allocs // 10), name
+    # FT: static footprint within the same order as its demand allocations
+    # (its arrays are global bss — preallocatable).
+    ft = by_name["ft"]
+    assert ft[1] >= ft[3] // 4
+    # EP allocates almost nothing beyond load time.
+    assert by_name["ep"][3] <= by_name["ft"][3]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""A tour of the guard optimizations (Section 4.1.1) on real IR.
+
+Compiles the same loop three ways — unguarded, naively guarded, and
+guarded with the CARAT-specific optimizations — prints the IR so the
+transformations are visible, and measures the dynamic guard counts each
+configuration actually executes.
+
+Run:  python examples/guard_optimization_tour.py
+"""
+
+from repro import CompileOptions, compile_carat
+from repro.ir import print_function
+from repro.machine import run_carat
+
+SOURCE = """
+long N = 256;
+void main() {
+  long *a = (long*)malloc(sizeof(long) * N);
+  long i;
+  long s = 0;
+  for (i = 0; i < N; i++) {
+    a[i] = i;
+  }
+  for (i = 0; i < N; i++) {
+    s = s + a[i];
+  }
+  print_long(s);
+  free((char*)a);
+}
+"""
+
+
+def show(title: str, options: CompileOptions) -> None:
+    binary = compile_carat(SOURCE, options, module_name="tour")
+    print(f"\n{'=' * 70}\n{title}\n{'=' * 70}")
+    print(print_function(binary.module.get_function("main")))
+    stats = binary.guard_stats
+    if stats.total:
+        print(
+            f"\nstatic guards: {stats.total} -> remaining "
+            f"{stats.remaining} (untouched {stats.untouched}, "
+            f"hoisted {stats.hoisted}, merged {stats.merged}, "
+            f"eliminated {stats.eliminated})"
+        )
+    result = run_carat(binary)
+    runtime = result.process.runtime
+    print(
+        f"dynamic: {runtime.stats.guards_executed} guard executions, "
+        f"{result.stats.guard_cycles} guard cycles, "
+        f"{result.cycles} total cycles"
+    )
+
+
+def main() -> None:
+    show(
+        "naive guards (every load/store/call checked, no CARAT opts)",
+        CompileOptions(carat_guard_opts=False, tracking=False),
+    )
+    show(
+        "CARAT-optimized guards (hoist + SCEV merge + AC/DC)",
+        CompileOptions(carat_guard_opts=True, tracking=False),
+    )
+    print(
+        "\nNote how the per-iteration carat.guard.* calls inside the two "
+        "loops collapse into two carat.guard.range checks in the "
+        "preheaders: 512 dynamic guard executions become a handful."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Page migration under CARAT: move live data while the program runs.
+
+This is the paper's Figure 8 protocol end to end.  A program builds a
+linked list on the heap; mid-run, the kernel repeatedly asks the CARAT
+runtime to move the *worst-case* page — the one overlapping the
+allocation with the most escapes.  The runtime stops the world, patches
+every escape and register, the data moves, and the program finishes with
+the right answer, never knowing its pointers were rewritten.
+
+Run:  python examples/page_migration.py
+"""
+
+from repro import compile_carat
+from repro.kernel import Kernel
+from repro.kernel.pagetable import PAGE_SIZE
+from repro.machine.interp import Interpreter
+from repro.runtime.patching import MoveCost
+
+SOURCE = """
+struct Node { long value; struct Node *next; };
+struct Node *head;
+
+void main() {
+  long i;
+  for (i = 0; i < 300; i++) {
+    struct Node *node = (struct Node*)malloc(sizeof(struct Node));
+    node->value = i;
+    node->next = head;
+    head = node;
+  }
+  long total = 0;
+  struct Node *p = head;
+  while (p != null) { total += p->value; p = p->next; }
+  print_long(total);
+}
+"""
+
+EXPECTED = sum(range(300))
+
+
+def main() -> None:
+    binary = compile_carat(SOURCE, module_name="migration-demo")
+    kernel = Kernel()
+    process = kernel.load_carat(binary)
+    interp = Interpreter(process, kernel)
+    interp.start("main")
+
+    print(process.describe())
+    print(f"\ninitial regions: {process.regions.regions}")
+
+    moves = 0
+    total_cost = MoveCost()
+    while True:
+        status = interp.run_steps(800)
+        if status == "done":
+            break
+        runtime = process.runtime
+        victim = runtime.worst_case_allocation()
+        if victim is None or victim.kind != "heap":
+            continue
+        # Figure 8, steps 1-12: request, world-stop, negotiate, patch, move.
+        snapshots = interp.register_snapshots()
+        plan, cost, cycles = kernel.request_page_move(
+            process,
+            victim.address & ~(PAGE_SIZE - 1),
+            register_snapshots=snapshots,
+        )
+        interp.apply_snapshots(snapshots)
+        moves += 1
+        total_cost = total_cost + cost
+        if moves <= 3 or moves % 5 == 0:
+            print(
+                f"move {moves:3d}: [{plan.lo:#x},{plan.hi:#x}) "
+                f"{'expanded ' if plan.expanded else ''}"
+                f"-> cost: expand={cost.page_expand} "
+                f"patch={cost.patch_gen_exec} regs={cost.register_patch} "
+                f"move={cost.alloc_and_move}"
+            )
+
+    print(f"\nprogram output: {interp.output[0]} (expected {EXPECTED})")
+    assert interp.output == [str(EXPECTED)]
+    print(f"pages moved mid-run: {moves}")
+    print(f"final region count: {len(process.regions)} (after coalescing)")
+    if moves:
+        print("\nTable-3-style breakdown (totals over all moves):")
+        print(f"  Page Expand        : {total_cost.page_expand:8d} cycles")
+        print(f"  Patch Gen & Exec   : {total_cost.patch_gen_exec:8d} cycles")
+        print(f"  Register Patch     : {total_cost.register_patch:8d} cycles")
+        print(f"  Allocation & Move  : {total_cost.alloc_and_move:8d} cycles")
+        print(f"  Prototype w/o expand / total: {total_cost.wo_expand_fraction:.3f}")
+    print("\nThe program never observed the relocations: CARAT patched "
+          "every escape and register before resuming it.")
+
+
+if __name__ == "__main__":
+    main()

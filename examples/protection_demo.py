@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Protection without paging: guards, faults, and compile-time rejection.
+
+Three vignettes:
+
+1. a protection change — the kernel revokes write permission on part of
+   the process's space mid-run; the next guarded write faults, exactly
+   like a page-protection fault but with zero hardware;
+2. an out-of-capsule access — a program that fabricates a pointer fails
+   at *compile time* (CARAT's source restrictions), and a program whose
+   guarded access leaves the region set faults at run time;
+3. the trust handshake — the kernel refuses a binary whose signature
+   does not verify.
+
+Run:  python examples/protection_demo.py
+"""
+
+from repro import CompileOptions, compile_carat
+from repro.errors import ProtectionFault, RestrictionError, SigningError
+from repro.kernel import Kernel
+from repro.machine.interp import Interpreter
+from repro.runtime.regions import PERM_READ, PERM_RWX
+
+WRITER = """
+long buffer[512];
+void main() {
+  long i;
+  for (i = 0; i < 512; i++) {
+    buffer[i] = i;
+  }
+  print_long(buffer[511]);
+}
+"""
+
+
+def demo_protection_change() -> None:
+    print("== 1. kernel revokes write permission before the write phase ==")
+    binary = compile_carat(WRITER, module_name="writer")
+    kernel = Kernel()
+    process = kernel.load_carat(binary)
+    interp = Interpreter(process, kernel)
+    interp.start("main")
+
+    # Revoke writes on the globals segment before the program's store
+    # loop runs: its (Opt2-merged) write guard must fault.
+    globals_base = process.layout.globals_base
+    kernel.request_protection_change(
+        process, globals_base, process.layout.globals_size, PERM_READ
+    )
+    print(f"globals region [{globals_base:#x}, ...) is now read-only")
+    try:
+        interp.run_steps(10_000_000)
+        print("!! the write went unguarded — should not happen")
+    except ProtectionFault as fault:
+        print(f"guard caught it: {fault}")
+    # The kernel restores permission and resumes the thread (the guarded
+    # access proceeds after the fault handler returns).
+    kernel.request_protection_change(
+        process, globals_base, process.layout.globals_size, PERM_RWX
+    )
+    interp.run_steps(10_000_000)
+    print(f"after restoring permission, program finished: {interp.output}\n")
+
+
+def demo_compile_time_rejection() -> None:
+    print("== 2. fabricated pointers are rejected at compile time ==")
+    try:
+        compile_carat('void main() { asm("mov cr0, 0"); }')
+    except RestrictionError as error:
+        print(f"inline asm: {error}")
+    from repro.ir import Function, FunctionType, IRBuilder, Module, ptr
+    from repro.ir.types import I64, VOID
+
+    module = Module("fabricator")
+    fn = Function("main", FunctionType(VOID, []), module)
+    b = IRBuilder(fn.add_block("entry"))
+    wild = b.inttoptr(b.i64(0xDEADBEEF), ptr(I64))
+    b.load(wild)
+    b.ret()
+    try:
+        compile_carat(module)
+    except RestrictionError as error:
+        print(f"IR-level check: {error}\n")
+
+
+def demo_trust_handshake() -> None:
+    print("== 3. the kernel only loads signed, trusted binaries ==")
+    unsigned = compile_carat(WRITER, CompileOptions(sign=False))
+    kernel = Kernel()
+    try:
+        kernel.load_carat(unsigned)
+    except SigningError as error:
+        print(f"unsigned: {error}")
+    paranoid = Kernel(trusted_toolchains={"some-other-compiler"})
+    signed = compile_carat(WRITER)
+    try:
+        paranoid.load_carat(signed)
+    except SigningError as error:
+        print(f"untrusted toolchain: {error}")
+
+
+if __name__ == "__main__":
+    demo_protection_change()
+    demo_compile_time_rejection()
+    demo_trust_handshake()

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+This repository is installable with ``pip install -e .``; on fully offline
+machines that lack the ``wheel`` package (which PEP 660 editable installs
+require), ``python setup.py develop`` achieves the same result.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of CARAT: compiler- and runtime-based address "
+        "translation (PLDI 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

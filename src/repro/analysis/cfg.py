@@ -1,0 +1,131 @@
+"""Control-flow graph utilities.
+
+Blocks already know their successors (via terminators) and predecessors
+(via use lists); this module adds the orderings and reachability queries
+that analyses need: depth-first numbering, reverse post-order, and simple
+edge-level helpers used by SSA construction and LICM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.ir.module import BasicBlock, Function
+
+
+def reverse_post_order(fn: Function) -> List[BasicBlock]:
+    """Blocks in reverse post-order from the entry.
+
+    Unreachable blocks are excluded.  RPO visits every block before any of
+    its successors (except along back edges), which is the iteration order
+    that makes forward dataflow converge fastest.
+    """
+    visited: Set[int] = set()
+    post: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack: List[Tuple[BasicBlock, Iterator[BasicBlock]]] = [
+            (block, iter(block.successors()))
+        ]
+        visited.add(id(block))
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if id(succ) not in visited:
+                    visited.add(id(succ))
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                post.append(current)
+                stack.pop()
+
+    if fn.blocks:
+        visit(fn.entry)
+    return list(reversed(post))
+
+
+def post_order(fn: Function) -> List[BasicBlock]:
+    return list(reversed(reverse_post_order(fn)))
+
+
+def reachable_blocks(fn: Function) -> Set[BasicBlock]:
+    return set(reverse_post_order(fn))
+
+
+def remove_unreachable_blocks(fn: Function) -> int:
+    """Delete blocks not reachable from the entry.  Returns the count removed.
+
+    Phi nodes in surviving blocks are cleaned of incoming entries from the
+    deleted blocks.
+    """
+    reachable = reachable_blocks(fn)
+    doomed = [b for b in fn.blocks if b not in reachable]
+    if not doomed:
+        return 0
+    doomed_set = set(map(id, doomed))
+    for block in fn.blocks:
+        if id(block) in doomed_set:
+            continue
+        for phi in block.phis():
+            for _, pred in list(phi.incoming):
+                if id(pred) in doomed_set:
+                    phi.remove_incoming(pred)
+    # Sever all operand uses inside doomed blocks so cross-references among
+    # doomed blocks do not keep each other alive.
+    for block in doomed:
+        for inst in list(block.instructions):
+            inst.drop_all_operands()
+    for block in doomed:
+        for inst in list(block.instructions):
+            for use in inst.uses:
+                # Any remaining users must themselves be doomed phis; detach.
+                use.user.drop_all_operands()
+        fn.blocks.remove(block)
+    return len(doomed)
+
+
+def edges(fn: Function) -> List[Tuple[BasicBlock, BasicBlock]]:
+    result = []
+    for block in fn.blocks:
+        for succ in block.successors():
+            result.append((block, succ))
+    return result
+
+
+def block_index_map(fn: Function) -> Dict[BasicBlock, int]:
+    return {block: i for i, block in enumerate(fn.blocks)}
+
+
+def split_critical_edges(fn: Function) -> int:
+    """Insert a fresh block on every critical edge (multi-successor source,
+    multi-predecessor target).  Needed before edge-placed code insertion.
+
+    Returns the number of edges split.
+    """
+    from repro.ir.builder import IRBuilder
+
+    count = 0
+    for block in list(fn.blocks):
+        successors = block.successors()
+        if len(successors) < 2:
+            continue
+        term = block.terminator
+        assert term is not None
+        for succ in successors:
+            if len(succ.predecessors()) < 2:
+                continue
+            middle = fn.add_block(f"split.{block.name}.{succ.name}")
+            builder = IRBuilder(middle)
+            builder.br(succ)
+            # Retarget the branch and fix phis in the old successor.
+            for i, operand in enumerate(term.operands):
+                if operand is succ:
+                    term.set_operand(i, middle)
+            for phi in succ.phis():
+                for j in range(0, phi.num_operands, 2):
+                    if phi.operand(j + 1) is block:
+                        phi.set_operand(j + 1, middle)
+            count += 1
+    return count

@@ -1,0 +1,346 @@
+"""Value-range analysis for integer SSA values.
+
+An interval domain with widening, iterated to a fixed point in reverse
+post-order.  The paper cites Birch et al.'s value range analysis as the
+basis of Optimization 2; here it complements SCEV by bounding pointer
+*offsets* (e.g. proving an index stays within ``[0, n)`` so merged guards
+can use tight extents), and it feeds Table 1's attribution of which guards
+each optimization touched.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.analysis.cfg import reverse_post_order
+from repro.ir.instructions import (
+    BinaryInst,
+    BranchInst,
+    CastInst,
+    ICmpInst,
+    Instruction,
+    PhiInst,
+    SelectInst,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import IntType
+from repro.ir.values import Argument, ConstantInt, Value
+
+NEG_INF = -math.inf
+POS_INF = math.inf
+
+
+class Interval:
+    """A closed interval [lo, hi] over the integers, with ±inf bounds."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: float, hi: float) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(NEG_INF, POS_INF)
+
+    @staticmethod
+    def constant(value: int) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def of_type(ty: IntType) -> "Interval":
+        return Interval(ty.min_signed, ty.max_signed)
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return self.lo == self.hi and not math.isinf(self.lo)
+
+    @property
+    def is_top(self) -> bool:
+        return math.isinf(self.lo) and math.isinf(self.hi)
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def is_subset_of(self, other: "Interval") -> bool:
+        return other.lo <= self.lo and self.hi <= other.hi
+
+    def is_nonnegative(self) -> bool:
+        return self.lo >= 0
+
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    # -- lattice ops -------------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        lo = self.lo if newer.lo >= self.lo else NEG_INF
+        hi = self.hi if newer.hi <= self.hi else POS_INF
+        return Interval(lo, hi)
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def neg(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        candidates = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                product = _mul_inf(a, b)
+                candidates.append(product)
+        return Interval(min(candidates), max(candidates))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Interval)
+            and other.lo == self.lo
+            and other.hi == self.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+def _mul_inf(a: float, b: float) -> float:
+    if a == 0 or b == 0:
+        return 0
+    return a * b
+
+
+class ValueRangeAnalysis:
+    """Forward interval analysis over a function's integer SSA values.
+
+    Branch conditions refine ranges: after ``br (icmp slt %i, %n), body,
+    exit``, uses of ``%i`` inside ``body`` see an upper bound derived from
+    ``%n``'s interval.  Refinement is block-level (applied to phi joins of
+    the target block), which is enough to bound canonical loop counters.
+    """
+
+    WIDEN_AFTER = 3
+
+    def __init__(self, fn: Function) -> None:
+        self.function = fn
+        self._ranges: Dict[int, Interval] = {}
+        self._visits: Dict[int, int] = {}
+        self._run()
+
+    def range_of(self, value: Value) -> Interval:
+        if isinstance(value, ConstantInt):
+            return Interval.constant(value.value)
+        interval = self._ranges.get(id(value))
+        if interval is not None:
+            return interval
+        if isinstance(value.type, IntType):
+            return Interval.of_type(value.type)
+        return Interval.top()
+
+    # -- solver ---------------------------------------------------------------------
+
+    def _run(self) -> None:
+        order = reverse_post_order(self.function)
+        # Arguments: bounded only by their type.
+        for arg in self.function.args:
+            if isinstance(arg.type, IntType):
+                self._ranges[id(arg)] = Interval.of_type(arg.type)
+        changed = True
+        iterations = 0
+        while changed and iterations < 50:
+            changed = False
+            iterations += 1
+            for block in order:
+                for inst in block.instructions:
+                    if not isinstance(inst.type, IntType):
+                        continue
+                    new = self._transfer(inst)
+                    if new is None:
+                        continue  # operands not computed yet (back edge)
+                    old = self._ranges.get(id(inst))
+                    if old is not None and new == old:
+                        continue
+                    visits = self._visits.get(id(inst), 0) + 1
+                    self._visits[id(inst)] = visits
+                    if old is not None and visits > self.WIDEN_AFTER:
+                        new = old.widen(new)
+                        if new == old:
+                            continue
+                    self._ranges[id(inst)] = new
+                    changed = True
+
+    def _transfer(self, inst: Instruction) -> Optional[Interval]:
+        if isinstance(inst, PhiInst):
+            # Optimistic join: incoming values not yet computed (back
+            # edges on the first sweep) contribute bottom, not top —
+            # otherwise every loop phi degrades to the full type range
+            # before the real ranges propagate.
+            result: Optional[Interval] = None
+            for value, pred in inst.incoming:
+                if isinstance(value, Instruction) and id(value) not in self._ranges:
+                    continue
+                incoming = self.range_of(value)
+                refined = self._refine_on_edge(value, pred, inst.parent, incoming)
+                result = refined if result is None else result.join(refined)
+            if result is None:
+                return None
+            out = result
+        elif isinstance(inst, BinaryInst):
+            lhs = self.range_of(inst.lhs)
+            rhs = self.range_of(inst.rhs)
+            if inst.opcode == "add":
+                out = lhs.add(rhs)
+            elif inst.opcode == "sub":
+                out = lhs.sub(rhs)
+            elif inst.opcode == "mul":
+                out = lhs.mul(rhs)
+            elif inst.opcode in ("sdiv", "srem", "udiv", "urem"):
+                out = Interval.of_type(inst.type)  # coarse
+            elif inst.opcode == "and":
+                # x & mask with constant non-negative mask: [0, mask].
+                if isinstance(inst.rhs, ConstantInt) and inst.rhs.value >= 0:
+                    out = Interval(0, inst.rhs.value)
+                elif isinstance(inst.lhs, ConstantInt) and inst.lhs.value >= 0:
+                    out = Interval(0, inst.lhs.value)
+                else:
+                    out = Interval.of_type(inst.type)
+            elif inst.opcode == "shl":
+                if isinstance(inst.rhs, ConstantInt):
+                    out = lhs.mul(Interval.constant(1 << inst.rhs.value))
+                else:
+                    out = Interval.of_type(inst.type)
+            else:
+                out = Interval.of_type(inst.type)
+        elif isinstance(inst, CastInst):
+            if inst.opcode in ("sext", "zext"):
+                src = self.range_of(inst.value)
+                if inst.opcode == "zext" and src.lo < 0:
+                    out = Interval.of_type(inst.type)
+                else:
+                    out = src
+            elif inst.opcode == "trunc":
+                src = self.range_of(inst.value)
+                ty = inst.type
+                assert isinstance(ty, IntType)
+                if src.is_subset_of(Interval.of_type(ty)):
+                    out = src
+                else:
+                    out = Interval.of_type(ty)
+            else:
+                out = Interval.of_type(inst.type) if isinstance(inst.type, IntType) else Interval.top()
+        elif isinstance(inst, SelectInst):
+            out = self.range_of(inst.true_value).join(self.range_of(inst.false_value))
+        elif isinstance(inst, ICmpInst):
+            out = Interval(0, 1)
+        else:
+            out = (
+                Interval.of_type(inst.type)
+                if isinstance(inst.type, IntType)
+                else Interval.top()
+            )
+        # Clamp to the representable range of the result type.
+        if isinstance(inst.type, IntType):
+            clamped = out.meet(Interval.of_type(inst.type))
+            return clamped if clamped is not None else Interval.of_type(inst.type)
+        return out
+
+    def _refine_on_edge(
+        self,
+        value: Value,
+        pred: BasicBlock,
+        target: Optional[BasicBlock],
+        interval: Interval,
+    ) -> Interval:
+        """Refine ``value``'s interval along the CFG edge pred -> target
+        using pred's branch condition."""
+        if target is None:
+            return interval
+        term = pred.terminator
+        if not isinstance(term, BranchInst) or not term.is_conditional:
+            return interval
+        cond = term.condition
+        if not isinstance(cond, ICmpInst):
+            return interval
+        then_bb, else_bb = term.targets
+        if then_bb is target and else_bb is target:
+            return interval
+        taken_true = then_bb is target
+        predicate = cond.predicate if taken_true else _negate(cond.predicate)
+        if cond.lhs is value:
+            other = self.range_of(cond.rhs)
+            constraint = _constraint(predicate, other)
+        elif cond.rhs is value:
+            other = self.range_of(cond.lhs)
+            constraint = _constraint(_swap(predicate), other)
+        else:
+            return interval
+        refined = interval.meet(constraint)
+        return refined if refined is not None else interval
+
+
+def _constraint(predicate: str, other: Interval) -> Interval:
+    if predicate in ("slt", "ult"):
+        return Interval(NEG_INF, other.hi - 1)
+    if predicate in ("sle", "ule"):
+        return Interval(NEG_INF, other.hi)
+    if predicate in ("sgt", "ugt"):
+        return Interval(other.lo + 1, POS_INF)
+    if predicate in ("sge", "uge"):
+        return Interval(other.lo, POS_INF)
+    if predicate == "eq":
+        return other
+    return Interval.top()
+
+
+def _negate(pred: str) -> str:
+    table = {
+        "eq": "ne",
+        "ne": "eq",
+        "slt": "sge",
+        "sge": "slt",
+        "sgt": "sle",
+        "sle": "sgt",
+        "ult": "uge",
+        "uge": "ult",
+        "ugt": "ule",
+        "ule": "ugt",
+    }
+    return table[pred]
+
+
+def _swap(pred: str) -> str:
+    table = {
+        "eq": "eq",
+        "ne": "ne",
+        "slt": "sgt",
+        "sgt": "slt",
+        "sle": "sge",
+        "sge": "sle",
+        "ult": "ugt",
+        "ugt": "ult",
+        "ule": "uge",
+        "uge": "ule",
+    }
+    return table[pred]

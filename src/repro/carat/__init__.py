@@ -1,0 +1,64 @@
+"""The CARAT compiler: the paper's primary compile-time contribution.
+
+* :mod:`repro.carat.intrinsics` — the compiler/runtime ABI
+* :mod:`repro.carat.guards` — guard injection (protection)
+* :mod:`repro.carat.guard_opt` — Opt1 hoisting, Opt2 SCEV merging,
+  Opt3 AC/DC redundancy elimination
+* :mod:`repro.carat.tracking` — allocation & escape tracking (mapping)
+* :mod:`repro.carat.restrictions` — Section 2.2 source restrictions
+* :mod:`repro.carat.signing` — toolchain signatures
+* :mod:`repro.carat.pipeline` — :func:`compile_carat` / :func:`compile_baseline`
+"""
+
+from repro.carat.guard_opt import GuardOptStats, optimize_guards
+from repro.carat.guards import GuardTable, inject_guards, max_stack_footprint
+from repro.carat.intrinsics import (
+    GUARD_CALL,
+    GUARD_LOAD,
+    GUARD_RANGE,
+    GUARD_STORE,
+    TRACK_ALLOC,
+    TRACK_ESCAPE,
+    TRACK_FREE,
+    is_carat_call,
+    is_guard_call,
+    is_tracking_call,
+)
+from repro.carat.pipeline import (
+    CaratBinary,
+    CompileOptions,
+    compile_baseline,
+    compile_carat,
+)
+from repro.carat.restrictions import check_restrictions, find_violations
+from repro.carat.signing import Signature, sign_module, verify_signature
+from repro.carat.tracking import TrackingStats, inject_tracking
+
+__all__ = [
+    "GuardOptStats",
+    "optimize_guards",
+    "GuardTable",
+    "inject_guards",
+    "max_stack_footprint",
+    "GUARD_CALL",
+    "GUARD_LOAD",
+    "GUARD_RANGE",
+    "GUARD_STORE",
+    "TRACK_ALLOC",
+    "TRACK_ESCAPE",
+    "TRACK_FREE",
+    "is_carat_call",
+    "is_guard_call",
+    "is_tracking_call",
+    "CaratBinary",
+    "CompileOptions",
+    "compile_baseline",
+    "compile_carat",
+    "check_restrictions",
+    "find_violations",
+    "Signature",
+    "sign_module",
+    "verify_signature",
+    "TrackingStats",
+    "inject_tracking",
+]

@@ -1,0 +1,324 @@
+"""CARAT-specific guard optimizations (Section 4.1.1).
+
+Three optimizations, applied in the paper's order, each attributing a fate
+to the guards it touches (Table 1's columns):
+
+* **Optimization 1 — hoisting**: a guard whose address is loop-invariant
+  and which executes on every iteration (its block dominates every latch)
+  moves to the loop preheader, recursively to the outermost loop possible.
+  Call guards hoist when the loop contains no stack allocation.
+* **Optimization 2 — merging** (scalar evolution): a guard whose address
+  sweeps an affine range ``{start, +, step}`` over a loop with a computable
+  trip count is replaced by a single ``carat.guard.range(low, len)`` in
+  the preheader covering every byte the loop will touch.  For top-tested
+  loops whose trip count may be zero the emitted length clamps to zero
+  (a zero-length range guard always passes).
+* **Optimization 3 — redundancy elimination** (AC/DC): an available-
+  expressions dataflow over guarded pointer definitions; a guard whose
+  address is already guarded on every path to it is deleted.  Only
+  dynamic stack growth kills availability (SSA values are never
+  redefined, and region changes force a world-stop through the runtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dataflow import AvailableValues
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import Loop, LoopInfo
+from repro.analysis.scev import SCEVExpander, ScalarEvolution
+from repro.carat.guards import GuardTable
+from repro.carat.intrinsics import (
+    GUARD_CALL,
+    GUARD_LOAD,
+    GUARD_RANGE,
+    GUARD_STORE,
+    declare_intrinsic,
+    is_carat_call,
+    is_guard_call,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import AllocaInst, CallInst, Instruction
+from repro.ir.module import Function, Module
+from repro.ir.types import I8, I64, ptr
+from repro.ir.values import ConstantInt, Value
+
+
+@dataclass
+class GuardOptStats:
+    """Per-module outcome of the guard optimizer (feeds Table 1)."""
+
+    total: int = 0
+    untouched: int = 0
+    hoisted: int = 0
+    merged: int = 0
+    eliminated: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.untouched + self.hoisted + self.merged
+
+    def fraction(self, count: int) -> float:
+        return count / self.total if self.total else 0.0
+
+    def as_table1_row(self) -> Dict[str, float]:
+        """The fractions Table 1 reports for one benchmark."""
+        return {
+            "opt_guards": self.fraction(self.remaining),
+            "untouched": self.fraction(self.untouched),
+            "opt1_hoist": self.fraction(self.hoisted),
+            "opt2_scev": self.fraction(self.merged),
+            "opt3_redundancy": self.fraction(self.eliminated),
+        }
+
+
+def optimize_guards(module: Module, table: GuardTable) -> GuardOptStats:
+    """Run Opt1 -> Opt2 -> Opt3 over every function.  Returns statistics."""
+    for fn in module.defined_functions():
+        _hoist_guards(fn, table)
+        _merge_guards(fn, table)
+        _eliminate_redundant_guards(fn, table)
+    stats = GuardOptStats(total=table.total)
+    stats.untouched = table.count_fate("untouched")
+    stats.hoisted = table.count_fate("hoisted")
+    stats.merged = table.count_fate("merged")
+    stats.eliminated = table.count_fate("eliminated")
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Optimization 1: hoisting
+# ---------------------------------------------------------------------------
+
+
+def _guard_address(guard: CallInst) -> Optional[Value]:
+    if guard.callee_name in (GUARD_LOAD, GUARD_STORE):
+        return guard.args[0]
+    return None
+
+
+def _loop_has_alloca(loop: Loop) -> bool:
+    return any(isinstance(inst, AllocaInst) for inst in loop.instructions())
+
+
+def _hoist_guards(fn: Function, table: GuardTable) -> int:
+    """Hoist loop-invariant guards to preheaders, innermost-out, repeating
+    so a guard can climb to the outermost loop where it is still
+    invariant (the recursion the paper describes)."""
+    hoisted = 0
+    for _ in range(20):  # bounded; each round climbs one nesting level
+        domtree = DominatorTree.compute(fn)
+        loop_info = LoopInfo.compute(fn, domtree)
+        if not loop_info.loops:
+            break
+        moved = False
+        for loop in sorted(loop_info.loops, key=lambda l: -l.depth):
+            candidates: List[CallInst] = []
+            for block in list(loop.blocks):
+                for inst in block.instructions:
+                    if not is_guard_call(inst):
+                        continue
+                    guard = inst  # type: CallInst
+                    if not all(
+                        domtree.dominates(block, latch) for latch in loop.latches
+                    ):
+                        continue
+                    address = _guard_address(guard)
+                    if address is not None:
+                        if _is_invariant(address, loop):
+                            candidates.append(guard)
+                    elif guard.callee_name == GUARD_CALL:
+                        if not _loop_has_alloca(loop):
+                            candidates.append(guard)
+                    elif guard.callee_name == GUARD_RANGE:
+                        if all(_is_invariant(a, loop) for a in guard.args):
+                            candidates.append(guard)
+            if not candidates:
+                continue
+            preheader = loop_info.ensure_preheader(loop)
+            terminator = preheader.terminator
+            assert terminator is not None
+            for guard in candidates:
+                block = guard.parent
+                assert block is not None
+                block.remove(guard)
+                preheader.insert_before(terminator, guard)
+                record = table.record_for(guard)
+                if record is not None and record.fate == "untouched":
+                    record.fate = "hoisted"
+                hoisted += 1
+                moved = True
+        if not moved:
+            break
+    return hoisted
+
+
+def _is_invariant(value: Value, loop: Loop) -> bool:
+    if isinstance(value, Instruction):
+        return value.parent is not None and value.parent not in loop.blocks
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Optimization 2: merging via scalar evolution
+# ---------------------------------------------------------------------------
+
+
+def _merge_guards(fn: Function, table: GuardTable) -> int:
+    merged = 0
+    domtree = DominatorTree.compute(fn)
+    loop_info = LoopInfo.compute(fn, domtree)
+    if not loop_info.loops:
+        return 0
+    scev = ScalarEvolution(fn, loop_info)
+    module = fn.parent
+    assert module is not None
+    guard_range = declare_intrinsic(module, GUARD_RANGE)
+
+    # Collect (guard, loop, range) first: creating preheaders mutates loops.
+    plans: List[Tuple[CallInst, Loop, tuple, int]] = []
+    for loop in sorted(loop_info.loops, key=lambda l: -l.depth):
+        for block in list(loop.blocks):
+            for inst in list(block.instructions):
+                if not is_guard_call(inst):
+                    continue
+                guard = inst
+                address = _guard_address(guard)
+                if address is None:
+                    continue
+                if not all(
+                    domtree.dominates(block, latch) for latch in loop.latches
+                ):
+                    continue
+                affine = scev.affine_range(address, loop)
+                if affine is None:
+                    continue
+                from repro.analysis.scev import scev_is_expandable
+
+                if not (
+                    scev_is_expandable(affine[0]) and scev_is_expandable(affine[2])
+                ):
+                    # Start or trip count involves an outer-loop recurrence;
+                    # it cannot be materialized at this preheader.
+                    continue
+                size_arg = guard.args[1]
+                if not isinstance(size_arg, ConstantInt):
+                    continue
+                plans.append((guard, loop, affine, size_arg.value))
+
+    planned_guards = {id(g) for g, _, _, _ in plans}
+    for guard, loop, (start, step, n_scev), access_size in plans:
+        if guard.parent is None:
+            continue  # already handled
+        preheader = loop_info.ensure_preheader(loop)
+        terminator = preheader.terminator
+        assert terminator is not None
+        builder = IRBuilder()
+        builder.position_before(terminator)
+        expander = SCEVExpander(builder)
+        start_value = expander.expand(start)
+        n_value = expander.expand(n_scev)
+        one = ConstantInt(I64, 1)
+        nm1 = builder.sub(n_value, one)
+        span = builder.mul(nm1, ConstantInt(I64, abs(step)))
+        if step >= 0:
+            low = start_value
+        else:
+            low = builder.sub(start_value, span)
+        raw_len = builder.add(span, ConstantInt(I64, access_size))
+        has_iters = builder.icmp("sge", n_value, one)
+        length = builder.select(has_iters, raw_len, ConstantInt(I64, 0))
+        low_ptr = builder.inttoptr(low, ptr(I8))
+        # Third operand: the access kind of the original guard (0 = read,
+        # 1 = write), so the merged check enforces the same permission.
+        is_write = guard.callee_name == GUARD_STORE
+        range_guard = builder.call(
+            guard_range, [low_ptr, length, ConstantInt(I64, int(is_write))]
+        )
+        record = table.record_for(guard)
+        if record is not None and record.fate in ("untouched", "hoisted"):
+            record.fate = "merged"
+        table.transfer(guard, range_guard)
+        block = guard.parent
+        block.remove(guard)
+        guard.drop_all_operands()
+        merged += 1
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Optimization 3: AC/DC redundancy elimination
+# ---------------------------------------------------------------------------
+
+
+def _kills_availability(inst: Instruction) -> bool:
+    """In the paper's AC/DC equations, KILL[i] is the set of pointer defs
+    that instruction i could *redefine*.  In SSA, values are never
+    redefined, so guarded-address availability survives calls and stores.
+    (Region changes happen at world-stops and force every thread through
+    the runtime, so an address validated earlier on this path stays valid
+    by construction.)  The one thing that does invalidate availability is
+    dynamic stack growth, which moves SP out from under call-guard frames."""
+    return isinstance(inst, AllocaInst) and not inst.is_static
+
+
+def _guard_tag(guard: CallInst) -> Optional[tuple]:
+    name = guard.callee_name
+    if name in (GUARD_LOAD, GUARD_STORE):
+        size = guard.args[1]
+        size_value = size.value if isinstance(size, ConstantInt) else 0
+        return ("addr", id(guard.args[0]), size_value)
+    if name == GUARD_CALL:
+        frame = guard.args[0]
+        if isinstance(frame, ConstantInt):
+            return ("frame", frame.value)
+    return None
+
+
+def _covered(available: Set[tuple], tag: tuple) -> bool:
+    if tag[0] == "addr":
+        _, addr_id, size = tag
+        return any(
+            t[0] == "addr" and t[1] == addr_id and t[2] >= size
+            for t in available
+        )
+    if tag[0] == "frame":
+        return any(t[0] == "frame" and t[1] >= tag[1] for t in available)
+    return False
+
+
+def _eliminate_redundant_guards(fn: Function, table: GuardTable) -> int:
+    def generates(inst: Instruction) -> List[tuple]:
+        if is_guard_call(inst):
+            tag = _guard_tag(inst)  # type: ignore[arg-type]
+            if tag is not None:
+                return [tag]
+        return []
+
+    problem = AvailableValues(fn, generates, _kills_availability)
+    facts = problem.solve()
+    eliminated = 0
+    for block in fn.blocks:
+        fact = facts.get(block)
+        available: Set[tuple] = set(fact.in_set) if fact else set()
+        for inst in list(block.instructions):
+            if _kills_availability(inst):
+                available.clear()
+                continue
+            if not is_guard_call(inst):
+                continue
+            tag = _guard_tag(inst)  # type: ignore[arg-type]
+            if tag is None:
+                continue
+            if _covered(available, tag):
+                record = table.record_for(inst)
+                if record is not None:
+                    record.fate = "eliminated"
+                block.remove(inst)
+                inst.drop_all_operands()
+                eliminated += 1
+            else:
+                available.add(tag)
+    return eliminated

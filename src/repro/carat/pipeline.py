@@ -1,0 +1,139 @@
+"""The CARAT compilation pipeline: Mini-C (or raw IR) in, signed binary out.
+
+Mirrors Figure 1(b)'s compile-time flow:
+
+1. frontend -> IR, with source restrictions enforced (sema + IR re-check);
+2. general optimizations (the clang -O2 stand-in);
+3. **transform**: allocation/escape tracking injection;
+4. **guard injection** followed by the CARAT-specific guard optimizations;
+5. link against the runtime (here: intrinsic declarations — the runtime
+   itself lives in :mod:`repro.runtime` and is bound at load time);
+6. sign the binary with the toolchain key.
+
+Use :func:`compile_carat` for the full treatment and
+:func:`compile_baseline` for the uninstrumented comparison binary used by
+every overhead experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.carat.guard_opt import GuardOptStats, optimize_guards
+from repro.carat.guards import GuardTable, inject_guards
+from repro.carat.restrictions import check_restrictions
+from repro.carat.signing import DEFAULT_TOOLCHAIN, Signature, sign_module
+from repro.carat.tracking import TrackingStats, inject_tracking
+from repro.frontend.lower import compile_source
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.transform.pass_manager import optimize_module
+
+
+@dataclass
+class CompileOptions:
+    """Knobs for the pipeline; the defaults give the full CARAT treatment.
+
+    The experiment harness flips these to build the configurations the
+    paper compares: baseline (guards=False, tracking=False), guards with
+    general opts only (carat_guard_opts=False, Figure 3a), guards with
+    CARAT opts (Figure 3b), tracking only (Figures 6/7), and so on.
+    """
+
+    optimize: bool = True
+    guards: bool = True
+    carat_guard_opts: bool = True
+    tracking: bool = True
+    sign: bool = True
+    verify: bool = True
+    toolchain: str = DEFAULT_TOOLCHAIN
+
+
+@dataclass
+class CaratBinary:
+    """A compiled, optionally signed, CARAT program image."""
+
+    module: Module
+    signature: Optional[Signature]
+    guard_table: GuardTable
+    guard_stats: GuardOptStats
+    tracking_stats: TrackingStats
+    options: CompileOptions
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+    @property
+    def is_signed(self) -> bool:
+        return self.signature is not None
+
+
+def compile_carat(
+    program: Union[str, Module],
+    options: Optional[CompileOptions] = None,
+    module_name: str = "program",
+) -> CaratBinary:
+    """Compile Mini-C source (or an already-built module) under CARAT."""
+    options = options or CompileOptions()
+    if isinstance(program, str):
+        module = compile_source(program, module_name)
+    else:
+        module = program
+    check_restrictions(module)
+
+    if options.optimize:
+        optimize_module(module, verify=options.verify)
+
+    # Tracking is injected before guards so tracking callbacks themselves
+    # are never guarded (they are trusted runtime entry points).
+    tracking_stats = TrackingStats()
+    if options.tracking:
+        tracking_stats = inject_tracking(module)
+
+    guard_table = GuardTable()
+    guard_stats = GuardOptStats()
+    if options.guards:
+        inject_guards(module, guard_table)
+        if options.carat_guard_opts:
+            guard_stats = optimize_guards(module, guard_table)
+        else:
+            guard_stats = GuardOptStats(
+                total=guard_table.total, untouched=guard_table.total
+            )
+
+    if options.verify:
+        verify_module(module)
+
+    metadata: Dict[str, object] = {
+        "module": module.name,
+        "guards_total": guard_table.total,
+        "guards_remaining": guard_stats.remaining if options.guards else 0,
+        "tracking_callbacks": tracking_stats.total,
+        "toolchain": options.toolchain,
+    }
+    signature = (
+        sign_module(module, metadata, options.toolchain) if options.sign else None
+    )
+    return CaratBinary(
+        module=module,
+        signature=signature,
+        guard_table=guard_table,
+        guard_stats=guard_stats,
+        tracking_stats=tracking_stats,
+        options=options,
+        metadata=metadata,
+    )
+
+
+def compile_baseline(
+    program: Union[str, Module], module_name: str = "program"
+) -> CaratBinary:
+    """The uninstrumented baseline: general optimizations only."""
+    return compile_carat(
+        program,
+        CompileOptions(guards=False, tracking=False, sign=True),
+        module_name,
+    )

@@ -1,0 +1,88 @@
+"""IR-level enforcement of CARAT's source restrictions (Section 2.2).
+
+Semantic analysis already rejects violations that Mini-C can express; this
+pass re-checks the *IR*, which matters for two reasons: IR can be built
+directly through the builder API (bypassing the frontend), and the
+restrictions are part of the compiler's trusted-computing-base contract —
+the kernel trusts that signed binaries passed these checks.
+
+Checked here:
+
+1. no casts between function pointers and data pointers, in either
+   direction (``bitcast``/``ptrtoint``/``inttoptr`` touching a function
+   type), and no pointer arithmetic on functions (a GEP whose base is a
+   function);
+2. all control flow is local: every call targets a declared function of
+   this module (no calls through loaded pointers), so the kernel may move
+   the code image freely;
+3. no unreachable-looking stores through integer-literal pointers (the
+   detectable-UB rule: ``inttoptr`` of a constant is rejected).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import RestrictionError
+from repro.ir.instructions import CallInst, CastInst, GEPInst, Instruction
+from repro.ir.module import Function, Module
+from repro.ir.types import FunctionType, PointerType
+from repro.ir.values import ConstantInt
+
+
+def check_restrictions(module: Module) -> None:
+    """Raise :class:`RestrictionError` on the first violation found."""
+    violations = find_violations(module)
+    if violations:
+        raise RestrictionError(violations[0])
+
+
+def find_violations(module: Module) -> List[str]:
+    violations: List[str] = []
+    for fn in module.defined_functions():
+        for inst in fn.instructions():
+            violations.extend(_check_instruction(fn, inst))
+    return violations
+
+
+def _is_function_pointer_type(ty) -> bool:
+    return isinstance(ty, PointerType) and isinstance(ty.pointee, FunctionType)
+
+
+def _check_instruction(fn: Function, inst: Instruction) -> List[str]:
+    where = f"in @{fn.name}"
+    out: List[str] = []
+    if isinstance(inst, CastInst):
+        src_ty = inst.value.type
+        if inst.opcode == "bitcast":
+            if _is_function_pointer_type(src_ty) != _is_function_pointer_type(
+                inst.type
+            ):
+                out.append(
+                    f"{where}: cast between function pointer and data pointer"
+                )
+        elif inst.opcode == "ptrtoint":
+            if _is_function_pointer_type(src_ty) or isinstance(
+                inst.value, Function
+            ):
+                out.append(f"{where}: function address converted to integer")
+        elif inst.opcode == "inttoptr":
+            if _is_function_pointer_type(inst.type):
+                out.append(f"{where}: integer converted to function pointer")
+            if isinstance(inst.value, ConstantInt):
+                out.append(
+                    f"{where}: inttoptr of a constant "
+                    f"({inst.value.value:#x}) — fabricated pointer (UB)"
+                )
+    elif isinstance(inst, GEPInst):
+        if isinstance(inst.pointer, Function) or _is_function_pointer_type(
+            inst.pointer.type
+        ) and isinstance(inst.pointer.type.pointee, FunctionType):
+            out.append(f"{where}: pointer arithmetic on a function pointer")
+    elif isinstance(inst, CallInst):
+        if not isinstance(inst.callee, Function):
+            out.append(
+                f"{where}: indirect call through a value — control flow "
+                f"must be provably local"
+            )
+    return out

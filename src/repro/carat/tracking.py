@@ -1,0 +1,131 @@
+"""Allocation and escape tracking injection (Section 4.1.2).
+
+* After every call to an allocation function (``malloc``/``calloc``/
+  ``realloc``) a ``carat.alloc(ptr, size)`` callback reports the new block.
+* Before every call to ``free`` a ``carat.free(ptr)`` callback retires it.
+* After every remaining ``alloca`` (arrays, structs, escaping scalars —
+  mem2reg has already promoted the rest) a ``carat.alloc`` reports the
+  stack block; static allocations (globals) are recorded by the loader at
+  program load time, exactly as the paper specifies.
+* After every store whose stored value is a pointer, a
+  ``carat.escape(location)`` callback reports that a copy of some
+  allocation's address now lives at ``location``.
+
+The runtime batches escape updates (Allocation-to-Escape Map) and applies
+allocation updates eagerly (Allocation Table), matching Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.carat.intrinsics import (
+    TRACK_ALLOC,
+    TRACK_ESCAPE,
+    TRACK_FREE,
+    declare_intrinsic,
+    is_carat_call,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import AllocaInst, CallInst, StoreInst
+from repro.ir.module import Module
+from repro.ir.types import I64, stride_of
+from repro.ir.values import ConstantInt
+
+ALLOCATION_CALLEES = {"malloc", "calloc", "realloc"}
+
+
+@dataclass
+class TrackingStats:
+    """Counts of each kind of injected tracking callback."""
+
+    alloc_callbacks: int = 0
+    free_callbacks: int = 0
+    escape_callbacks: int = 0
+    stack_callbacks: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.alloc_callbacks
+            + self.free_callbacks
+            + self.escape_callbacks
+            + self.stack_callbacks
+        )
+
+
+def inject_tracking(module: Module) -> TrackingStats:
+    """Instrument ``module`` with allocation/escape callbacks."""
+    stats = TrackingStats()
+    track_alloc = declare_intrinsic(module, TRACK_ALLOC)
+    track_free = declare_intrinsic(module, TRACK_FREE)
+    track_escape = declare_intrinsic(module, TRACK_ESCAPE)
+    builder = IRBuilder()
+
+    for fn in module.defined_functions():
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if isinstance(inst, CallInst) and not is_carat_call(inst):
+                    name = inst.callee_name
+                    if name in ALLOCATION_CALLEES:
+                        _instrument_allocation(builder, track_alloc, inst)
+                        stats.alloc_callbacks += 1
+                        if name == "realloc":
+                            # The old block is gone once realloc returns.
+                            builder.position_before(inst)
+                            builder.call(track_free, [inst.args[0]])
+                            stats.free_callbacks += 1
+                    elif name == "free":
+                        builder.position_before(inst)
+                        builder.call(track_free, [inst.args[0]])
+                        stats.free_callbacks += 1
+                elif isinstance(inst, AllocaInst):
+                    _instrument_alloca(builder, track_alloc, inst)
+                    stats.stack_callbacks += 1
+                elif isinstance(inst, StoreInst) and inst.stores_pointer():
+                    block.insert_after(
+                        inst, _escape_call(track_escape, inst)
+                    )
+                    stats.escape_callbacks += 1
+    return stats
+
+
+def _instrument_allocation(builder: IRBuilder, track_alloc, call: CallInst) -> None:
+    name = call.callee_name
+    block = call.parent
+    assert block is not None
+    index = block.index_of(call) + 1
+    builder.position_at_end(block)
+    builder._anchor = (
+        block.instructions[index] if index < len(block.instructions) else None
+    )
+    if name == "calloc":
+        size = builder.mul(call.args[0], call.args[1])
+    elif name == "realloc":
+        size = call.args[1]
+    else:
+        size = call.args[0]
+    builder.call(track_alloc, [call, size])
+
+
+def _instrument_alloca(builder: IRBuilder, track_alloc, alloca: AllocaInst) -> None:
+    block = alloca.parent
+    assert block is not None
+    index = block.index_of(alloca) + 1
+    builder.position_at_end(block)
+    builder._anchor = (
+        block.instructions[index] if index < len(block.instructions) else None
+    )
+    static_size = alloca.allocation_size()
+    if static_size is not None:
+        size = ConstantInt(I64, static_size)
+    else:
+        size = builder.mul(
+            alloca.count, ConstantInt(I64, stride_of(alloca.allocated_type))
+        )
+    builder.call(track_alloc, [alloca, size])
+
+
+def _escape_call(track_escape, store: StoreInst) -> CallInst:
+    return CallInst(track_escape, [store.pointer])

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE``  — compile Mini-C to a signed CARAT binary; print the
+  IR and the guard/tracking statistics (``--emit-ir``, ``--no-opt``...);
+* ``run FILE``      — compile and execute under a chosen model
+  (``--mode carat|baseline|traditional``), reporting output and cycles;
+* ``bench NAME``    — run one suite workload under all three models and
+  print the comparison row;
+* ``workloads``     — list the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.carat.pipeline import CompileOptions, compile_baseline, compile_carat
+from repro.ir.printer import print_module
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CARAT (PLDI 2020) reproduction: compile and run "
+        "Mini-C programs under compiler/runtime-based address translation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    comp = sub.add_parser("compile", help="compile Mini-C to a CARAT binary")
+    comp.add_argument("file", help="Mini-C source file")
+    comp.add_argument("--emit-ir", action="store_true", help="print the final IR")
+    comp.add_argument("--no-opt", action="store_true", help="skip general optimizations")
+    comp.add_argument(
+        "--no-carat-opts", action="store_true", help="skip guard optimizations"
+    )
+    comp.add_argument("--no-guards", action="store_true", help="skip guard injection")
+    comp.add_argument("--no-tracking", action="store_true", help="skip tracking")
+
+    run = sub.add_parser("run", help="compile and execute a program")
+    run.add_argument("file", help="Mini-C source file")
+    run.add_argument(
+        "--mode",
+        choices=["carat", "baseline", "traditional"],
+        default="carat",
+        help="execution model (default: carat)",
+    )
+    run.add_argument(
+        "--guard",
+        choices=["mpx", "binary_search", "if_tree"],
+        default="mpx",
+        help="guard mechanism for carat mode",
+    )
+    run.add_argument("--max-steps", type=int, default=50_000_000)
+    run.add_argument("--stats", action="store_true", help="print cycle accounting")
+
+    bench = sub.add_parser("bench", help="run one suite workload in all modes")
+    bench.add_argument("name", help="workload name (see `repro workloads`)")
+    bench.add_argument(
+        "--scale", choices=["tiny", "small", "medium"], default="tiny"
+    )
+
+    sub.add_parser("workloads", help="list the benchmark suite")
+    return parser
+
+
+def _read_source(path: str) -> str:
+    file = Path(path)
+    if not file.exists():
+        raise SystemExit(f"repro: no such file: {path}")
+    return file.read_text()
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    options = CompileOptions(
+        optimize=not args.no_opt,
+        guards=not args.no_guards,
+        carat_guard_opts=not args.no_carat_opts,
+        tracking=not args.no_tracking,
+    )
+    binary = compile_carat(source, options, module_name=Path(args.file).stem)
+    stats = binary.guard_stats
+    print(f"module     : {binary.name}")
+    print(f"signed     : {binary.signature.toolchain if binary.signature else 'no'}")
+    print(
+        f"guards     : {stats.total} total / {stats.remaining} remaining "
+        f"(untouched {stats.untouched}, hoisted {stats.hoisted}, "
+        f"merged {stats.merged}, eliminated {stats.eliminated})"
+    )
+    print(f"tracking   : {binary.tracking_stats.total} callbacks")
+    if args.emit_ir:
+        print()
+        print(print_module(binary.module))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.machine.executor import (
+        run_carat,
+        run_carat_baseline,
+        run_traditional,
+    )
+
+    source = _read_source(args.file)
+    name = Path(args.file).stem
+    if args.mode == "carat":
+        result = run_carat(
+            source, guard_mechanism=args.guard, max_steps=args.max_steps, name=name
+        )
+    elif args.mode == "baseline":
+        result = run_carat_baseline(source, max_steps=args.max_steps, name=name)
+    else:
+        result = run_traditional(source, max_steps=args.max_steps, name=name)
+    for line in result.output:
+        print(line)
+    if args.stats:
+        print(f"-- exit code    : {result.exit_code}", file=sys.stderr)
+        print(f"-- instructions : {result.instructions}", file=sys.stderr)
+        print(f"-- cycles       : {result.cycles}", file=sys.stderr)
+        if result.process.runtime is not None:
+            rt = result.process.runtime
+            print(
+                f"-- guards       : {rt.stats.guards_executed} executed, "
+                f"{rt.stats.guard_faults} faults",
+                file=sys.stderr,
+            )
+        if result.process.mmu is not None:
+            print(
+                f"-- dtlb         : {result.dtlb_mpki():.3f} misses/1K insts",
+                file=sys.stderr,
+            )
+    return result.exit_code
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.machine.executor import (
+        run_carat,
+        run_carat_baseline,
+        run_traditional,
+    )
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.name, args.scale)
+    base = run_carat_baseline(workload.source, name=workload.name)
+    carat = run_carat(workload.source, name=workload.name)
+    trad = run_traditional(workload.source, name=workload.name)
+    assert base.output == carat.output == trad.output
+    print(f"workload    : {workload.name} ({workload.suite}, {args.scale})")
+    print(f"behavior    : {workload.behavior}")
+    print(f"output      : {base.output[-1] if base.output else ''}")
+    print(f"{'config':12s} {'cycles':>12s} {'vs baseline':>12s}")
+    print(f"{'baseline':12s} {base.cycles:12d} {1.0:12.3f}")
+    print(f"{'carat':12s} {carat.cycles:12d} {carat.cycles / base.cycles:12.3f}")
+    print(f"{'traditional':12s} {trad.cycles:12d} {trad.cycles / base.cycles:12.3f}")
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    from repro.workloads import all_workloads
+
+    print(f"{'name':14s} {'suite':8s} behavior")
+    for workload in all_workloads("tiny"):
+        print(f"{workload.name:14s} {workload.suite:8s} {workload.behavior}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "compile": _cmd_compile,
+        "run": _cmd_run,
+        "bench": _cmd_bench,
+        "workloads": _cmd_workloads,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

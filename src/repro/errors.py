@@ -1,0 +1,88 @@
+"""Exception hierarchy for the CARAT reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch failures from this library without accidentally swallowing unrelated
+bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed IR construction or use (type mismatch, bad operand, ...)."""
+
+
+class IRTypeError(IRError):
+    """An operation was applied to values of incompatible IR types."""
+
+
+class VerificationError(IRError):
+    """The IR verifier found a structural violation in a module."""
+
+
+class ParseError(ReproError):
+    """Source text (Mini-C or textual IR) could not be parsed.
+
+    Carries the line/column of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        location = f" at {line}:{col}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.col = col
+
+
+class SemanticError(ReproError):
+    """Mini-C semantic analysis rejected the program."""
+
+
+class RestrictionError(SemanticError):
+    """The program violates a CARAT source restriction (Section 2.2).
+
+    CARAT forbids function-pointer/data-pointer casts, pointer arithmetic
+    on function pointers, inline assembly, and detected undefined behavior.
+    Compilation must fail, not warn, when these are found.
+    """
+
+
+class InterpError(ReproError):
+    """The IR interpreter hit a runtime fault it cannot recover from."""
+
+
+class ProtectionFault(InterpError):
+    """A guard rejected a memory access (CARAT's analog of a #GP fault)."""
+
+    def __init__(self, address: int, size: int, access: str) -> None:
+        super().__init__(
+            f"protection fault: {access} of {size} byte(s) at {address:#x} "
+            f"is outside every kernel-permitted region"
+        )
+        self.address = address
+        self.size = size
+        self.access = access
+
+
+class SegmentationFault(InterpError):
+    """A traditional-model access touched an unmapped virtual page."""
+
+    def __init__(self, address: int, access: str) -> None:
+        super().__init__(f"segmentation fault: {access} at {address:#x}")
+        self.address = address
+        self.access = access
+
+
+class KernelError(ReproError):
+    """The simulated kernel rejected or failed an operation."""
+
+
+class SigningError(ReproError):
+    """Binary signature generation or validation failed."""
+
+
+class OutOfMemoryError(KernelError):
+    """The physical frame allocator is exhausted."""

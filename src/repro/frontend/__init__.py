@@ -1,0 +1,18 @@
+"""Mini-C: the C-subset frontend used to author workloads.
+
+The pipeline is ``parse`` (text -> AST), ``analyze`` (types + CARAT source
+restrictions), and ``compile_source`` (all the way to a verified IR
+module).
+"""
+
+from repro.frontend.lower import compile_source
+from repro.frontend.parser import parse
+from repro.frontend.sema import BUILTIN_FUNCTIONS, SemanticAnalyzer, analyze
+
+__all__ = [
+    "compile_source",
+    "parse",
+    "analyze",
+    "SemanticAnalyzer",
+    "BUILTIN_FUNCTIONS",
+]

@@ -1,0 +1,258 @@
+"""Abstract syntax tree for Mini-C.
+
+Nodes are small dataclasses with source positions for diagnostics.  Types
+in the AST are *syntactic* (:class:`TypeSpec`); semantic analysis resolves
+them to IR types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+# -- types (syntactic) ---------------------------------------------------------
+
+
+@dataclass
+class TypeSpec(Node):
+    """``base`` is one of 'char', 'int', 'long', 'double', 'void', or
+    'struct <name>'; ``pointer_depth`` counts trailing ``*``; an optional
+    array length applies to declarations like ``long a[100]``."""
+
+    base: str = ""
+    struct_name: Optional[str] = None
+    pointer_depth: int = 0
+    array_length: Optional[int] = None
+
+    def with_pointer(self) -> "TypeSpec":
+        return TypeSpec(
+            base=self.base,
+            struct_name=self.struct_name,
+            pointer_depth=self.pointer_depth + 1,
+            array_length=None,
+            line=self.line,
+            col=self.col,
+        )
+
+    def __str__(self) -> str:
+        name = f"struct {self.struct_name}" if self.base == "struct" else self.base
+        stars = "*" * self.pointer_depth
+        suffix = f"[{self.array_length}]" if self.array_length is not None else ""
+        return f"{name}{stars}{suffix}"
+
+
+# -- expressions ----------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: bytes = b""
+
+
+@dataclass
+class NullLiteral(Expr):
+    pass
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    """op in {'-', '!', '~', '*', '&'}."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Assignment(Expr):
+    """``target = value`` (or compound ``op`` like '+"='"); target must be
+    an lvalue."""
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+    op: str = "="
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    base: Optional[Expr] = None
+    field_name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Optional[TypeSpec] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class SizeOf(Expr):
+    target_type: Optional[TypeSpec] = None
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    cond: Optional[Expr] = None
+    if_true: Optional[Expr] = None
+    if_false: Optional[Expr] = None
+
+
+# -- statements --------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    type_spec: Optional[TypeSpec] = None
+    name: str = ""
+    initializer: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: Optional[Stmt] = None
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # VarDecl or ExprStmt
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class InlineAsm(Stmt):
+    """Parsed only so semantic analysis can reject it (CARAT restriction 3)."""
+
+    text: str = ""
+
+
+# -- top level ----------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    type_spec: Optional[TypeSpec] = None
+    name: str = ""
+
+
+@dataclass
+class FunctionDef(Node):
+    return_type: Optional[TypeSpec] = None
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None  # None => declaration only
+
+
+@dataclass
+class StructDef(Node):
+    name: str = ""
+    fields: List[Tuple[TypeSpec, str]] = field(default_factory=list)
+
+
+@dataclass
+class GlobalDecl(Node):
+    type_spec: Optional[TypeSpec] = None
+    name: str = ""
+    initializer: Optional[Expr] = None
+
+
+@dataclass
+class Program(Node):
+    items: List[Union[FunctionDef, StructDef, GlobalDecl]] = field(
+        default_factory=list
+    )

@@ -1,0 +1,140 @@
+"""Lexer for Mini-C, the small C subset the workloads are written in.
+
+Mini-C covers the parts of C the paper's benchmarks exercise: scalar types
+(char/int/long/double), pointers, arrays, structs, functions, the usual
+expression operators, and if/while/for/do control flow.  Inline assembly
+is tokenized (``asm``) so semantic analysis can *reject* it — CARAT's
+restriction 3 demands compilation failure, not silent acceptance.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(
+    {
+        "char",
+        "int",
+        "long",
+        "double",
+        "void",
+        "struct",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "asm",
+        "null",
+    }
+)
+
+_TOKEN_SPEC = [
+    ("ws", r"[ \t\r\n]+"),
+    ("line_comment", r"//[^\n]*"),
+    ("block_comment", r"/\*.*?\*/"),
+    ("float", r"\d+\.\d*(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+|\.\d+(?:[eE][-+]?\d+)?"),
+    ("int", r"0[xX][0-9a-fA-F]+|\d+"),
+    ("char_lit", r"'(?:\\.|[^'\\])'"),
+    ("string", r'"(?:\\.|[^"\\])*"'),
+    ("ident", r"[A-Za-z_][A-Za-z0-9_]*"),
+    (
+        "punct",
+        r"->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|"
+        r"[-+*/%&|^~!<>=(){}\[\],;.?:]",
+    ),
+]
+
+_MASTER_RE = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC),
+    re.DOTALL,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+class Token(NamedTuple):
+    """One lexeme with its kind and source position."""
+
+    kind: str  # 'int', 'float', 'char', 'string', 'ident', 'keyword', 'punct', 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.col}>"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line, col = 1, 1
+    while pos < len(source):
+        match = _MASTER_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", line, col)
+        kind = match.lastgroup or ""
+        text = match.group(0)
+        if kind == "ident" and text in KEYWORDS:
+            kind = "keyword"
+        if kind == "char_lit":
+            kind = "char"
+        if kind not in ("ws", "line_comment", "block_comment"):
+            tokens.append(Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        pos = match.end()
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+def decode_char_literal(text: str, line: int = 0, col: int = 0) -> int:
+    """Numeric value of a character literal like ``'a'`` or ``'\\n'``."""
+    inner = text[1:-1]
+    if inner.startswith("\\"):
+        escape = inner[1]
+        if escape not in _ESCAPES:
+            raise ParseError(f"unknown escape sequence \\{escape}", line, col)
+        return ord(_ESCAPES[escape])
+    return ord(inner)
+
+
+def decode_string_literal(text: str, line: int = 0, col: int = 0) -> bytes:
+    """Bytes of a string literal, NUL-terminated."""
+    inner = text[1:-1]
+    out = bytearray()
+    i = 0
+    while i < len(inner):
+        ch = inner[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(inner):
+                raise ParseError("dangling escape in string literal", line, col)
+            escape = inner[i]
+            if escape not in _ESCAPES:
+                raise ParseError(f"unknown escape sequence \\{escape}", line, col)
+            out.append(ord(_ESCAPES[escape]))
+        else:
+            out.append(ord(ch))
+        i += 1
+    out.append(0)
+    return bytes(out)

@@ -1,0 +1,498 @@
+"""Recursive-descent parser for Mini-C.
+
+Grammar (informal):
+
+    program     := (struct_def | function | global_decl)*
+    struct_def  := 'struct' IDENT '{' (type declarator ';')* '}' ';'
+    function    := type IDENT '(' params? ')' (block | ';')
+    global_decl := type IDENT ('[' INT ']')? ('=' expr)? ';'
+    block       := '{' statement* '}'
+
+Expressions use precedence climbing; casts are unambiguous because Mini-C
+has no typedefs — a parenthesized type keyword always begins a cast.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.lexer import (
+    Token,
+    decode_char_literal,
+    decode_string_literal,
+    tokenize,
+)
+
+_TYPE_KEYWORDS = frozenset({"char", "int", "long", "double", "void", "struct"})
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%="})
+
+
+class Parser:
+    """Recursive-descent Mini-C parser; see the module grammar sketch."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            expected = text if text is not None else kind
+            raise ParseError(
+                f"expected {expected!r}, found {tok.text!r}", tok.line, tok.col
+            )
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def at_type(self, offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        return tok.kind == "keyword" and tok.text in _TYPE_KEYWORDS
+
+    # -- top level -------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.peek().kind != "eof":
+            tok = self.peek()
+            if tok.kind == "keyword" and tok.text == "struct" and (
+                self.peek(2).text == "{"
+            ):
+                program.items.append(self.parse_struct_def())
+                continue
+            if not self.at_type():
+                raise ParseError(
+                    f"expected a declaration, found {tok.text!r}", tok.line, tok.col
+                )
+            program.items.append(self.parse_top_level_decl())
+        return program
+
+    def parse_struct_def(self) -> ast.StructDef:
+        start = self.expect("keyword", "struct")
+        name = self.expect("ident").text
+        self.expect("punct", "{")
+        fields = []
+        while not self.accept("punct", "}"):
+            field_type = self.parse_type_spec()
+            field_name = self.expect("ident").text
+            if self.accept("punct", "["):
+                length = int(self.expect("int").text, 0)
+                self.expect("punct", "]")
+                field_type.array_length = length
+            self.expect("punct", ";")
+            fields.append((field_type, field_name))
+        self.expect("punct", ";")
+        return ast.StructDef(name=name, fields=fields, line=start.line, col=start.col)
+
+    def parse_top_level_decl(self):
+        type_spec = self.parse_type_spec()
+        name_tok = self.expect("ident")
+        if self.peek().text == "(":
+            return self.parse_function_rest(type_spec, name_tok)
+        # Global variable.
+        if self.accept("punct", "["):
+            length = int(self.expect("int").text, 0)
+            self.expect("punct", "]")
+            type_spec.array_length = length
+        initializer = None
+        if self.accept("punct", "="):
+            initializer = self.parse_expression()
+        self.expect("punct", ";")
+        return ast.GlobalDecl(
+            type_spec=type_spec,
+            name=name_tok.text,
+            initializer=initializer,
+            line=name_tok.line,
+            col=name_tok.col,
+        )
+
+    def parse_function_rest(
+        self, return_type: ast.TypeSpec, name_tok: Token
+    ) -> ast.FunctionDef:
+        self.expect("punct", "(")
+        params: List[ast.Param] = []
+        if not self.accept("punct", ")"):
+            if self.peek().kind == "keyword" and self.peek().text == "void" and self.peek(1).text == ")":
+                self.next()
+                self.expect("punct", ")")
+            else:
+                while True:
+                    ptype = self.parse_type_spec()
+                    pname = self.expect("ident")
+                    params.append(
+                        ast.Param(
+                            type_spec=ptype,
+                            name=pname.text,
+                            line=pname.line,
+                            col=pname.col,
+                        )
+                    )
+                    if self.accept("punct", ")"):
+                        break
+                    self.expect("punct", ",")
+        body: Optional[ast.Block] = None
+        if not self.accept("punct", ";"):
+            body = self.parse_block()
+        return ast.FunctionDef(
+            return_type=return_type,
+            name=name_tok.text,
+            params=params,
+            body=body,
+            line=name_tok.line,
+            col=name_tok.col,
+        )
+
+    # -- types --------------------------------------------------------------------------
+
+    def parse_type_spec(self) -> ast.TypeSpec:
+        tok = self.expect("keyword")
+        if tok.text not in _TYPE_KEYWORDS:
+            raise ParseError(f"expected a type, found {tok.text!r}", tok.line, tok.col)
+        struct_name: Optional[str] = None
+        if tok.text == "struct":
+            struct_name = self.expect("ident").text
+        spec = ast.TypeSpec(
+            base=tok.text, struct_name=struct_name, line=tok.line, col=tok.col
+        )
+        while self.accept("punct", "*"):
+            spec = spec.with_pointer()
+        return spec
+
+    # -- statements ------------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect("punct", "{")
+        block = ast.Block(line=start.line, col=start.col)
+        while not self.accept("punct", "}"):
+            block.statements.append(self.parse_statement())
+        return block
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text == "{":
+            return self.parse_block()
+        if tok.kind == "keyword":
+            if tok.text in _TYPE_KEYWORDS and tok.text != "void":
+                return self.parse_var_decl()
+            if tok.text == "void" and self.peek(1).text == "*":
+                return self.parse_var_decl()
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "while":
+                return self.parse_while()
+            if tok.text == "do":
+                return self.parse_do_while()
+            if tok.text == "for":
+                return self.parse_for()
+            if tok.text == "return":
+                self.next()
+                value = None
+                if self.peek().text != ";":
+                    value = self.parse_expression()
+                self.expect("punct", ";")
+                return ast.Return(value=value, line=tok.line, col=tok.col)
+            if tok.text == "break":
+                self.next()
+                self.expect("punct", ";")
+                return ast.Break(line=tok.line, col=tok.col)
+            if tok.text == "continue":
+                self.next()
+                self.expect("punct", ";")
+                return ast.Continue(line=tok.line, col=tok.col)
+            if tok.text == "asm":
+                self.next()
+                self.expect("punct", "(")
+                text_tok = self.expect("string")
+                self.expect("punct", ")")
+                self.expect("punct", ";")
+                return ast.InlineAsm(text=text_tok.text, line=tok.line, col=tok.col)
+        if tok.kind == "punct" and tok.text == ";":
+            self.next()
+            return ast.ExprStmt(expr=None, line=tok.line, col=tok.col)
+        expr = self.parse_expression()
+        self.expect("punct", ";")
+        return ast.ExprStmt(expr=expr, line=tok.line, col=tok.col)
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        type_spec = self.parse_type_spec()
+        name_tok = self.expect("ident")
+        if self.accept("punct", "["):
+            length = int(self.expect("int").text, 0)
+            self.expect("punct", "]")
+            type_spec.array_length = length
+        initializer = None
+        if self.accept("punct", "="):
+            initializer = self.parse_expression()
+        self.expect("punct", ";")
+        return ast.VarDecl(
+            type_spec=type_spec,
+            name=name_tok.text,
+            initializer=initializer,
+            line=name_tok.line,
+            col=name_tok.col,
+        )
+
+    def parse_if(self) -> ast.If:
+        start = self.expect("keyword", "if")
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        then_body = self.parse_statement()
+        else_body = None
+        if self.accept("keyword", "else"):
+            else_body = self.parse_statement()
+        return ast.If(
+            cond=cond,
+            then_body=then_body,
+            else_body=else_body,
+            line=start.line,
+            col=start.col,
+        )
+
+    def parse_while(self) -> ast.While:
+        start = self.expect("keyword", "while")
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        body = self.parse_statement()
+        return ast.While(cond=cond, body=body, line=start.line, col=start.col)
+
+    def parse_do_while(self) -> ast.DoWhile:
+        start = self.expect("keyword", "do")
+        body = self.parse_statement()
+        self.expect("keyword", "while")
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        self.expect("punct", ";")
+        return ast.DoWhile(body=body, cond=cond, line=start.line, col=start.col)
+
+    def parse_for(self) -> ast.For:
+        start = self.expect("keyword", "for")
+        self.expect("punct", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.accept("punct", ";"):
+            if self.at_type():
+                init = self.parse_var_decl()  # consumes ';'
+            else:
+                expr = self.parse_expression()
+                self.expect("punct", ";")
+                init = ast.ExprStmt(expr=expr, line=start.line, col=start.col)
+        cond: Optional[ast.Expr] = None
+        if not self.accept("punct", ";"):
+            cond = self.parse_expression()
+            self.expect("punct", ";")
+        step: Optional[ast.Expr] = None
+        if self.peek().text != ")":
+            step = self.parse_expression()
+        self.expect("punct", ")")
+        body = self.parse_statement()
+        return ast.For(
+            init=init, cond=cond, step=step, body=body, line=start.line, col=start.col
+        )
+
+    # -- expressions --------------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self.parse_conditional()
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text in _ASSIGN_OPS:
+            self.next()
+            rhs = self.parse_assignment()  # right-associative
+            return ast.Assignment(
+                target=lhs, value=rhs, op=tok.text, line=tok.line, col=tok.col
+            )
+        return lhs
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text == "?":
+            self.next()
+            if_true = self.parse_expression()
+            self.expect("punct", ":")
+            if_false = self.parse_conditional()
+            return ast.Conditional(
+                cond=cond,
+                if_true=if_true,
+                if_false=if_false,
+                line=tok.line,
+                col=tok.col,
+            )
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _PRECEDENCE.get(tok.text) if tok.kind == "punct" else None
+            if prec is None or prec < min_prec:
+                return lhs
+            self.next()
+            rhs = self.parse_binary(prec + 1)
+            lhs = ast.BinaryOp(
+                op=tok.text, lhs=lhs, rhs=rhs, line=tok.line, col=tok.col
+            )
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text in ("-", "!", "~", "*", "&"):
+            self.next()
+            operand = self.parse_unary()
+            return ast.UnaryOp(
+                op=tok.text, operand=operand, line=tok.line, col=tok.col
+            )
+        if tok.kind == "punct" and tok.text in ("++", "--"):
+            # Pre-increment sugar: ++x  =>  x = x + 1.
+            self.next()
+            operand = self.parse_unary()
+            one = ast.IntLiteral(value=1, line=tok.line, col=tok.col)
+            return ast.Assignment(
+                target=operand,
+                value=one,
+                op="+=" if tok.text == "++" else "-=",
+                line=tok.line,
+                col=tok.col,
+            )
+        if tok.kind == "keyword" and tok.text == "sizeof":
+            self.next()
+            self.expect("punct", "(")
+            target = self.parse_type_spec()
+            self.expect("punct", ")")
+            return ast.SizeOf(target_type=target, line=tok.line, col=tok.col)
+        if tok.kind == "punct" and tok.text == "(" and self.at_type(1):
+            # Cast: '(' type ')' unary
+            self.next()
+            target = self.parse_type_spec()
+            self.expect("punct", ")")
+            operand = self.parse_unary()
+            return ast.Cast(
+                target_type=target, operand=operand, line=tok.line, col=tok.col
+            )
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if tok.kind != "punct":
+                return expr
+            if tok.text == "[":
+                self.next()
+                index = self.parse_expression()
+                self.expect("punct", "]")
+                expr = ast.Index(base=expr, index=index, line=tok.line, col=tok.col)
+            elif tok.text == ".":
+                self.next()
+                name = self.expect("ident").text
+                expr = ast.Member(
+                    base=expr, field_name=name, arrow=False, line=tok.line, col=tok.col
+                )
+            elif tok.text == "->":
+                self.next()
+                name = self.expect("ident").text
+                expr = ast.Member(
+                    base=expr, field_name=name, arrow=True, line=tok.line, col=tok.col
+                )
+            elif tok.text in ("++", "--"):
+                # Post-increment sugar, valid only as a statement expression;
+                # Mini-C treats it as pre-increment (the workloads never rely
+                # on the returned value).
+                self.next()
+                one = ast.IntLiteral(value=1, line=tok.line, col=tok.col)
+                expr = ast.Assignment(
+                    target=expr,
+                    value=one,
+                    op="+=" if tok.text == "++" else "-=",
+                    line=tok.line,
+                    col=tok.col,
+                )
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            return ast.IntLiteral(value=int(tok.text, 0), line=tok.line, col=tok.col)
+        if tok.kind == "float":
+            return ast.FloatLiteral(value=float(tok.text), line=tok.line, col=tok.col)
+        if tok.kind == "char":
+            return ast.IntLiteral(
+                value=decode_char_literal(tok.text, tok.line, tok.col),
+                line=tok.line,
+                col=tok.col,
+            )
+        if tok.kind == "string":
+            return ast.StringLiteral(
+                value=decode_string_literal(tok.text, tok.line, tok.col),
+                line=tok.line,
+                col=tok.col,
+            )
+        if tok.kind == "keyword" and tok.text == "null":
+            return ast.NullLiteral(line=tok.line, col=tok.col)
+        if tok.kind == "ident":
+            if self.peek().text == "(":
+                self.next()
+                args: List[ast.Expr] = []
+                if not self.accept("punct", ")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if self.accept("punct", ")"):
+                            break
+                        self.expect("punct", ",")
+                return ast.Call(name=tok.text, args=args, line=tok.line, col=tok.col)
+            return ast.Identifier(name=tok.text, line=tok.line, col=tok.col)
+        if tok.kind == "punct" and tok.text == "(":
+            expr = self.parse_expression()
+            self.expect("punct", ")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse Mini-C source into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,649 @@
+"""Semantic analysis for Mini-C.
+
+Resolves syntactic types to IR types, builds symbol tables, type-checks
+every expression, and — critically for CARAT — enforces the source
+restrictions of Section 2.2:
+
+1. detected undefined behavior fails compilation (e.g. division by a
+   constant zero, out-of-range constant array indexing of globals);
+2. no casts between function and data pointers, no pointer arithmetic on
+   functions (Mini-C cannot even express function pointers; using a
+   function name as a value is rejected here);
+3. no inline assembly (``asm("...")`` parses, then is rejected here).
+
+The analysis leaves its results in side tables consumed by the lowering
+pass: ``expr_type[id(node)]`` and the ``lvalue`` set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import RestrictionError, SemanticError
+from repro.frontend import ast
+from repro.ir.types import (
+    ArrayType,
+    F64,
+    FloatType,
+    I8,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+    ptr,
+)
+
+CHAR = I8
+INT = I32
+LONG = I64
+DOUBLE = F64
+
+#: External functions every Mini-C program may call without declaring.
+#: These are provided by the simulated environment (libc analogs).
+BUILTIN_FUNCTIONS: Dict[str, Tuple[Type, List[Type]]] = {
+    "malloc": (ptr(I8), [I64]),
+    "calloc": (ptr(I8), [I64, I64]),
+    "free": (VOID, [ptr(I8)]),
+    "print_long": (VOID, [I64]),
+    "print_double": (VOID, [F64]),
+    "print_str": (VOID, [ptr(I8)]),
+    "sqrt": (F64, [F64]),
+    "exp": (F64, [F64]),
+    "log": (F64, [F64]),
+    "fabs": (F64, [F64]),
+    "floor": (F64, [F64]),
+    "abort": (VOID, []),
+}
+
+
+class FunctionSignature:
+    """A callable's resolved return/parameter types (builtin or user)."""
+
+    __slots__ = ("name", "return_type", "param_types", "is_builtin")
+
+    def __init__(
+        self,
+        name: str,
+        return_type: Type,
+        param_types: List[Type],
+        is_builtin: bool = False,
+    ) -> None:
+        self.name = name
+        self.return_type = return_type
+        self.param_types = param_types
+        self.is_builtin = is_builtin
+
+
+class SemanticInfo:
+    """Everything lowering needs: resolved types and symbol kinds."""
+
+    def __init__(self) -> None:
+        self.expr_type: Dict[int, Type] = {}
+        self.lvalues: Set[int] = set()
+        self.structs: Dict[str, StructType] = {}
+        self.struct_fields: Dict[str, List[str]] = {}
+        self.functions: Dict[str, FunctionSignature] = {}
+        self.globals: Dict[str, Type] = {}
+        #: id(Identifier node) -> ('local'|'global'|'param', declared type)
+        self.symbol_kind: Dict[int, Tuple[str, Type]] = {}
+        #: id(node) -> resolved declared type for VarDecl / GlobalDecl / casts
+        self.declared_type: Dict[int, Type] = {}
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.symbols: Dict[str, Tuple[str, Type]] = {}
+
+    def define(self, name: str, kind: str, ty: Type) -> None:
+        if name in self.symbols:
+            raise SemanticError(f"redefinition of {name!r}")
+        self.symbols[name] = (kind, ty)
+
+    def lookup(self, name: str) -> Optional[Tuple[str, Type]]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+def _err(node: ast.Node, message: str) -> SemanticError:
+    return SemanticError(f"{message} (at {node.line}:{node.col})")
+
+
+def _restriction(node: ast.Node, message: str) -> RestrictionError:
+    return RestrictionError(
+        f"CARAT restriction violated: {message} (at {node.line}:{node.col})"
+    )
+
+
+class SemanticAnalyzer:
+    def __init__(self) -> None:
+        self.info = SemanticInfo()
+        self._current_return: Optional[Type] = None
+        self._loop_depth = 0
+
+    # -- entry point -----------------------------------------------------------------
+
+    def analyze(self, program: ast.Program) -> SemanticInfo:
+        for name, (ret, params) in BUILTIN_FUNCTIONS.items():
+            self.info.functions[name] = FunctionSignature(
+                name, ret, list(params), is_builtin=True
+            )
+        # First pass: struct definitions, then function signatures & globals,
+        # so forward calls and recursive types work.
+        for item in program.items:
+            if isinstance(item, ast.StructDef):
+                self._declare_struct(item)
+        for item in program.items:
+            if isinstance(item, ast.StructDef):
+                self._define_struct(item)
+        for item in program.items:
+            if isinstance(item, ast.FunctionDef):
+                self._declare_function(item)
+            elif isinstance(item, ast.GlobalDecl):
+                self._declare_global(item)
+        for item in program.items:
+            if isinstance(item, ast.FunctionDef) and item.body is not None:
+                self._check_function(item)
+        return self.info
+
+    # -- declarations --------------------------------------------------------------------
+
+    def _declare_struct(self, node: ast.StructDef) -> None:
+        if node.name in self.info.structs:
+            raise _err(node, f"duplicate struct {node.name!r}")
+        self.info.structs[node.name] = StructType([], name=node.name)
+
+    def _define_struct(self, node: ast.StructDef) -> None:
+        st = self.info.structs[node.name]
+        field_types: List[Type] = []
+        field_names: List[str] = []
+        for spec, fname in node.fields:
+            fty = self.resolve_type(spec, allow_void=False)
+            if isinstance(fty, StructType) and not fty.fields and fty is st:
+                raise _err(node, f"struct {node.name!r} directly contains itself")
+            field_types.append(fty)
+            if fname in field_names:
+                raise _err(node, f"duplicate field {fname!r} in struct {node.name!r}")
+            field_names.append(fname)
+        st.fields = tuple(field_types)
+        st.field_names = tuple(field_names)
+        self.info.struct_fields[node.name] = field_names
+
+    def _declare_function(self, node: ast.FunctionDef) -> None:
+        assert node.return_type is not None
+        ret = self.resolve_type(node.return_type, allow_void=True)
+        params = [
+            self.resolve_type(p.type_spec, allow_void=False) for p in node.params
+        ]
+        existing = self.info.functions.get(node.name)
+        if existing is not None:
+            if existing.return_type != ret or existing.param_types != params:
+                raise _err(node, f"conflicting declaration of {node.name!r}")
+            return
+        self.info.functions[node.name] = FunctionSignature(node.name, ret, params)
+
+    def _declare_global(self, node: ast.GlobalDecl) -> None:
+        assert node.type_spec is not None
+        ty = self.resolve_type(node.type_spec, allow_void=False)
+        if node.name in self.info.globals or node.name in self.info.functions:
+            raise _err(node, f"redefinition of {node.name!r}")
+        self.info.globals[node.name] = ty
+        self.info.declared_type[id(node)] = ty
+        if node.initializer is not None:
+            init_ty = self._literal_type(node.initializer)
+            if init_ty is None:
+                raise _err(
+                    node, f"global {node.name!r} initializer must be a constant"
+                )
+            if not self._assignable(ty, init_ty):
+                raise _err(
+                    node,
+                    f"cannot initialize {node.name!r} of type {ty} "
+                    f"from {init_ty}",
+                )
+
+    def _literal_type(self, expr: ast.Expr) -> Optional[Type]:
+        if isinstance(expr, ast.IntLiteral):
+            return LONG
+        if isinstance(expr, ast.FloatLiteral):
+            return DOUBLE
+        if isinstance(expr, ast.NullLiteral):
+            return ptr(I8)
+        if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+            assert expr.operand is not None
+            return self._literal_type(expr.operand)
+        return None
+
+    # -- type resolution -----------------------------------------------------------------
+
+    def resolve_type(self, spec: Optional[ast.TypeSpec], allow_void: bool) -> Type:
+        assert spec is not None
+        base: Type
+        if spec.base == "char":
+            base = CHAR
+        elif spec.base == "int":
+            base = INT
+        elif spec.base == "long":
+            base = LONG
+        elif spec.base == "double":
+            base = DOUBLE
+        elif spec.base == "void":
+            if spec.pointer_depth == 0:
+                if not allow_void:
+                    raise _err(spec, "void is not a value type here")
+                return VOID
+            base = I8  # void* is modelled as char*
+        elif spec.base == "struct":
+            assert spec.struct_name is not None
+            st = self.info.structs.get(spec.struct_name)
+            if st is None:
+                raise _err(spec, f"unknown struct {spec.struct_name!r}")
+            base = st
+        else:  # pragma: no cover - parser restricts bases
+            raise _err(spec, f"unknown type {spec.base!r}")
+        for _ in range(spec.pointer_depth):
+            base = ptr(base)
+        if spec.array_length is not None:
+            if spec.array_length <= 0:
+                raise _err(spec, "array length must be positive")
+            base = ArrayType(base, spec.array_length)
+        return base
+
+    # -- functions ---------------------------------------------------------------------------
+
+    def _check_function(self, node: ast.FunctionDef) -> None:
+        signature = self.info.functions[node.name]
+        self._current_return = signature.return_type
+        scope = _Scope()
+        for param, pty in zip(node.params, signature.param_types):
+            scope.define(param.name, "param", pty)
+        assert node.body is not None
+        self._check_block(node.body, _Scope(scope))
+        self._current_return = None
+
+    # -- statements ------------------------------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, scope: _Scope) -> None:
+        for stmt in block.statements:
+            self._check_stmt(stmt, scope)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, _Scope(scope))
+        elif isinstance(stmt, ast.VarDecl):
+            ty = self.resolve_type(stmt.type_spec, allow_void=False)
+            self.info.declared_type[id(stmt)] = ty
+            if stmt.initializer is not None:
+                init_ty = self._check_expr(stmt.initializer, scope)
+                if not self._assignable(ty, init_ty):
+                    raise _err(
+                        stmt,
+                        f"cannot initialize {stmt.name!r} ({ty}) from {init_ty}",
+                    )
+            scope.define(stmt.name, "local", ty)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            assert stmt.cond is not None and stmt.then_body is not None
+            self._check_condition(stmt.cond, scope)
+            self._check_stmt(stmt.then_body, _Scope(scope))
+            if stmt.else_body is not None:
+                self._check_stmt(stmt.else_body, _Scope(scope))
+        elif isinstance(stmt, ast.While):
+            assert stmt.cond is not None and stmt.body is not None
+            self._check_condition(stmt.cond, scope)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, _Scope(scope))
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            assert stmt.cond is not None and stmt.body is not None
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, _Scope(scope))
+            self._loop_depth -= 1
+            self._check_condition(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            assert stmt.body is not None
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, _Scope(inner))
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            assert self._current_return is not None
+            if stmt.value is None:
+                if not self._current_return.is_void:
+                    raise _err(stmt, "return without a value in a non-void function")
+            else:
+                value_ty = self._check_expr(stmt.value, scope)
+                if self._current_return.is_void:
+                    raise _err(stmt, "return with a value in a void function")
+                if not self._assignable(self._current_return, value_ty):
+                    raise _err(
+                        stmt,
+                        f"cannot return {value_ty} from a function returning "
+                        f"{self._current_return}",
+                    )
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                keyword = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise _err(stmt, f"{keyword} outside of a loop")
+        elif isinstance(stmt, ast.InlineAsm):
+            raise _restriction(stmt, "inline assembly is not allowed")
+        else:  # pragma: no cover
+            raise _err(stmt, f"unknown statement kind {type(stmt).__name__}")
+
+    def _check_condition(self, expr: ast.Expr, scope: _Scope) -> Type:
+        ty = self._check_expr(expr, scope)
+        if not (ty.is_integer or ty.is_pointer):
+            raise _err(expr, f"condition must be integer or pointer, got {ty}")
+        return ty
+
+    # -- expressions ---------------------------------------------------------------------------------
+
+    def _set_type(self, expr: ast.Expr, ty: Type, lvalue: bool = False) -> Type:
+        self.info.expr_type[id(expr)] = ty
+        if lvalue:
+            self.info.lvalues.add(id(expr))
+        return ty
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> Type:
+        if isinstance(expr, ast.IntLiteral):
+            return self._set_type(expr, LONG)
+        if isinstance(expr, ast.FloatLiteral):
+            return self._set_type(expr, DOUBLE)
+        if isinstance(expr, ast.StringLiteral):
+            return self._set_type(expr, ptr(I8))
+        if isinstance(expr, ast.NullLiteral):
+            return self._set_type(expr, ptr(I8))
+        if isinstance(expr, ast.Identifier):
+            return self._check_identifier(expr, scope)
+        if isinstance(expr, ast.BinaryOp):
+            return self._check_binary(expr, scope)
+        if isinstance(expr, ast.UnaryOp):
+            return self._check_unary(expr, scope)
+        if isinstance(expr, ast.Assignment):
+            return self._check_assignment(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, scope)
+        if isinstance(expr, ast.Index):
+            return self._check_index(expr, scope)
+        if isinstance(expr, ast.Member):
+            return self._check_member(expr, scope)
+        if isinstance(expr, ast.Cast):
+            return self._check_cast(expr, scope)
+        if isinstance(expr, ast.SizeOf):
+            ty = self.resolve_type(expr.target_type, allow_void=False)
+            self.info.declared_type[id(expr)] = ty
+            return self._set_type(expr, LONG)
+        if isinstance(expr, ast.Conditional):
+            assert expr.cond and expr.if_true and expr.if_false
+            self._check_condition(expr.cond, scope)
+            true_ty = self._check_expr(expr.if_true, scope)
+            false_ty = self._check_expr(expr.if_false, scope)
+            merged = self._common_type(true_ty, false_ty)
+            if merged is None:
+                raise _err(expr, f"incompatible ternary arms: {true_ty} vs {false_ty}")
+            return self._set_type(expr, merged)
+        raise _err(expr, f"unknown expression kind {type(expr).__name__}")
+
+    def _check_identifier(self, expr: ast.Identifier, scope: _Scope) -> Type:
+        found = scope.lookup(expr.name)
+        if found is not None:
+            kind, ty = found
+            self.info.symbol_kind[id(expr)] = (kind, ty)
+            decayed = self._decay(ty)
+            return self._set_type(expr, decayed, lvalue=not isinstance(ty, ArrayType))
+        if expr.name in self.info.globals:
+            ty = self.info.globals[expr.name]
+            self.info.symbol_kind[id(expr)] = ("global", ty)
+            decayed = self._decay(ty)
+            return self._set_type(expr, decayed, lvalue=not isinstance(ty, ArrayType))
+        if expr.name in self.info.functions:
+            raise _restriction(
+                expr,
+                f"function {expr.name!r} used as a value (function pointers "
+                f"cannot mix with data pointers)",
+            )
+        raise _err(expr, f"undeclared identifier {expr.name!r}")
+
+    @staticmethod
+    def _decay(ty: Type) -> Type:
+        """Arrays decay to pointers to their element type in expressions."""
+        if isinstance(ty, ArrayType):
+            return ptr(ty.element)
+        return ty
+
+    def _check_binary(self, expr: ast.BinaryOp, scope: _Scope) -> Type:
+        assert expr.lhs is not None and expr.rhs is not None
+        lhs = self._check_expr(expr.lhs, scope)
+        rhs = self._check_expr(expr.rhs, scope)
+        op = expr.op
+        if op in ("&&", "||"):
+            for ty, node in ((lhs, expr.lhs), (rhs, expr.rhs)):
+                if not (ty.is_integer or ty.is_pointer):
+                    raise _err(node, f"logical operand must be scalar, got {ty}")
+            return self._set_type(expr, LONG)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lhs.is_pointer and rhs.is_pointer:
+                return self._set_type(expr, LONG)
+            if lhs.is_pointer and rhs.is_integer:
+                return self._set_type(expr, LONG)  # ptr vs 0
+            if rhs.is_pointer and lhs.is_integer:
+                return self._set_type(expr, LONG)
+            common = self._common_type(lhs, rhs)
+            if common is None:
+                raise _err(expr, f"cannot compare {lhs} and {rhs}")
+            return self._set_type(expr, LONG)
+        if op in ("+", "-"):
+            if lhs.is_pointer and rhs.is_integer:
+                return self._set_type(expr, lhs)
+            if op == "+" and lhs.is_integer and rhs.is_pointer:
+                return self._set_type(expr, rhs)
+            if op == "-" and lhs.is_pointer and rhs.is_pointer:
+                if lhs != rhs:
+                    raise _err(expr, f"subtracting incompatible pointers {lhs}, {rhs}")
+                return self._set_type(expr, LONG)
+        if op in ("%", "<<", ">>", "&", "|", "^"):
+            if not (lhs.is_integer and rhs.is_integer):
+                raise _err(expr, f"{op!r} requires integer operands")
+        if op == "/" and isinstance(expr.rhs, ast.IntLiteral) and expr.rhs.value == 0:
+            raise _restriction(expr, "division by constant zero (undefined behavior)")
+        if op == "%" and isinstance(expr.rhs, ast.IntLiteral) and expr.rhs.value == 0:
+            raise _restriction(expr, "modulo by constant zero (undefined behavior)")
+        common = self._common_type(lhs, rhs)
+        if common is None:
+            raise _err(expr, f"incompatible operands for {op!r}: {lhs} and {rhs}")
+        if common.is_float and op in ("%", "<<", ">>", "&", "|", "^"):
+            raise _err(expr, f"{op!r} is not defined for floats")
+        return self._set_type(expr, common)
+
+    def _check_unary(self, expr: ast.UnaryOp, scope: _Scope) -> Type:
+        assert expr.operand is not None
+        operand = self._check_expr(expr.operand, scope)
+        if expr.op == "-":
+            if not (operand.is_integer or operand.is_float):
+                raise _err(expr, f"cannot negate {operand}")
+            return self._set_type(expr, self._promote(operand))
+        if expr.op == "!":
+            if not (operand.is_integer or operand.is_pointer):
+                raise _err(expr, f"cannot apply ! to {operand}")
+            return self._set_type(expr, LONG)
+        if expr.op == "~":
+            if not operand.is_integer:
+                raise _err(expr, f"cannot apply ~ to {operand}")
+            return self._set_type(expr, self._promote(operand))
+        if expr.op == "*":
+            if not isinstance(operand, PointerType):
+                raise _err(expr, f"cannot dereference non-pointer {operand}")
+            pointee = operand.pointee
+            decayed = self._decay(pointee)
+            return self._set_type(
+                expr, decayed, lvalue=not isinstance(pointee, ArrayType)
+            )
+        if expr.op == "&":
+            if id(expr.operand) not in self.info.lvalues:
+                raise _err(expr, "cannot take the address of a non-lvalue")
+            return self._set_type(expr, ptr(operand))
+        raise _err(expr, f"unknown unary operator {expr.op!r}")
+
+    def _check_assignment(self, expr: ast.Assignment, scope: _Scope) -> Type:
+        assert expr.target is not None and expr.value is not None
+        target_ty = self._check_expr(expr.target, scope)
+        if id(expr.target) not in self.info.lvalues:
+            raise _err(expr, "assignment target is not an lvalue")
+        value_ty = self._check_expr(expr.value, scope)
+        if expr.op != "=":
+            binary_op = expr.op[:-1]
+            if target_ty.is_pointer and binary_op in ("+", "-") and value_ty.is_integer:
+                pass  # p += n
+            else:
+                common = self._common_type(target_ty, value_ty)
+                if common is None:
+                    raise _err(
+                        expr,
+                        f"incompatible compound assignment: {target_ty} {expr.op} "
+                        f"{value_ty}",
+                    )
+        elif not self._assignable(target_ty, value_ty):
+            raise _err(expr, f"cannot assign {value_ty} to {target_ty}")
+        return self._set_type(expr, target_ty)
+
+    def _check_call(self, expr: ast.Call, scope: _Scope) -> Type:
+        if scope.lookup(expr.name) is not None:
+            raise _restriction(
+                expr,
+                f"calling through a variable {expr.name!r} (indirect calls via "
+                f"data pointers are not allowed)",
+            )
+        signature = self.info.functions.get(expr.name)
+        if signature is None:
+            raise _err(expr, f"call to undeclared function {expr.name!r}")
+        if len(expr.args) != len(signature.param_types):
+            raise _err(
+                expr,
+                f"{expr.name!r} expects {len(signature.param_types)} argument(s), "
+                f"got {len(expr.args)}",
+            )
+        for arg, pty in zip(expr.args, signature.param_types):
+            arg_ty = self._check_expr(arg, scope)
+            if not self._assignable(pty, arg_ty):
+                raise _err(arg, f"argument type {arg_ty} incompatible with {pty}")
+        return self._set_type(expr, signature.return_type)
+
+    def _check_index(self, expr: ast.Index, scope: _Scope) -> Type:
+        assert expr.base is not None and expr.index is not None
+        base_ty = self._check_expr(expr.base, scope)
+        index_ty = self._check_expr(expr.index, scope)
+        if not index_ty.is_integer:
+            raise _err(expr, f"array index must be an integer, got {index_ty}")
+        if not isinstance(base_ty, PointerType):
+            raise _err(expr, f"cannot index into {base_ty}")
+        element = base_ty.pointee
+        decayed = self._decay(element)
+        return self._set_type(
+            expr, decayed, lvalue=not isinstance(element, ArrayType)
+        )
+
+    def _check_member(self, expr: ast.Member, scope: _Scope) -> Type:
+        assert expr.base is not None
+        base_ty = self._check_expr(expr.base, scope)
+        if expr.arrow:
+            if not (
+                isinstance(base_ty, PointerType)
+                and isinstance(base_ty.pointee, StructType)
+            ):
+                raise _err(expr, f"-> requires a struct pointer, got {base_ty}")
+            struct_ty = base_ty.pointee
+        else:
+            if not isinstance(base_ty, StructType):
+                raise _err(expr, f". requires a struct, got {base_ty}")
+            if id(expr.base) not in self.info.lvalues:
+                raise _err(expr, "member access on a non-lvalue struct")
+            struct_ty = base_ty
+        index = struct_ty.field_index(expr.field_name)
+        field_ty = struct_ty.fields[index]
+        decayed = self._decay(field_ty)
+        return self._set_type(
+            expr, decayed, lvalue=not isinstance(field_ty, ArrayType)
+        )
+
+    def _check_cast(self, expr: ast.Cast, scope: _Scope) -> Type:
+        assert expr.operand is not None
+        source = self._check_expr(expr.operand, scope)
+        target = self.resolve_type(expr.target_type, allow_void=False)
+        self.info.declared_type[id(expr)] = target
+        if isinstance(target, (ArrayType, StructType)):
+            raise _err(expr, f"cannot cast to aggregate type {target}")
+        if isinstance(source, StructType):
+            raise _err(expr, f"cannot cast from struct {source}")
+        # int<->int, int<->float, ptr<->ptr, ptr<->long are allowed.
+        if source.is_pointer and target.is_integer and target != LONG:
+            raise _err(expr, "pointers may only be cast to long")
+        if source.is_integer and target.is_pointer and source != LONG:
+            # Small ints to pointer would be suspicious; allow long only.
+            raise _err(expr, "only long may be cast to a pointer")
+        if source.is_float and target.is_pointer:
+            raise _err(expr, "cannot cast a float to a pointer")
+        if source.is_pointer and target.is_float:
+            raise _err(expr, "cannot cast a pointer to a float")
+        return self._set_type(expr, target)
+
+    # -- conversions ---------------------------------------------------------------------
+
+    @staticmethod
+    def _promote(ty: Type) -> Type:
+        if isinstance(ty, IntType) and ty.bits < 32:
+            return INT
+        return ty
+
+    def _common_type(self, a: Type, b: Type) -> Optional[Type]:
+        if a == b:
+            return a
+        if a.is_float or b.is_float:
+            if (a.is_float or a.is_integer) and (b.is_float or b.is_integer):
+                return DOUBLE
+            return None
+        if a.is_integer and b.is_integer:
+            assert isinstance(a, IntType) and isinstance(b, IntType)
+            return a if a.bits >= b.bits else b
+        if a.is_pointer and b.is_pointer:
+            if a == b:
+                return a
+            if a == ptr(I8):
+                return b
+            if b == ptr(I8):
+                return a
+            return None
+        return None
+
+    def _assignable(self, target: Type, value: Type) -> bool:
+        if target == value:
+            return True
+        if target.is_integer and value.is_integer:
+            return True  # implicit widening/narrowing as in C
+        if target.is_float and (value.is_float or value.is_integer):
+            return True
+        if target.is_integer and value.is_float:
+            return True
+        if target.is_pointer and value.is_pointer:
+            # void* (char*) converts freely both ways.
+            return target == value or target == ptr(I8) or value == ptr(I8)
+        return False
+
+
+def analyze(program: ast.Program) -> SemanticInfo:
+    """Run semantic analysis; raises on type or restriction errors."""
+    return SemanticAnalyzer().analyze(program)

@@ -1,0 +1,127 @@
+"""A small SSA intermediate representation, modelled on LLVM.
+
+This package is the substrate the CARAT compiler passes operate on.  It
+provides:
+
+* a type system (:mod:`repro.ir.types`) with a 64-bit data layout;
+* values, constants, and use-def chains (:mod:`repro.ir.values`);
+* the instruction set (:mod:`repro.ir.instructions`);
+* module / function / basic-block containers (:mod:`repro.ir.module`);
+* an :class:`IRBuilder` (:mod:`repro.ir.builder`);
+* a textual printer and parser (round-trippable);
+* a structural verifier.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_function, print_instruction, print_module
+from repro.ir.types import (
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    align_of,
+    ptr,
+    size_of,
+    stride_of,
+    struct_field_offset,
+)
+from repro.ir.values import (
+    Argument,
+    Constant,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantStruct,
+    ConstantZero,
+    UndefValue,
+    Value,
+)
+from repro.ir.verifier import verify_function, verify_module
+
+__all__ = [
+    "IRBuilder",
+    "AllocaInst",
+    "BinaryInst",
+    "BranchInst",
+    "CallInst",
+    "CastInst",
+    "FCmpInst",
+    "GEPInst",
+    "ICmpInst",
+    "Instruction",
+    "LoadInst",
+    "PhiInst",
+    "ReturnInst",
+    "SelectInst",
+    "StoreInst",
+    "UnreachableInst",
+    "BasicBlock",
+    "Function",
+    "GlobalVariable",
+    "Module",
+    "parse_module",
+    "print_function",
+    "print_instruction",
+    "print_module",
+    "F64",
+    "I1",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "VOID",
+    "ArrayType",
+    "FloatType",
+    "FunctionType",
+    "IntType",
+    "PointerType",
+    "StructType",
+    "Type",
+    "align_of",
+    "ptr",
+    "size_of",
+    "stride_of",
+    "struct_field_offset",
+    "Argument",
+    "Constant",
+    "ConstantArray",
+    "ConstantFloat",
+    "ConstantInt",
+    "ConstantNull",
+    "ConstantStruct",
+    "ConstantZero",
+    "UndefValue",
+    "Value",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,591 @@
+"""Parser for the textual IR format produced by :mod:`repro.ir.printer`.
+
+Supports forward references to blocks (always) and to values (as produced
+by phis and loop-carried uses) via typed placeholders that are patched once
+the real definition is parsed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError, ParseError
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import (
+    CAST_OPS,
+    FCMP_PREDICATES,
+    FLOAT_BINARY_OPS,
+    ICMP_PREDICATES,
+    INT_BINARY_OPS,
+    AllocaInst,
+    BranchInst,
+    CallInst,
+    GEPInst,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VOID,
+)
+from repro.ir.values import (
+    Constant,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantStruct,
+    ConstantZero,
+    UndefValue,
+    Value,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>;[^\n]*)
+  | (?P<local>%[A-Za-z0-9_.$-]+)
+  | (?P<global>@[A-Za-z0-9_.$-]+)
+  | (?P<number>[-+]?(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+|\d+))
+  | (?P<ellipsis>\.\.\.)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[=,(){}\[\]*:])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "col")
+
+    def __init__(self, kind: str, text: str, line: int, col: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.col = col
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.col}>"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line, col = 1, 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", line, col)
+        text = match.group(0)
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        pos = match.end()
+    tokens.append(_Token("eof", "", line, col))
+    return tokens
+
+
+class _Placeholder(Value):
+    """A typed stand-in for a value referenced before its definition."""
+
+    __slots__ = ()
+
+
+class IRParser:
+    def __init__(self, source: str) -> None:
+        self._tokens = _tokenize(source)
+        self._pos = 0
+        name_match = re.search(r"^;\s*module:\s*(\S+)", source, re.MULTILINE)
+        self.module = Module(name_match.group(1) if name_match else "module")
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> _Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        tok = self._next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            expected = text or kind
+            raise ParseError(
+                f"expected {expected!r}, found {tok.text!r}", tok.line, tok.col
+            )
+        return tok
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        tok = self._peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self._next()
+        return None
+
+    # -- types ------------------------------------------------------------------
+
+    def _parse_type(self) -> Type:
+        tok = self._peek()
+        base: Type
+        if tok.kind == "word":
+            if tok.text == "void":
+                self._next()
+                base = VOID
+            elif tok.text == "label":
+                self._next()
+                raise ParseError("label type not allowed here", tok.line, tok.col)
+            elif re.fullmatch(r"i\d+", tok.text):
+                self._next()
+                base = IntType(int(tok.text[1:]))
+            elif tok.text in ("f32", "f64"):
+                self._next()
+                base = FloatType(int(tok.text[1:]))
+            else:
+                raise ParseError(f"unknown type {tok.text!r}", tok.line, tok.col)
+        elif tok.kind == "local" and tok.text.startswith("%struct."):
+            self._next()
+            name = tok.text[len("%struct.") :]
+            st = self.module.struct_types.get(name)
+            if st is None:
+                # Forward-declared named struct; fields filled later.
+                st = StructType([], name=name)
+                self.module.struct_types[name] = st
+            base = st
+        elif tok.kind == "punct" and tok.text == "[":
+            self._next()
+            count_tok = self._expect("number")
+            self._expect("word", "x")
+            element = self._parse_type()
+            self._expect("punct", "]")
+            base = ArrayType(element, int(count_tok.text))
+        elif tok.kind == "punct" and tok.text == "{":
+            self._next()
+            fields = []
+            if not self._accept("punct", "}"):
+                while True:
+                    fields.append(self._parse_type())
+                    if self._accept("punct", "}"):
+                        break
+                    self._expect("punct", ",")
+            base = StructType(fields)
+        else:
+            raise ParseError(f"expected a type, found {tok.text!r}", tok.line, tok.col)
+        while self._accept("punct", "*"):
+            base = PointerType(base)
+        return base
+
+    # -- constants -----------------------------------------------------------------
+
+    def _parse_constant(self, ty: Type) -> Constant:
+        tok = self._peek()
+        if tok.kind == "number":
+            self._next()
+            if isinstance(ty, IntType):
+                return ConstantInt(ty, int(float(tok.text)) if ("." in tok.text or "e" in tok.text or "E" in tok.text) else int(tok.text))
+            if isinstance(ty, FloatType):
+                return ConstantFloat(ty, float(tok.text))
+            raise ParseError(f"numeric constant for non-numeric type {ty}", tok.line, tok.col)
+        if tok.kind == "word":
+            if tok.text == "null":
+                self._next()
+                if not isinstance(ty, PointerType):
+                    raise ParseError("null requires a pointer type", tok.line, tok.col)
+                return ConstantNull(ty)
+            if tok.text == "undef":
+                self._next()
+                return UndefValue(ty)
+            if tok.text == "zeroinitializer":
+                self._next()
+                return ConstantZero(ty)
+            if tok.text in ("inf", "nan"):
+                self._next()
+                return ConstantFloat(ty, float(tok.text))  # type: ignore[arg-type]
+        if tok.kind == "punct" and tok.text == "[":
+            self._next()
+            elements: List[Constant] = []
+            if not self._accept("punct", "]"):
+                while True:
+                    ety = self._parse_type()
+                    elements.append(self._parse_constant(ety))
+                    if self._accept("punct", "]"):
+                        break
+                    self._expect("punct", ",")
+            if not isinstance(ty, ArrayType):
+                raise ParseError("array constant for non-array type", tok.line, tok.col)
+            return ConstantArray(ty, elements)
+        if tok.kind == "punct" and tok.text == "{":
+            self._next()
+            fields: List[Constant] = []
+            if not self._accept("punct", "}"):
+                while True:
+                    fty = self._parse_type()
+                    fields.append(self._parse_constant(fty))
+                    if self._accept("punct", "}"):
+                        break
+                    self._expect("punct", ",")
+            if not isinstance(ty, StructType):
+                raise ParseError("struct constant for non-struct type", tok.line, tok.col)
+            return ConstantStruct(ty, fields)
+        raise ParseError(f"expected a constant, found {tok.text!r}", tok.line, tok.col)
+
+    # -- module level -------------------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        while self._peek().kind != "eof":
+            tok = self._peek()
+            if tok.kind == "local" and tok.text.startswith("%struct."):
+                self._parse_struct_def()
+            elif tok.kind == "global":
+                self._parse_global()
+            elif tok.kind == "word" and tok.text == "declare":
+                self._parse_declare()
+            elif tok.kind == "word" and tok.text == "define":
+                self._parse_define()
+            else:
+                raise ParseError(
+                    f"unexpected token at module level: {tok.text!r}",
+                    tok.line,
+                    tok.col,
+                )
+        return self.module
+
+    def _parse_struct_def(self) -> None:
+        tok = self._next()
+        name = tok.text[len("%struct.") :]
+        self._expect("punct", "=")
+        self._expect("word", "type")
+        self._expect("punct", "{")
+        fields: List[Type] = []
+        if not self._accept("punct", "}"):
+            while True:
+                fields.append(self._parse_type())
+                if self._accept("punct", "}"):
+                    break
+                self._expect("punct", ",")
+        existing = self.module.struct_types.get(name)
+        if existing is not None:
+            existing.fields = tuple(fields)
+            existing.field_names = tuple(f"f{i}" for i in range(len(fields)))
+        else:
+            self.module.struct_types[name] = StructType(fields, name=name)
+
+    def _parse_global(self) -> None:
+        tok = self._next()
+        name = tok.text[1:]
+        self._expect("punct", "=")
+        kind_tok = self._next()
+        if kind_tok.text not in ("global", "constant"):
+            raise ParseError(
+                f"expected 'global' or 'constant', found {kind_tok.text!r}",
+                kind_tok.line,
+                kind_tok.col,
+            )
+        ty = self._parse_type()
+        init_tok = self._peek()
+        if init_tok.kind == "word" and init_tok.text == "undef":
+            self._next()
+            initializer: Optional[Constant] = None
+        else:
+            initializer = self._parse_constant(ty)
+        gv = GlobalVariable(name, ty, initializer, kind_tok.text == "constant")
+        self.module.add_global(gv)
+
+    def _parse_declare(self) -> None:
+        self._expect("word", "declare")
+        ret = self._parse_type()
+        name_tok = self._expect("global")
+        self._expect("punct", "(")
+        params: List[Type] = []
+        vararg = False
+        if not self._accept("punct", ")"):
+            while True:
+                if self._accept("ellipsis"):
+                    vararg = True
+                    self._expect("punct", ")")
+                    break
+                params.append(self._parse_type())
+                if self._accept("punct", ")"):
+                    break
+                self._expect("punct", ",")
+        Function(name_tok.text[1:], FunctionType(ret, params, vararg), self.module)
+
+    def _parse_define(self) -> None:
+        self._expect("word", "define")
+        ret = self._parse_type()
+        name_tok = self._expect("global")
+        self._expect("punct", "(")
+        params: List[Tuple[Type, str]] = []
+        if not self._accept("punct", ")"):
+            while True:
+                pty = self._parse_type()
+                pname = self._expect("local").text[1:]
+                params.append((pty, pname))
+                if self._accept("punct", ")"):
+                    break
+                self._expect("punct", ",")
+        self._expect("punct", "{")
+        fn = Function(
+            name_tok.text[1:],
+            FunctionType(ret, [p for p, _ in params]),
+            self.module,
+            arg_names=[n for _, n in params],
+        )
+        _FunctionBodyParser(self, fn).parse()
+
+
+class _FunctionBodyParser:
+    def __init__(self, parent: IRParser, fn: Function) -> None:
+        self.p = parent
+        self.fn = fn
+        self.values: Dict[str, Value] = {a.name: a for a in fn.args}
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.placeholders: Dict[str, _Placeholder] = {}
+        self.builder = IRBuilder()
+
+    def parse(self) -> None:
+        p = self.p
+        while not p._accept("punct", "}"):
+            label_tok = p._expect("word")
+            p._expect("punct", ":")
+            block = self._get_block(label_tok.text)
+            self.fn.blocks.remove(block)
+            self.fn.blocks.append(block)  # keep textual order
+            self.builder.position_at_end(block)
+            while True:
+                tok = p._peek()
+                if tok.kind == "punct" and tok.text == "}":
+                    break
+                if tok.kind == "word" and p._tokens[p._pos + 1].text == ":":
+                    break  # next label
+                self._parse_instruction()
+                if block.is_terminated:
+                    break
+        if self.placeholders:
+            missing = ", ".join(sorted(self.placeholders))
+            raise IRError(
+                f"function @{self.fn.name}: undefined value(s): {missing}"
+            )
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _get_block(self, name: str) -> BasicBlock:
+        block = self.blocks.get(name)
+        if block is None:
+            block = BasicBlock(name, self.fn)
+            self.fn.blocks.append(block)
+            self.blocks[name] = block
+        return block
+
+    def _define(self, name: str, value: Value) -> None:
+        value.name = name
+        placeholder = self.placeholders.pop(name, None)
+        if placeholder is not None:
+            placeholder.replace_all_uses_with(value)
+        self.values[name] = value
+
+    def _get_value(self, name: str, ty: Type) -> Value:
+        existing = self.values.get(name)
+        if existing is not None:
+            return existing
+        placeholder = self.placeholders.get(name)
+        if placeholder is None:
+            placeholder = _Placeholder(ty, name)
+            self.placeholders[name] = placeholder
+        return placeholder
+
+    def _parse_operand(self, ty: Type) -> Value:
+        p = self.p
+        tok = p._peek()
+        if tok.kind == "local":
+            p._next()
+            return self._get_value(tok.text[1:], ty)
+        if tok.kind == "global":
+            p._next()
+            name = tok.text[1:]
+            gv = self.p.module.globals.get(name)
+            if gv is not None:
+                return gv
+            fn = self.p.module.functions.get(name)
+            if fn is not None:
+                return fn
+            raise ParseError(f"unknown global {tok.text!r}", tok.line, tok.col)
+        return p._parse_constant(ty)
+
+    def _parse_typed_operand(self) -> Value:
+        ty = self.p._parse_type()
+        return self._parse_operand(ty)
+
+    # -- instruction dispatch ---------------------------------------------------------
+
+    def _parse_instruction(self) -> None:
+        p = self.p
+        tok = p._peek()
+        if tok.kind == "local":
+            p._next()
+            name = tok.text[1:]
+            p._expect("punct", "=")
+            inst = self._parse_rhs()
+            self._define(name, inst)
+            return
+        # Void instructions.
+        word = p._expect("word").text
+        if word == "store":
+            value = self._parse_typed_operand()
+            p._expect("punct", ",")
+            pointer = self._parse_typed_operand()
+            self.builder._insert(StoreInst(value, pointer))
+        elif word == "br":
+            self._parse_branch()
+        elif word == "ret":
+            if p._accept("word", "void"):
+                self.builder._insert(ReturnInst())
+            else:
+                self.builder._insert(ReturnInst(self._parse_typed_operand()))
+        elif word == "call":
+            self._parse_call(void=True)
+        elif word == "unreachable":
+            self.builder._insert(UnreachableInst())
+        else:
+            raise ParseError(f"unknown instruction {word!r}", tok.line, tok.col)
+
+    def _parse_branch(self) -> None:
+        p = self.p
+        if p._accept("word", "label"):
+            target = self._get_block(p._expect("local").text[1:])
+            self.builder._insert(BranchInst(target))
+            return
+        cond_ty = p._parse_type()
+        cond = self._parse_operand(cond_ty)
+        p._expect("punct", ",")
+        p._expect("word", "label")
+        if_true = self._get_block(p._expect("local").text[1:])
+        p._expect("punct", ",")
+        p._expect("word", "label")
+        if_false = self._get_block(p._expect("local").text[1:])
+        self.builder._insert(BranchInst(if_true, cond, if_false))
+
+    def _parse_call(self, void: bool) -> Value:
+        p = self.p
+        p._parse_type()  # return type (redundant; checked by CallInst)
+        callee_tok = p._peek()
+        if callee_tok.kind == "global":
+            p._next()
+            callee: Value = self.p.module.get_function(callee_tok.text[1:])
+        elif callee_tok.kind == "local":
+            p._next()
+            name = callee_tok.text[1:]
+            existing = self.values.get(name)
+            if existing is None:
+                raise ParseError(
+                    f"indirect call through undefined value %{name}",
+                    callee_tok.line,
+                    callee_tok.col,
+                )
+            callee = existing
+        else:
+            raise ParseError("expected call target", callee_tok.line, callee_tok.col)
+        p._expect("punct", "(")
+        args: List[Value] = []
+        if not p._accept("punct", ")"):
+            while True:
+                args.append(self._parse_typed_operand())
+                if p._accept("punct", ")"):
+                    break
+                p._expect("punct", ",")
+        inst = CallInst(callee, args)
+        self.builder._insert(inst)
+        return inst
+
+    def _parse_rhs(self) -> Value:
+        p = self.p
+        op_tok = p._expect("word")
+        op = op_tok.text
+        if op == "alloca":
+            ty = p._parse_type()
+            p._expect("punct", ",")
+            count = self._parse_typed_operand()
+            return self.builder._insert(AllocaInst(ty, count))
+        if op == "load":
+            pointer = self._parse_typed_operand()
+            return self.builder._insert(LoadInst(pointer))
+        if op == "getelementptr":
+            pointer = self._parse_typed_operand()
+            indices: List[Value] = []
+            while p._accept("punct", ","):
+                indices.append(self._parse_typed_operand())
+            return self.builder._insert(GEPInst(pointer, indices))
+        if op == "icmp":
+            pred = p._expect("word").text
+            lhs_ty = p._parse_type()
+            lhs = self._parse_operand(lhs_ty)
+            p._expect("punct", ",")
+            rhs = self._parse_operand(lhs_ty)
+            return self.builder.icmp(pred, lhs, rhs)
+        if op == "fcmp":
+            pred = p._expect("word").text
+            lhs_ty = p._parse_type()
+            lhs = self._parse_operand(lhs_ty)
+            p._expect("punct", ",")
+            rhs = self._parse_operand(lhs_ty)
+            return self.builder.fcmp(pred, lhs, rhs)
+        if op in INT_BINARY_OPS or op in FLOAT_BINARY_OPS:
+            lhs_ty = p._parse_type()
+            lhs = self._parse_operand(lhs_ty)
+            p._expect("punct", ",")
+            rhs = self._parse_operand(lhs_ty)
+            return self.builder.binop(op, lhs, rhs)
+        if op in CAST_OPS:
+            value = self._parse_typed_operand()
+            p._expect("word", "to")
+            dest = p._parse_type()
+            return self.builder.cast(op, value, dest)
+        if op == "call":
+            return self._parse_call(void=False)
+        if op == "phi":
+            ty = p._parse_type()
+            phi = PhiInst(ty)
+            index = self.builder.block.first_non_phi_index()
+            self.builder.block.insert(index, phi)
+            while True:
+                p._expect("punct", "[")
+                value = self._parse_operand(ty)
+                p._expect("punct", ",")
+                block = self._get_block(p._expect("local").text[1:])
+                p._expect("punct", "]")
+                phi.add_incoming(value, block)
+                if not p._accept("punct", ","):
+                    break
+            return phi
+        if op == "select":
+            cond_ty = p._parse_type()
+            cond = self._parse_operand(cond_ty)
+            p._expect("punct", ",")
+            a = self._parse_typed_operand()
+            p._expect("punct", ",")
+            b = self._parse_typed_operand()
+            return self.builder._insert(SelectInst(cond, a, b))
+        raise ParseError(f"unknown instruction {op!r}", op_tok.line, op_tok.col)
+
+
+def parse_module(source: str) -> Module:
+    """Parse textual IR into a :class:`Module`."""
+    return IRParser(source).parse_module()

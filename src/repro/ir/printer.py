@@ -1,0 +1,188 @@
+"""Textual IR printer.
+
+Produces an LLVM-flavoured rendering that :mod:`repro.ir.parser` can read
+back, which the test suite uses for round-trip checks.  The format is also
+what examples and error messages show to humans.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.values import (
+    Constant,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantStruct,
+    ConstantZero,
+    UndefValue,
+    Value,
+)
+
+
+def print_module(module: Module) -> str:
+    lines: List[str] = [f"; module: {module.name}"]
+    for st in module.struct_types.values():
+        fields = ", ".join(str(f) for f in st.fields)
+        lines.append(f"%struct.{st.name} = type {{ {fields} }}")
+    if module.struct_types:
+        lines.append("")
+    for gv in module.globals.values():
+        lines.append(print_global(gv))
+    if module.globals:
+        lines.append("")
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            lines.append(print_declaration(fn))
+    for fn in module.functions.values():
+        if not fn.is_declaration:
+            lines.append("")
+            lines.append(print_function(fn))
+    return "\n".join(lines) + "\n"
+
+
+def print_global(gv: GlobalVariable) -> str:
+    kind = "constant" if gv.is_constant else "global"
+    if gv.initializer is None:
+        return f"@{gv.name} = {kind} {gv.value_type} undef"
+    return f"@{gv.name} = {kind} {gv.value_type} {print_constant(gv.initializer)}"
+
+
+def print_constant(constant: Constant) -> str:
+    if isinstance(constant, ConstantInt):
+        return str(constant.value)
+    if isinstance(constant, ConstantFloat):
+        return repr(constant.value)
+    if isinstance(constant, ConstantNull):
+        return "null"
+    if isinstance(constant, UndefValue):
+        return "undef"
+    if isinstance(constant, ConstantZero):
+        return "zeroinitializer"
+    if isinstance(constant, ConstantArray):
+        inner = ", ".join(
+            f"{e.type} {print_constant(e)}" for e in constant.elements
+        )
+        return f"[{inner}]"
+    if isinstance(constant, ConstantStruct):
+        inner = ", ".join(
+            f"{f.type} {print_constant(f)}" for f in constant.fields
+        )
+        return f"{{{inner}}}"
+    raise TypeError(f"unknown constant kind: {constant!r}")
+
+
+def print_declaration(fn: Function) -> str:
+    params = ", ".join(str(p) for p in fn.ftype.params)
+    if fn.ftype.vararg:
+        params = f"{params}, ..." if params else "..."
+    return f"declare {fn.ftype.ret} @{fn.name}({params})"
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    lines = [f"define {fn.ftype.ret} @{fn.name}({params}) {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            lines.append(f"  {print_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _ref(value: Value) -> str:
+    return value.ref()
+
+
+def print_instruction(inst: Instruction) -> str:
+    if isinstance(inst, AllocaInst):
+        count = inst.count
+        return (
+            f"%{inst.name} = alloca {inst.allocated_type}, "
+            f"{count.type} {_ref(count)}"
+        )
+    if isinstance(inst, LoadInst):
+        return f"%{inst.name} = load {inst.pointer.type} {_ref(inst.pointer)}"
+    if isinstance(inst, StoreInst):
+        return (
+            f"store {inst.value.type} {_ref(inst.value)}, "
+            f"{inst.pointer.type} {_ref(inst.pointer)}"
+        )
+    if isinstance(inst, GEPInst):
+        parts = [f"{inst.pointer.type} {_ref(inst.pointer)}"]
+        for index in inst.indices:
+            parts.append(f"{index.type} {_ref(index)}")
+        return f"%{inst.name} = getelementptr {', '.join(parts)}"
+    if isinstance(inst, ICmpInst):
+        return (
+            f"%{inst.name} = icmp {inst.predicate} {inst.lhs.type} "
+            f"{_ref(inst.lhs)}, {_ref(inst.rhs)}"
+        )
+    if isinstance(inst, FCmpInst):
+        return (
+            f"%{inst.name} = fcmp {inst.predicate} {inst.lhs.type} "
+            f"{_ref(inst.lhs)}, {_ref(inst.rhs)}"
+        )
+    if isinstance(inst, BinaryInst):
+        return (
+            f"%{inst.name} = {inst.opcode} {inst.lhs.type} "
+            f"{_ref(inst.lhs)}, {_ref(inst.rhs)}"
+        )
+    if isinstance(inst, CastInst):
+        return (
+            f"%{inst.name} = {inst.opcode} {inst.value.type} "
+            f"{_ref(inst.value)} to {inst.type}"
+        )
+    if isinstance(inst, CallInst):
+        args = ", ".join(f"{a.type} {_ref(a)}" for a in inst.args)
+        callee = _ref(inst.callee)
+        if inst.type.is_void:
+            return f"call void {callee}({args})"
+        return f"%{inst.name} = call {inst.type} {callee}({args})"
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            then_bb, else_bb = inst.targets
+            return (
+                f"br i1 {_ref(inst.condition)}, label %{then_bb.name}, "
+                f"label %{else_bb.name}"
+            )
+        return f"br label %{inst.targets[0].name}"
+    if isinstance(inst, ReturnInst):
+        if inst.return_value is None:
+            return "ret void"
+        rv = inst.return_value
+        return f"ret {rv.type} {_ref(rv)}"
+    if isinstance(inst, PhiInst):
+        pairs = ", ".join(
+            f"[ {_ref(v)}, %{b.name} ]" for v, b in inst.incoming
+        )
+        return f"%{inst.name} = phi {inst.type} {pairs}"
+    if isinstance(inst, SelectInst):
+        return (
+            f"%{inst.name} = select i1 {_ref(inst.condition)}, "
+            f"{inst.true_value.type} {_ref(inst.true_value)}, "
+            f"{inst.false_value.type} {_ref(inst.false_value)}"
+        )
+    if isinstance(inst, UnreachableInst):
+        return "unreachable"
+    raise TypeError(f"unknown instruction kind: {inst!r}")

@@ -1,0 +1,192 @@
+"""IR structural verifier.
+
+Checks the invariants that passes rely on:
+
+* every reachable block ends in exactly one terminator, placed last;
+* phis are grouped at the block start and have exactly one incoming value
+  per predecessor (and none for non-predecessors);
+* the entry block has no predecessors;
+* every use of an instruction result is dominated by its definition
+  (the classic SSA property);
+* operand values belong to the same function (or are constants/globals);
+* ``ret`` types match the enclosing function's return type.
+
+Raises :class:`~repro.errors.VerificationError` with a message naming the
+offending function, block, and instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import VerificationError
+from repro.ir.instructions import (
+    BranchInst,
+    Instruction,
+    PhiInst,
+    ReturnInst,
+)
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.values import Argument, Constant, Value
+
+
+def verify_module(module: Module) -> None:
+    for fn in module.defined_functions():
+        verify_function(fn)
+
+
+def verify_function(fn: Function) -> None:
+    if not fn.blocks:
+        return
+    _check_blocks(fn)
+    _check_phis(fn)
+    _check_dominance(fn)
+    _check_returns(fn)
+
+
+def _fail(fn: Function, message: str) -> None:
+    raise VerificationError(f"in function @{fn.name}: {message}")
+
+
+def _check_blocks(fn: Function) -> None:
+    seen_names: Set[str] = set()
+    for block in fn.blocks:
+        if block.name in seen_names:
+            _fail(fn, f"duplicate block name %{block.name}")
+        seen_names.add(block.name)
+        if not block.instructions:
+            _fail(fn, f"block %{block.name} is empty")
+        for i, inst in enumerate(block.instructions):
+            if inst.parent is not block:
+                _fail(
+                    fn,
+                    f"instruction {inst.opcode} in %{block.name} has wrong parent",
+                )
+            is_last = i == len(block.instructions) - 1
+            if inst.is_terminator != is_last:
+                if inst.is_terminator:
+                    _fail(fn, f"terminator mid-block in %{block.name}")
+                _fail(fn, f"block %{block.name} does not end in a terminator")
+        for succ in block.successors():
+            if succ.parent is not fn:
+                _fail(
+                    fn,
+                    f"%{block.name} branches to a block of another function",
+                )
+    entry = fn.entry
+    if entry.predecessors():
+        _fail(fn, f"entry block %{entry.name} has predecessors")
+    if entry.phis():
+        _fail(fn, f"entry block %{entry.name} contains phis")
+
+
+def _check_phis(fn: Function) -> None:
+    for block in fn.blocks:
+        preds = block.predecessors()
+        past_phis = False
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                if past_phis:
+                    _fail(fn, f"phi after non-phi in %{block.name}")
+                incoming_blocks = [b for _, b in inst.incoming]
+                if len(set(map(id, incoming_blocks))) != len(incoming_blocks):
+                    _fail(
+                        fn,
+                        f"phi %{inst.name} has duplicate incoming blocks",
+                    )
+                if set(map(id, incoming_blocks)) != set(map(id, preds)):
+                    pred_names = sorted(p.name for p in preds)
+                    have = sorted(b.name for b in incoming_blocks)
+                    _fail(
+                        fn,
+                        f"phi %{inst.name} in %{block.name} covers {have}, "
+                        f"predecessors are {pred_names}",
+                    )
+            else:
+                past_phis = True
+
+
+def _check_returns(fn: Function) -> None:
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, ReturnInst):
+            if term.return_value is None:
+                if not fn.return_type.is_void:
+                    _fail(
+                        fn,
+                        f"ret void in %{block.name} but function returns "
+                        f"{fn.return_type}",
+                    )
+            elif term.return_value.type != fn.return_type:
+                _fail(
+                    fn,
+                    f"ret type {term.return_value.type} in %{block.name} "
+                    f"!= function return type {fn.return_type}",
+                )
+
+
+def _check_dominance(fn: Function) -> None:
+    from repro.analysis.dominators import DominatorTree
+
+    domtree = DominatorTree.compute(fn)
+    positions: Dict[Instruction, int] = {}
+    for block in fn.blocks:
+        for i, inst in enumerate(block.instructions):
+            positions[inst] = i
+
+    def defined_before(definition: Instruction, use_site: Instruction) -> bool:
+        def_block = definition.parent
+        use_block = use_site.parent
+        assert def_block is not None and use_block is not None
+        if def_block is use_block:
+            return positions[definition] < positions[use_site]
+        return domtree.dominates(def_block, use_block)
+
+    for block in fn.blocks:
+        if not domtree.is_reachable(block):
+            continue
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                for value, pred in inst.incoming:
+                    if isinstance(value, Instruction):
+                        if value.parent is None:
+                            _fail(fn, f"phi %{inst.name} uses a detached value")
+                        if not domtree.is_reachable(pred):
+                            continue
+                        term = pred.terminator
+                        assert term is not None
+                        if not defined_before(value, term) and value is not inst:
+                            # The def must dominate the end of the incoming edge.
+                            if not domtree.dominates(value.parent, pred):
+                                _fail(
+                                    fn,
+                                    f"phi %{inst.name}: %{value.name} does not "
+                                    f"dominate edge from %{pred.name}",
+                                )
+                continue
+            for operand in inst.operands:
+                _check_operand(fn, domtree, defined_before, inst, operand)
+
+
+def _check_operand(fn, domtree, defined_before, inst: Instruction, operand: Value) -> None:
+    if isinstance(operand, (Constant, GlobalVariable, Function, BasicBlock)):
+        if isinstance(operand, BasicBlock) and operand.parent is not fn:
+            _fail(fn, f"{inst.opcode} references a foreign block")
+        return
+    if isinstance(operand, Argument):
+        if operand.parent is not fn:
+            _fail(fn, f"{inst.opcode} uses an argument of another function")
+        return
+    if isinstance(operand, Instruction):
+        if operand.parent is None:
+            _fail(fn, f"{inst.opcode} uses detached instruction %{operand.name}")
+        if operand.function is not fn:
+            _fail(fn, f"{inst.opcode} uses a value from another function")
+        if not defined_before(operand, inst):
+            _fail(
+                fn,
+                f"use of %{operand.name} in {inst.opcode} "
+                f"(block %{inst.parent.name}) is not dominated by its definition",
+            )
+        return
+    _fail(fn, f"{inst.opcode} has an operand of unknown kind: {operand!r}")

@@ -1,0 +1,515 @@
+"""The kernel: frame management, loading, faults, and change requests.
+
+One :class:`Kernel` owns physical memory and can host both kinds of
+process side by side:
+
+* **traditional** processes get a page table + MMU; the kernel services
+  page faults by demand-allocating frames (Table 2's allocation events)
+  and can move pages by copy + PTE remap + TLB shootdown (Table 2's move
+  events), emitting MMU-notifier events for both;
+* **CARAT** processes get a region set + runtime; the kernel's change
+  requests run the Figure 8 protocol — world-stop, negotiate, patch,
+  move, region update, resume — with every cycle charged to the cost
+  model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.carat.pipeline import CaratBinary
+from repro.carat.signing import DEFAULT_TOOLCHAIN
+from repro.errors import KernelError, SegmentationFault
+from repro.kernel.heap import HeapAllocator
+from repro.kernel.loader import (
+    code_segment_size,
+    layout_globals,
+    page_align,
+    page_count,
+    static_footprint_pages,
+    validate_binary,
+    write_globals,
+)
+from repro.kernel.mmu import MMU, PageFault
+from repro.kernel.mmu_notifier import MMUNotifier
+from repro.kernel.pagetable import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTE_EXEC,
+    PTE_PRESENT,
+    PTE_WRITE,
+    PageTable,
+)
+from repro.kernel.physmem import FrameAllocator, PhysicalMemory
+from repro.kernel.process import (
+    VIRT_CODE_BASE,
+    VIRT_GLOBALS_BASE,
+    VIRT_HEAP_BASE,
+    VIRT_STACK_TOP,
+    MemoryLayout,
+    Process,
+)
+from repro.machine.costs import DEFAULT_COSTS, CostModel
+from repro.runtime.patching import MoveCost, MovePlan, RegisterSnapshot
+from repro.runtime.regions import PERM_RW, PERM_RWX, Region, RegionSet
+from repro.runtime.runtime import CaratRuntime
+
+DEFAULT_MEMORY = 64 * 1024 * 1024
+DEFAULT_HEAP = 8 * 1024 * 1024
+DEFAULT_STACK = 1 * 1024 * 1024
+
+#: Cost of a page fault trap + kernel entry/exit, beyond the work done.
+FAULT_TRAP_CYCLES = 600
+#: Cost of a TLB shootdown when the kernel changes a traditional mapping.
+SHOOTDOWN_CYCLES = 300
+
+
+@dataclass
+class KernelStats:
+    page_faults: int = 0
+    demand_allocations: int = 0
+    traditional_moves: int = 0
+    carat_moves: int = 0
+    carat_protection_changes: int = 0
+    fault_cycles: int = 0
+    move_cycles: int = 0
+
+
+class Kernel:
+    def __init__(
+        self,
+        memory_size: int = DEFAULT_MEMORY,
+        costs: CostModel = DEFAULT_COSTS,
+        trusted_toolchains: Optional[set] = None,
+        keep_notifier_events: bool = False,
+    ) -> None:
+        self.memory = PhysicalMemory(memory_size)
+        self.frames = FrameAllocator(memory_size)
+        self.costs = costs
+        self.notifier = MMUNotifier(keep_events=keep_notifier_events)
+        self.trusted_toolchains = trusted_toolchains or {DEFAULT_TOOLCHAIN}
+        self.processes: Dict[int, Process] = {}
+        self.stats = KernelStats()
+        self.clock_cycles = 0
+        self._next_pid = 1
+        #: When True, change requests append Figure-8 step labels here.
+        self.trace_protocol = False
+        self.protocol_trace: List[str] = []
+
+    def _trace(self, step: int, message: str) -> None:
+        if self.trace_protocol:
+            self.protocol_trace.append(f"step {step:2d}: {message}")
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load_carat(
+        self,
+        binary: CaratBinary,
+        heap_size: int = DEFAULT_HEAP,
+        stack_size: int = DEFAULT_STACK,
+        guard_mechanism: str = "mpx",
+    ) -> Process:
+        """Load a signed CARAT binary: dark-capsule physical layout, one
+        initial region, runtime bound and primed with static allocations."""
+        validate_binary(binary, self.trusted_toolchains)
+        module = binary.module
+        code_size = code_segment_size(module)
+        _, globals_size = layout_globals(module, 0)
+        globals_size = page_align(max(1, globals_size))
+        stack_size = page_align(stack_size)
+        heap_size = page_align(heap_size)
+
+        total = stack_size + globals_size + code_size + heap_size
+        base = self.frames.alloc_address(total // PAGE_SIZE)
+
+        layout = MemoryLayout(
+            stack_base=base,
+            stack_size=stack_size,
+            globals_base=base + stack_size,
+            globals_size=globals_size,
+            code_base=base + stack_size + globals_size,
+            code_size=code_size,
+            heap_base=base + stack_size + globals_size + code_size,
+            heap_size=heap_size,
+        )
+
+        regions = RegionSet([Region(base, total, PERM_RWX)])
+        runtime = CaratRuntime(
+            self.memory, regions, guard_mechanism=guard_mechanism, costs=self.costs
+        )
+
+        globals_map, _ = layout_globals(module, layout.globals_base)
+        write_globals(binary, globals_map, self.memory.write_bytes)
+
+        # Static allocations are recorded at load time (Section 4.1.2).
+        for gv in module.globals.values():
+            from repro.ir.types import size_of
+
+            runtime.on_alloc(globals_map[gv.name], max(1, size_of(gv.value_type)), "global")
+        runtime.on_alloc(layout.stack_base, layout.stack_size, "stack")
+        runtime.on_alloc(layout.code_base, layout.code_size, "code")
+        # Load-time bookkeeping is free for the program.
+        runtime.stats.tracking_events = 0
+        runtime.stats.tracking_cycles = 0
+
+        process = Process(
+            pid=self._next_pid,
+            name=binary.name,
+            mode="carat",
+            binary=binary,
+            layout=layout,
+            globals_map=globals_map,
+            regions=regions,
+            runtime=runtime,
+            heap=HeapAllocator(layout.heap_base, layout.heap_size),
+            static_footprint_pages=static_footprint_pages(binary),
+            initial_pages=total // PAGE_SIZE,
+        )
+        self._next_pid += 1
+        self.processes[process.pid] = process
+        return process
+
+    def load_traditional(
+        self,
+        binary: CaratBinary,
+        heap_size: int = DEFAULT_HEAP,
+        stack_size: int = DEFAULT_STACK,
+    ) -> Process:
+        """Load under the paging model: virtual layout, code/globals and
+        the top stack page mapped eagerly, everything else demand-paged."""
+        module = binary.module
+        code_size = code_segment_size(module)
+        _, globals_size = layout_globals(module, 0)
+        globals_size = page_align(max(1, globals_size))
+        stack_size = page_align(stack_size)
+        heap_size = page_align(heap_size)
+
+        layout = MemoryLayout(
+            code_base=VIRT_CODE_BASE,
+            code_size=code_size,
+            globals_base=VIRT_GLOBALS_BASE,
+            globals_size=globals_size,
+            heap_base=VIRT_HEAP_BASE,
+            heap_size=heap_size,
+            stack_base=VIRT_STACK_TOP - stack_size,
+            stack_size=stack_size,
+        )
+
+        page_table = PageTable()
+        mmu = MMU(page_table, costs=self.costs)
+        process = Process(
+            pid=self._next_pid,
+            name=binary.name,
+            mode="traditional",
+            binary=binary,
+            layout=layout,
+            page_table=page_table,
+            mmu=mmu,
+            heap=HeapAllocator(layout.heap_base, layout.heap_size),
+            static_footprint_pages=static_footprint_pages(binary),
+        )
+        self._next_pid += 1
+        self.processes[process.pid] = process
+
+        # Initial mapping: code (r-x), globals (rw-), top stack page (rw-).
+        self._map_range(
+            process, layout.code_base, code_size, PTE_PRESENT | PTE_EXEC
+        )
+        self._map_range(
+            process, layout.globals_base, globals_size, PTE_PRESENT | PTE_WRITE
+        )
+        top_page = layout.stack_top - PAGE_SIZE
+        self._map_range(process, top_page, PAGE_SIZE, PTE_PRESENT | PTE_WRITE)
+        process.initial_pages = page_table.mapped_pages
+
+        globals_map, _ = layout_globals(module, layout.globals_base)
+        process.globals_map = globals_map
+        write_globals(binary, globals_map, lambda a, b: self._write_virtual(process, a, b))
+        return process
+
+    def _map_range(self, process: Process, vbase: int, size: int, flags: int) -> None:
+        assert process.page_table is not None
+        for offset in range(0, page_align(size), PAGE_SIZE):
+            vpn = (vbase + offset) >> PAGE_SHIFT
+            if process.page_table.is_mapped(vpn):
+                continue
+            frame = self.frames.alloc()
+            self.memory.fill(frame * PAGE_SIZE, PAGE_SIZE, 0)
+            process.page_table.map(vpn, frame, flags)
+
+    def _write_virtual(self, process: Process, vaddr: int, data: bytes) -> None:
+        """Loader-path write: walks the page table directly (no TLB)."""
+        assert process.page_table is not None
+        offset = 0
+        while offset < len(data):
+            address = vaddr + offset
+            vpn = address >> PAGE_SHIFT
+            pte = process.page_table.lookup(vpn)
+            if pte is None:
+                raise KernelError(f"loader write to unmapped page {vpn:#x}")
+            page_offset = address & (PAGE_SIZE - 1)
+            chunk = min(len(data) - offset, PAGE_SIZE - page_offset)
+            self.memory.write_bytes(
+                (pte.pfn << PAGE_SHIFT) | page_offset, data[offset : offset + chunk]
+            )
+            offset += chunk
+
+    # ------------------------------------------------------------------
+    # Traditional-model services
+    # ------------------------------------------------------------------
+
+    def handle_page_fault(self, process: Process, fault: PageFault) -> int:
+        """Demand paging: a fault inside a valid segment maps a fresh
+        zeroed frame (one Table 2 allocation event); anything else is a
+        real segfault."""
+        if process.page_table is None:
+            raise KernelError("page fault for a non-traditional process")
+        vaddr = fault.vaddr
+        segment = self._segment_of(process, vaddr)
+        if segment is None or fault.present:
+            raise SegmentationFault(vaddr, fault.access)
+        self.stats.page_faults += 1
+        frame = self.frames.alloc()
+        self.memory.fill(frame * PAGE_SIZE, PAGE_SIZE, 0)
+        flags = PTE_PRESENT | PTE_WRITE
+        if segment == "code":
+            flags = PTE_PRESENT | PTE_EXEC
+        process.page_table.map(fault.vpn, frame, flags)
+        process.demand_page_allocs += 1
+        self.stats.demand_allocations += 1
+        self.notifier.page_alloc(process.pid, fault.vpn, self.clock_cycles)
+        cycles = FAULT_TRAP_CYCLES
+        self.stats.fault_cycles += cycles
+        return cycles
+
+    def _segment_of(self, process: Process, vaddr: int) -> Optional[str]:
+        for name, (base, size) in process.layout.segments().items():
+            if base <= vaddr < base + size:
+                return name
+        return None
+
+    def move_page_traditional(self, process: Process, vaddr: int) -> int:
+        """Copy a page to a new frame and remap: the paging model's page
+        move (constant-time PTE update + shootdown)."""
+        if process.page_table is None or process.mmu is None:
+            raise KernelError("not a traditional process")
+        vpn = vaddr >> PAGE_SHIFT
+        pte = process.page_table.lookup(vpn)
+        if pte is None:
+            raise KernelError(f"cannot move unmapped page {vpn:#x}")
+        new_frame = self.frames.alloc()
+        self.memory.copy(pte.pfn << PAGE_SHIFT, new_frame * PAGE_SIZE, PAGE_SIZE)
+        old_frame, _ = process.page_table.remap(vpn, new_frame)
+        self.frames.free(old_frame)
+        process.mmu.invalidate_page(vpn)
+        process.pages_moved += 1
+        self.stats.traditional_moves += 1
+        self.notifier.pte_change(process.pid, vpn, self.clock_cycles)
+        self.notifier.invalidate_range(process.pid, vpn, vpn + 1, self.clock_cycles)
+        cycles = SHOOTDOWN_CYCLES + int(self.costs.move_per_byte * PAGE_SIZE)
+        self.stats.move_cycles += cycles
+        return cycles
+
+    # ------------------------------------------------------------------
+    # CARAT-model change requests (Figure 8)
+    # ------------------------------------------------------------------
+
+    def request_page_move(
+        self,
+        process: Process,
+        page_address: int,
+        page_count_: int = 1,
+        register_snapshots: Optional[List[RegisterSnapshot]] = None,
+        destination: Optional[int] = None,
+        thread_count: int = 1,
+    ) -> Tuple[MovePlan, MoveCost, int]:
+        """Steps 1-12: move ``page_count_`` pages starting at
+        ``page_address``.  Returns (plan, cost breakdown, total cycles
+        including the world stop)."""
+        runtime = process.runtime
+        regions = process.regions
+        if runtime is None or regions is None:
+            raise KernelError("not a CARAT process")
+        lo = page_address & ~(PAGE_SIZE - 1)
+        hi = lo + page_count_ * PAGE_SIZE
+        self._trace(1, f"request page move [{lo:#x}, {hi:#x})")
+
+        # Steps 2-3: signal all threads; they dump registers and barrier.
+        # (A ThreadGroup may have stopped the world already — do not pay
+        # or perform the stop twice.)
+        initiated_stop = not runtime.is_stopped
+        stop_cycles = runtime.world_stop(thread_count) if initiated_stop else 0
+        self._trace(2, f"signal {thread_count} thread(s)")
+        self._trace(3, "threads dump registers and enter signal handlers")
+        self._trace(4, "barrier; negotiate move with the kernel module")
+
+        # Step 4: negotiate — the runtime may expand the page set.
+        plan = runtime.patcher.plan_move(lo, hi)
+        self._trace(
+            5,
+            f"negotiated source range [{plan.lo:#x}, {plan.hi:#x})"
+            + (" (expanded)" if plan.expanded else ""),
+        )
+
+        # Kernel allocates the destination (or uses the caller's).
+        if destination is None:
+            destination = self.frames.alloc_address(plan.length // PAGE_SIZE)
+        self._trace(
+            6, f"{len(plan.allocations)} affected allocation(s) determined"
+        )
+
+        # Steps 5-11: the runtime patches and moves.
+        _, cost = runtime.service_move_request(
+            plan.lo, plan.hi, destination, register_snapshots
+        )
+        self._trace(7, "patches computed for every escape")
+        self._trace(8, "escapes patched to post-move addresses")
+        self._trace(
+            9,
+            f"register snapshots patched "
+            f"({len(register_snapshots or [])} thread frame(s))",
+        )
+        self._trace(10, f"data moved to [{destination:#x}, "
+                        f"{destination + plan.length:#x})")
+        self._trace(11, "barrier before resume")
+
+        # Region update: the moved range loses permission, the destination
+        # gains it; adjacent same-permission regions re-coalesce.
+        source_region = regions.find(plan.lo)
+        perms = source_region.perms if source_region is not None else PERM_RWX
+        regions.remove_range(plan.lo, plan.hi)
+        regions.add(Region(destination, plan.length, perms))
+        regions.coalesce()
+
+        # Kernel-side metadata follows the move: the heap allocator's
+        # address set (its metadata would be patched escapes in the real
+        # system) and the globals symbol map.
+        delta = destination - plan.lo
+        if process.heap is not None:
+            process.heap.rebase_range(plan.lo, plan.hi, delta)
+        for symbol, address in list(process.globals_map.items()):
+            if plan.lo <= address < plan.hi:
+                process.globals_map[symbol] = address + delta
+
+        # The old frames return to the kernel.
+        self.frames.free_address(plan.lo, plan.length // PAGE_SIZE)
+
+        process.pages_moved += plan.page_count
+        self.stats.carat_moves += 1
+        self.notifier.pte_change(
+            process.pid, plan.lo >> PAGE_SHIFT, self.clock_cycles, "carat-move"
+        )
+        if initiated_stop:
+            runtime.resume()
+        self._trace(12, "completion indicated; threads resume")
+        total_cycles = stop_cycles + cost.total
+        self.stats.move_cycles += total_cycles
+        return plan, cost, total_cycles
+
+    def request_allocation_move(
+        self,
+        process: Process,
+        allocation,
+        register_snapshots: Optional[List[RegisterSnapshot]] = None,
+        destination: Optional[int] = None,
+        thread_count: int = 1,
+    ) -> Tuple[MoveCost, int]:
+        """Allocation-granularity movement (Section 6's future-work
+        design): move exactly one allocation, with no page negotiation.
+
+        The destination stays inside the process's permitted regions (the
+        kernel carves it from the heap's free space via the process heap
+        manager), so the region set is untouched.  Returns (cost, total
+        cycles including the world stop).
+        """
+        runtime = process.runtime
+        if runtime is None:
+            raise KernelError("not a CARAT process")
+        stop_cycles = runtime.world_stop(thread_count)
+        if destination is None:
+            if process.heap is None:
+                raise KernelError("no heap to place the allocation in")
+            destination = process.heap.malloc(allocation.size)
+            # The old bytes return to the heap's free space.
+            old_address = allocation.address
+        else:
+            old_address = allocation.address
+        cost = runtime.patcher.move_allocation(
+            allocation, destination, register_snapshots
+        )
+        if process.heap is not None and process.heap.size_of(old_address) is not None:
+            process.heap.free(old_address)
+        runtime.stats.moves_serviced += 1
+        runtime.stats.move_cost_accum = runtime.stats.move_cost_accum + cost
+        runtime.resume()
+        total = stop_cycles + cost.total
+        self.stats.move_cycles += total
+        return cost, total
+
+    def expand_stack(self, process: Process, extra_bytes: int) -> int:
+        """Seamless stack expansion (Section 2.2): a failed call guard
+        aborts to the kernel, which grows the stack region downward and
+        resumes the thread.  Returns the new stack base."""
+        runtime = process.runtime
+        regions = process.regions
+        if runtime is None or regions is None:
+            raise KernelError("not a CARAT process")
+        extra = (extra_bytes + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+        layout = process.layout
+        old_base = layout.stack_base
+        wanted_frame = (old_base - extra) // PAGE_SIZE
+        if wanted_frame > 0 and self.frames.alloc_at(wanted_frame, extra // PAGE_SIZE):
+            # Physically adjacent below the old stack: simply extend.
+            new_base = wanted_frame * PAGE_SIZE
+            layout.stack_base = new_base
+            layout.stack_size += extra
+        else:
+            raise KernelError(
+                "cannot expand the stack contiguously; the kernel would "
+                "have to move the whole capsule (a page-move request)"
+            )
+        regions.add(Region(new_base, extra, PERM_RWX))
+        regions.coalesce()
+        # Grow the stack's Allocation Table entry in place so allocas that
+        # straddle the old floor still sit inside one tracked block.
+        stack_entry = runtime.table.at(old_base)
+        if stack_entry is not None and stack_entry.kind == "stack":
+            runtime.table.rebase(stack_entry, new_base)
+            stack_entry.size += extra
+        else:
+            runtime.on_alloc(new_base, extra, "stack")
+        return layout.stack_base
+
+    def request_protection_change(
+        self,
+        process: Process,
+        base: int,
+        length: int,
+        perms: int,
+        thread_count: int = 1,
+    ) -> int:
+        """A protection change is the simpler variant: world-stop, region
+        entry modification, resume — no patching (Section 4.4)."""
+        runtime = process.runtime
+        regions = process.regions
+        if runtime is None or regions is None:
+            raise KernelError("not a CARAT process")
+        stop_cycles = runtime.world_stop(thread_count)
+        regions.set_range_perms(base, base + length, perms)
+        runtime.resume()
+        self.stats.carat_protection_changes += 1
+        return stop_cycles + self.costs.alloc_table_update
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def exit_process(self, process: Process, code: int = 0) -> None:
+        process.exited = True
+        process.exit_code = code
+
+    def advance_clock(self, cycles: int) -> None:
+        self.clock_cycles += cycles

@@ -1,0 +1,101 @@
+"""MMU-notifier-style event trace (Section 3, "dynamic paging capture").
+
+The paper instruments Linux's MMU notifier interface to observe two kinds
+of events — PTE changes where a valid PTE now points at a different
+physical page (a *page move*), and range invalidations — and separately
+tracks the physical size of the address space to derive *page
+allocations* (which the notifier cannot see, because invalid->valid
+transitions need no invalidation).
+
+Our kernel emits the same event vocabulary, so Table 2's columns fall out
+of the counters here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+class EventKind(enum.Enum):
+    #: A valid PTE now points at a different physical page (page move).
+    PTE_CHANGE = "pte_change"
+    #: A range of translations was invalidated (unmap, protection change).
+    INVALIDATE_RANGE = "invalidate_range"
+    #: Derived event: the address space grew by a page (demand allocation,
+    #: copy-on-write resolution, first touch...).  Not visible through the
+    #: real notifier; tracked the way the paper derives it.
+    PAGE_ALLOC = "page_alloc"
+    #: A page's contents left physical memory (swap out).
+    PAGE_SWAP = "page_swap"
+
+
+@dataclass
+class NotifierEvent:
+    kind: EventKind
+    pid: int
+    vpn_lo: int
+    vpn_hi: int  # exclusive; == vpn_lo + 1 for single pages
+    timestamp_cycles: int = 0
+    detail: str = ""
+
+
+Subscriber = Callable[[NotifierEvent], None]
+
+
+class MMUNotifier:
+    """Event hub: the kernel emits, observers (the Table 2 harness, tests,
+    secondary-MMU analogs) subscribe."""
+
+    def __init__(self, keep_events: bool = False) -> None:
+        self._subscribers: List[Subscriber] = []
+        self.keep_events = keep_events
+        self.events: List[NotifierEvent] = []
+        self.counts: Dict[EventKind, int] = {kind: 0 for kind in EventKind}
+
+    def subscribe(self, callback: Subscriber) -> None:
+        self._subscribers.append(callback)
+
+    def emit(self, event: NotifierEvent) -> None:
+        self.counts[event.kind] += 1
+        if self.keep_events:
+            self.events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+
+    # -- convenience emitters --------------------------------------------------
+
+    def pte_change(self, pid: int, vpn: int, now: int = 0, detail: str = "") -> None:
+        self.emit(NotifierEvent(EventKind.PTE_CHANGE, pid, vpn, vpn + 1, now, detail))
+
+    def invalidate_range(
+        self, pid: int, vpn_lo: int, vpn_hi: int, now: int = 0, detail: str = ""
+    ) -> None:
+        self.emit(
+            NotifierEvent(EventKind.INVALIDATE_RANGE, pid, vpn_lo, vpn_hi, now, detail)
+        )
+
+    def page_alloc(self, pid: int, vpn: int, now: int = 0, detail: str = "") -> None:
+        self.emit(NotifierEvent(EventKind.PAGE_ALLOC, pid, vpn, vpn + 1, now, detail))
+
+    def page_swap(self, pid: int, vpn: int, now: int = 0, detail: str = "") -> None:
+        self.emit(NotifierEvent(EventKind.PAGE_SWAP, pid, vpn, vpn + 1, now, detail))
+
+    # -- Table 2 queries ------------------------------------------------------------
+
+    @property
+    def page_allocs(self) -> int:
+        return self.counts[EventKind.PAGE_ALLOC]
+
+    @property
+    def page_moves(self) -> int:
+        return self.counts[EventKind.PTE_CHANGE]
+
+    def rates(self, elapsed_seconds: float) -> Dict[str, float]:
+        if elapsed_seconds <= 0:
+            return {"alloc_rate": 0.0, "move_rate": 0.0}
+        return {
+            "alloc_rate": self.page_allocs / elapsed_seconds,
+            "move_rate": self.page_moves / elapsed_seconds,
+        }

@@ -1,0 +1,186 @@
+"""Four-level radix page table (the x64 layout).
+
+Virtual addresses are 48-bit: four 9-bit indices (PML4, PDPT, PD, PT)
+over 4 KB pages.  Each level is a 512-entry table; the walker descends
+all four, which is what makes TLB misses expensive and why Figure 2's
+miss rates translate into the pagewalk costs the paper measures.
+
+PTEs carry the physical frame, permissions, and accessed/dirty bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import KernelError
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+LEVELS = 4
+INDEX_BITS = 9
+ENTRIES_PER_TABLE = 1 << INDEX_BITS
+VADDR_BITS = PAGE_SHIFT + LEVELS * INDEX_BITS  # 48
+
+PTE_PRESENT = 0x1
+PTE_WRITE = 0x2
+PTE_EXEC = 0x4
+PTE_ACCESSED = 0x8
+PTE_DIRTY = 0x10
+
+
+@dataclass
+class PTE:
+    """A leaf page-table entry."""
+
+    pfn: int
+    flags: int = PTE_PRESENT | PTE_WRITE
+
+    @property
+    def present(self) -> bool:
+        return bool(self.flags & PTE_PRESENT)
+
+    @property
+    def writable(self) -> bool:
+        return bool(self.flags & PTE_WRITE)
+
+    @property
+    def executable(self) -> bool:
+        return bool(self.flags & PTE_EXEC)
+
+    def allows(self, access: str) -> bool:
+        if not self.present:
+            return False
+        if access == "write":
+            return self.writable
+        if access == "exec":
+            return self.executable
+        return True  # read
+
+    def __repr__(self) -> str:
+        bits = "".join(
+            ch if self.flags & bit else "-"
+            for ch, bit in (
+                ("p", PTE_PRESENT),
+                ("w", PTE_WRITE),
+                ("x", PTE_EXEC),
+                ("a", PTE_ACCESSED),
+                ("d", PTE_DIRTY),
+            )
+        )
+        return f"<PTE pfn={self.pfn:#x} {bits}>"
+
+
+def split_vpn(vpn: int) -> Tuple[int, int, int, int]:
+    """VPN -> (pml4, pdpt, pd, pt) indices."""
+    pt = vpn & (ENTRIES_PER_TABLE - 1)
+    pd = (vpn >> INDEX_BITS) & (ENTRIES_PER_TABLE - 1)
+    pdpt = (vpn >> (2 * INDEX_BITS)) & (ENTRIES_PER_TABLE - 1)
+    pml4 = (vpn >> (3 * INDEX_BITS)) & (ENTRIES_PER_TABLE - 1)
+    return pml4, pdpt, pd, pt
+
+
+class PageTable:
+    """The radix tree.  Inner nodes are dicts (sparse 512-entry tables)."""
+
+    def __init__(self) -> None:
+        self._root: Dict[int, Dict[int, Dict[int, Dict[int, PTE]]]] = {}
+        self.mapped_pages = 0
+
+    # -- mutation --------------------------------------------------------------
+
+    def map(self, vpn: int, pfn: int, flags: int = PTE_PRESENT | PTE_WRITE) -> PTE:
+        pml4, pdpt, pd, pt = split_vpn(vpn)
+        level3 = self._root.setdefault(pml4, {})
+        level2 = level3.setdefault(pdpt, {})
+        level1 = level2.setdefault(pd, {})
+        if pt in level1 and level1[pt].present:
+            raise KernelError(f"vpn {vpn:#x} is already mapped")
+        entry = PTE(pfn, flags | PTE_PRESENT)
+        level1[pt] = entry
+        self.mapped_pages += 1
+        return entry
+
+    def unmap(self, vpn: int) -> PTE:
+        entry = self._leaf(vpn)
+        if entry is None or not entry.present:
+            raise KernelError(f"vpn {vpn:#x} is not mapped")
+        entry.flags &= ~PTE_PRESENT
+        self.mapped_pages -= 1
+        return entry
+
+    def remap(self, vpn: int, new_pfn: int) -> Tuple[int, PTE]:
+        """Point an existing mapping at a different frame (a page move).
+        Returns (old_pfn, pte)."""
+        entry = self._leaf(vpn)
+        if entry is None or not entry.present:
+            raise KernelError(f"vpn {vpn:#x} is not mapped")
+        old = entry.pfn
+        entry.pfn = new_pfn
+        return old, entry
+
+    def protect(self, vpn: int, flags: int) -> PTE:
+        entry = self._leaf(vpn)
+        if entry is None or not entry.present:
+            raise KernelError(f"vpn {vpn:#x} is not mapped")
+        entry.flags = flags | PTE_PRESENT
+        return entry
+
+    # -- lookup --------------------------------------------------------------------
+
+    def _leaf(self, vpn: int) -> Optional[PTE]:
+        pml4, pdpt, pd, pt = split_vpn(vpn)
+        level3 = self._root.get(pml4)
+        if level3 is None:
+            return None
+        level2 = level3.get(pdpt)
+        if level2 is None:
+            return None
+        level1 = level2.get(pd)
+        if level1 is None:
+            return None
+        return level1.get(pt)
+
+    def walk(self, vpn: int) -> Tuple[Optional[PTE], int]:
+        """Translate like the hardware pagewalker: returns (pte-or-None,
+        levels touched).  Levels touched models the walk's memory traffic
+        (a missing inner node terminates the walk early)."""
+        pml4, pdpt, pd, pt = split_vpn(vpn)
+        level3 = self._root.get(pml4)
+        if level3 is None:
+            return None, 1
+        level2 = level3.get(pdpt)
+        if level2 is None:
+            return None, 2
+        level1 = level2.get(pd)
+        if level1 is None:
+            return None, 3
+        entry = level1.get(pt)
+        if entry is None or not entry.present:
+            return None, 4
+        return entry, 4
+
+    def lookup(self, vpn: int) -> Optional[PTE]:
+        entry = self._leaf(vpn)
+        if entry is not None and entry.present:
+            return entry
+        return None
+
+    def is_mapped(self, vpn: int) -> bool:
+        return self.lookup(vpn) is not None
+
+    def entries(self) -> Iterator[Tuple[int, PTE]]:
+        """All present (vpn, pte) pairs, ascending."""
+        for pml4 in sorted(self._root):
+            for pdpt in sorted(self._root[pml4]):
+                for pd in sorted(self._root[pml4][pdpt]):
+                    for pt in sorted(self._root[pml4][pdpt][pd]):
+                        entry = self._root[pml4][pdpt][pd][pt]
+                        if entry.present:
+                            vpn = (
+                                (pml4 << (3 * INDEX_BITS))
+                                | (pdpt << (2 * INDEX_BITS))
+                                | (pd << INDEX_BITS)
+                                | pt
+                            )
+                            yield vpn, entry

@@ -1,0 +1,204 @@
+"""Physical memory and the page frame allocator.
+
+A flat byte-addressable physical memory (a ``bytearray``) with typed
+accessors, plus a bitmap frame allocator handing out 4 KB frames — the
+kernel substrate both execution models sit on.  In the CARAT model the
+program addresses this memory directly; in the traditional model the MMU
+translates first.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.errors import OutOfMemoryError, ReproError
+
+PAGE_SIZE = 4096
+
+
+class PhysicalMemoryError(ReproError):
+    pass
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory with little-endian typed access."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size % PAGE_SIZE:
+            raise PhysicalMemoryError(
+                f"physical memory size must be a positive multiple of "
+                f"{PAGE_SIZE}, got {size}"
+            )
+        self.size = size
+        self._data = bytearray(size)
+        #: Counters for bandwidth-style accounting.
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- bounds -----------------------------------------------------------------
+
+    def _check(self, address: int, length: int) -> None:
+        if address < 0 or address + length > self.size:
+            raise PhysicalMemoryError(
+                f"physical access [{address:#x}, {address + length:#x}) out "
+                f"of range (memory is {self.size:#x} bytes)"
+            )
+
+    # -- raw bytes ---------------------------------------------------------------
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        self._check(address, length)
+        self.bytes_read += length
+        return bytes(self._data[address : address + length])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        self.bytes_written += len(data)
+        self._data[address : address + len(data)] = data
+
+    def fill(self, address: int, length: int, value: int = 0) -> None:
+        self._check(address, length)
+        self._data[address : address + length] = bytes([value]) * length
+        self.bytes_written += length
+
+    def copy(self, src: int, dst: int, length: int) -> None:
+        self._check(src, length)
+        self._check(dst, length)
+        self._data[dst : dst + length] = self._data[src : src + length]
+        self.bytes_read += length
+        self.bytes_written += length
+
+    # -- typed accessors ------------------------------------------------------------
+
+    def read_uint(self, address: int, size: int) -> int:
+        raw = self.read_bytes(address, size)
+        return int.from_bytes(raw, "little", signed=False)
+
+    def write_uint(self, address: int, value: int, size: int) -> None:
+        mask = (1 << (size * 8)) - 1
+        self.write_bytes(address, (value & mask).to_bytes(size, "little"))
+
+    def read_int(self, address: int, size: int) -> int:
+        raw = self.read_bytes(address, size)
+        return int.from_bytes(raw, "little", signed=True)
+
+    def write_int(self, address: int, value: int, size: int) -> None:
+        self.write_uint(address, value, size)
+
+    def read_u64(self, address: int) -> int:
+        return self.read_uint(address, 8)
+
+    def write_u64(self, address: int, value: int) -> None:
+        self.write_uint(address, value, 8)
+
+    def read_f64(self, address: int) -> float:
+        return struct.unpack("<d", self.read_bytes(address, 8))[0]
+
+    def write_f64(self, address: int, value: float) -> None:
+        self.write_bytes(address, struct.pack("<d", value))
+
+    def read_f32(self, address: int) -> float:
+        return struct.unpack("<f", self.read_bytes(address, 4))[0]
+
+    def write_f32(self, address: int, value: float) -> None:
+        self.write_bytes(address, struct.pack("<f", value))
+
+    def read_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
+        out = bytearray()
+        for offset in range(limit):
+            byte = self.read_uint(address + offset, 1)
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)
+
+
+class FrameAllocator:
+    """Bitmap allocator over the physical frames.
+
+    ``reserve_low`` frames at the bottom are never handed out (the kernel
+    image / firmware hole, and it keeps address 0 unmapped so null pointer
+    dereferences fault in both models).
+    """
+
+    def __init__(self, memory_size: int, reserve_low: int = 16) -> None:
+        if memory_size % PAGE_SIZE:
+            raise PhysicalMemoryError("memory size must be page aligned")
+        self.total_frames = memory_size // PAGE_SIZE
+        self._free: List[bool] = [True] * self.total_frames
+        for frame in range(min(reserve_low, self.total_frames)):
+            self._free[frame] = False
+        self.reserved_low = reserve_low
+        self.allocated_frames = 0
+        self._cursor = reserve_low  # next-fit search position
+
+    @property
+    def free_frames(self) -> int:
+        return sum(self._free)
+
+    def frame_is_free(self, frame: int) -> bool:
+        return self._free[frame]
+
+    def alloc(self, count: int = 1) -> int:
+        """Allocate ``count`` physically contiguous frames; returns the
+        first frame number."""
+        if count <= 0:
+            raise PhysicalMemoryError("frame count must be positive")
+        start = self._find_run(self._cursor, count)
+        if start is None:
+            start = self._find_run(self.reserved_low, count)
+        if start is None:
+            raise OutOfMemoryError(
+                f"cannot allocate {count} contiguous frame(s); "
+                f"{self.free_frames} free"
+            )
+        for frame in range(start, start + count):
+            self._free[frame] = False
+        self.allocated_frames += count
+        self._cursor = start + count
+        return start
+
+    def alloc_address(self, count: int = 1) -> int:
+        """Allocate frames and return the base *byte* address."""
+        return self.alloc(count) * PAGE_SIZE
+
+    def alloc_at(self, frame: int, count: int = 1) -> bool:
+        """Claim a specific frame run if (and only if) it is entirely free.
+
+        Used by stack expansion, which strongly prefers frames physically
+        adjacent below the existing stack.
+        """
+        if frame < self.reserved_low or frame + count > self.total_frames:
+            return False
+        if not all(self._free[f] for f in range(frame, frame + count)):
+            return False
+        for f in range(frame, frame + count):
+            self._free[f] = False
+        self.allocated_frames += count
+        return True
+
+    def _find_run(self, begin: int, count: int) -> Optional[int]:
+        run = 0
+        for frame in range(begin, self.total_frames):
+            if self._free[frame]:
+                run += 1
+                if run == count:
+                    return frame - count + 1
+            else:
+                run = 0
+        return None
+
+    def free(self, frame: int, count: int = 1) -> None:
+        for f in range(frame, frame + count):
+            if f < 0 or f >= self.total_frames:
+                raise PhysicalMemoryError(f"frame {f} out of range")
+            if self._free[f]:
+                raise PhysicalMemoryError(f"double free of frame {f}")
+            self._free[f] = True
+        self.allocated_frames -= count
+
+    def free_address(self, address: int, count: int = 1) -> None:
+        if address % PAGE_SIZE:
+            raise PhysicalMemoryError("address must be page aligned")
+        self.free(address // PAGE_SIZE, count)

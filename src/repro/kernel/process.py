@@ -1,0 +1,97 @@
+"""Process model: the per-process state for both execution modes.
+
+A traditional process owns a page table + MMU and lives in a virtual
+layout (code low, heap middle, stack high).  A CARAT process owns a
+region set + runtime and lives directly in physical memory, laid out as a
+"dark capsule": the default stack below the text/globals, giving one
+contiguous region (Section 3's optimal single-region case); the heap is a
+second contiguous physical run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.carat.pipeline import CaratBinary
+from repro.kernel.heap import HeapAllocator
+from repro.kernel.mmu import MMU
+from repro.kernel.pagetable import PAGE_SIZE, PageTable
+from repro.runtime.regions import RegionSet
+from repro.runtime.runtime import CaratRuntime
+
+#: Virtual layout constants for the traditional model (x64-ish).
+VIRT_CODE_BASE = 0x0000_0000_0040_0000
+VIRT_GLOBALS_BASE = 0x0000_0000_0060_0000
+VIRT_HEAP_BASE = 0x0000_0000_1000_0000
+VIRT_STACK_TOP = 0x0000_7FFF_FF00_0000
+
+
+@dataclass
+class MemoryLayout:
+    """Where each segment lives, in the process's address space (virtual
+    for traditional, physical for CARAT)."""
+
+    code_base: int = 0
+    code_size: int = 0
+    globals_base: int = 0
+    globals_size: int = 0
+    stack_base: int = 0  # lowest address of the stack
+    stack_size: int = 0
+    heap_base: int = 0
+    heap_size: int = 0
+
+    @property
+    def stack_top(self) -> int:
+        return self.stack_base + self.stack_size
+
+    def segments(self) -> Dict[str, tuple]:
+        return {
+            "code": (self.code_base, self.code_size),
+            "globals": (self.globals_base, self.globals_size),
+            "stack": (self.stack_base, self.stack_size),
+            "heap": (self.heap_base, self.heap_size),
+        }
+
+
+@dataclass
+class Process:
+    pid: int
+    name: str
+    mode: str  # 'carat' | 'traditional'
+    binary: CaratBinary
+    layout: MemoryLayout
+    #: symbol name -> address (in this process's address space)
+    globals_map: Dict[str, int] = field(default_factory=dict)
+    # Traditional-model machinery.
+    page_table: Optional[PageTable] = None
+    mmu: Optional[MMU] = None
+    # CARAT-model machinery.
+    regions: Optional[RegionSet] = None
+    runtime: Optional[CaratRuntime] = None
+    # Shared.
+    heap: Optional[HeapAllocator] = None
+    #: Table 2 bookkeeping.
+    static_footprint_pages: int = 0
+    initial_pages: int = 0
+    demand_page_allocs: int = 0
+    pages_moved: int = 0
+    exited: bool = False
+    exit_code: int = 0
+
+    @property
+    def is_carat(self) -> bool:
+        return self.mode == "carat"
+
+    @property
+    def stack_top(self) -> int:
+        return self.layout.stack_top
+
+    def describe(self) -> str:
+        lines = [f"process {self.pid} ({self.name!r}, {self.mode})"]
+        for segment, (base, size) in self.layout.segments().items():
+            lines.append(
+                f"  {segment:8s} [{base:#14x}, {base + size:#14x}) "
+                f"{size // PAGE_SIZE:6d} pages"
+            )
+        return "\n".join(lines)

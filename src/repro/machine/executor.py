@@ -1,0 +1,149 @@
+"""High-level execution helpers: compile, load, run, collect stats.
+
+These are the entry points examples and experiment harnesses use:
+
+* :func:`run_carat` — full CARAT treatment on physical addressing;
+* :func:`run_carat_baseline` — the *CARAT baseline*: the same program with
+  no instrumentation, also on physical addressing (the denominator of
+  every overhead figure);
+* :func:`run_traditional` — the paging model with TLBs and pagewalks
+  (Figure 2's measurement configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.carat.pipeline import (
+    CaratBinary,
+    CompileOptions,
+    compile_baseline,
+    compile_carat,
+)
+from repro.kernel.kernel import DEFAULT_HEAP, DEFAULT_STACK, Kernel
+from repro.kernel.process import Process
+from repro.machine.interp import Interpreter, InterpStats
+
+
+@dataclass
+class RunResult:
+    """Everything one execution produced: output, stats, live objects."""
+
+    exit_code: int
+    output: List[str]
+    stats: InterpStats
+    process: Process
+    kernel: Kernel
+    interpreter: Interpreter
+    binary: CaratBinary
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.instructions
+
+    def dtlb_mpki(self) -> float:
+        """L1 DTLB misses per 1000 instructions (traditional runs only)."""
+        if self.process.mmu is None:
+            return 0.0
+        return self.stats.mpki(self.process.mmu.dtlb.stats.misses)
+
+    def tracking_footprint(self) -> int:
+        if self.process.runtime is None:
+            return 0
+        return self.process.runtime.tracking_footprint_bytes()
+
+
+def _as_binary(
+    program: Union[str, CaratBinary],
+    options: Optional[CompileOptions],
+    name: str,
+) -> CaratBinary:
+    if isinstance(program, CaratBinary):
+        return program
+    return compile_carat(program, options, module_name=name)
+
+
+def run_carat(
+    program: Union[str, CaratBinary],
+    kernel: Optional[Kernel] = None,
+    guard_mechanism: str = "mpx",
+    options: Optional[CompileOptions] = None,
+    entry: str = "main",
+    max_steps: int = 50_000_000,
+    heap_size: int = DEFAULT_HEAP,
+    stack_size: int = DEFAULT_STACK,
+    name: str = "program",
+) -> RunResult:
+    """Compile (if needed), load, and run a program under CARAT."""
+    binary = _as_binary(program, options, name)
+    kernel = kernel or Kernel()
+    process = kernel.load_carat(
+        binary,
+        heap_size=heap_size,
+        stack_size=stack_size,
+        guard_mechanism=guard_mechanism,
+    )
+    interpreter = Interpreter(process, kernel)
+    exit_code = interpreter.run(entry, max_steps=max_steps)
+    return RunResult(
+        exit_code, interpreter.output, interpreter.stats, process, kernel,
+        interpreter, binary,
+    )
+
+
+def run_carat_baseline(
+    program: Union[str, CaratBinary],
+    kernel: Optional[Kernel] = None,
+    entry: str = "main",
+    max_steps: int = 50_000_000,
+    heap_size: int = DEFAULT_HEAP,
+    stack_size: int = DEFAULT_STACK,
+    name: str = "program",
+) -> RunResult:
+    """The uninstrumented program on physical addressing."""
+    binary = (
+        program
+        if isinstance(program, CaratBinary)
+        else compile_baseline(program, module_name=name)
+    )
+    return run_carat(
+        binary,
+        kernel=kernel,
+        entry=entry,
+        max_steps=max_steps,
+        heap_size=heap_size,
+        stack_size=stack_size,
+        name=name,
+    )
+
+
+def run_traditional(
+    program: Union[str, CaratBinary],
+    kernel: Optional[Kernel] = None,
+    entry: str = "main",
+    max_steps: int = 50_000_000,
+    heap_size: int = DEFAULT_HEAP,
+    stack_size: int = DEFAULT_STACK,
+    name: str = "program",
+) -> RunResult:
+    """The paging model: uninstrumented binary, MMU on every data access."""
+    binary = (
+        program
+        if isinstance(program, CaratBinary)
+        else compile_baseline(program, module_name=name)
+    )
+    kernel = kernel or Kernel()
+    process = kernel.load_traditional(
+        binary, heap_size=heap_size, stack_size=stack_size
+    )
+    interpreter = Interpreter(process, kernel)
+    exit_code = interpreter.run(entry, max_steps=max_steps)
+    return RunResult(
+        exit_code, interpreter.output, interpreter.stats, process, kernel,
+        interpreter, binary,
+    )

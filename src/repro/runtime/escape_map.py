@@ -1,0 +1,148 @@
+"""The Allocation-to-Escape Map (Section 4.2).
+
+For every allocation, the set of memory locations that currently hold a
+pointer into it ("escapes").  The paper implements the per-allocation set
+as a C++ ``unordered_set`` and *batches* escape updates, because the
+escape map changes much faster than the allocation map and stale entries
+are cheap to skip at patch time; both choices are reproduced here.
+
+An escape record is just the address of the 8-byte cell that received a
+pointer store.  Resolution — figuring out *which* allocation the stored
+pointer targets — is deferred to :meth:`flush`, which reads the cell's
+current value through the machine and drops records that no longer hold a
+pointer into any tracked allocation (that is how "destroyed" escapes age
+out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.runtime.allocation_table import Allocation, AllocationTable
+
+#: Reads the 8-byte little-endian value at a physical address.
+PointerReader = Callable[[int], int]
+
+
+@dataclass
+class EscapeStats:
+    """Lifetime counters for the escape pipeline (record/resolve/drop)."""
+
+    recorded: int = 0
+    resolved: int = 0
+    stale_dropped: int = 0
+    flushes: int = 0
+
+
+class AllocationToEscapeMap:
+    def __init__(self, batch_limit: int = 4096) -> None:
+        #: allocation base address -> set of escape locations.
+        self._escapes: Dict[int, Set[int]] = {}
+        #: pending (unresolved) escape locations.
+        self._pending: List[int] = []
+        self.batch_limit = batch_limit
+        self.stats = EscapeStats()
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, location: int) -> None:
+        """A pointer was just stored at ``location``.  O(1): batched."""
+        self._pending.append(location)
+        self.stats.recorded += 1
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def needs_flush(self) -> bool:
+        return len(self._pending) >= self.batch_limit
+
+    # -- resolution --------------------------------------------------------------
+
+    def flush(self, table: AllocationTable, read_pointer: PointerReader) -> int:
+        """Resolve all pending escape records against the current
+        allocation table.  Returns the number resolved."""
+        if not self._pending:
+            return 0
+        self.stats.flushes += 1
+        resolved = 0
+        pending, self._pending = self._pending, []
+        for location in pending:
+            target = read_pointer(location)
+            allocation = table.find_containing(target)
+            if allocation is None:
+                self.stats.stale_dropped += 1
+                continue
+            self._escapes.setdefault(allocation.address, set()).add(location)
+            resolved += 1
+        self.stats.resolved += resolved
+        return resolved
+
+    # -- queries ---------------------------------------------------------------------
+
+    def escapes_of(self, allocation: Allocation) -> Set[int]:
+        """Locations recorded as holding pointers into ``allocation``.
+
+        May contain stale entries (overwritten cells); the patcher
+        re-validates each location's current value before patching.
+        """
+        return set(self._escapes.get(allocation.address, ()))
+
+    def escape_count(self, allocation: Allocation) -> int:
+        return len(self._escapes.get(allocation.address, ()))
+
+    def histogram(self) -> Dict[int, int]:
+        """escapes-per-allocation -> number of allocations (Figure 5)."""
+        counts: Dict[int, int] = {}
+        for locations in self._escapes.values():
+            n = len(locations)
+            counts[n] = counts.get(n, 0) + 1
+        return counts
+
+    def tracked_allocations(self) -> int:
+        return len(self._escapes)
+
+    def memory_footprint_bytes(self) -> int:
+        """Approximate footprint of the tracking structures (Figure 6):
+        one 8-byte cell pointer per escape plus per-set overhead, plus the
+        pending buffer."""
+        per_entry = 16  # hash set entry: pointer + bucket overhead
+        per_set = 64  # set header
+        total = len(self._pending) * 8
+        for locations in self._escapes.values():
+            total += per_set + per_entry * len(locations)
+        return total
+
+    # -- maintenance --------------------------------------------------------------------
+
+    def rekey(self, old_address: int, new_address: int) -> None:
+        """Follow an allocation that was rebased by page movement."""
+        locations = self._escapes.pop(old_address, None)
+        if locations is not None:
+            existing = self._escapes.setdefault(new_address, set())
+            existing.update(locations)
+
+    def drop_allocation(self, address: int) -> None:
+        self._escapes.pop(address, None)
+
+    def rewrite_range(self, lo: int, hi: int, delta: int) -> int:
+        """When the cells *holding* escapes themselves move (they lived in a
+        moved page), their recorded locations must shift too.  Rewrites
+        every recorded and pending location in [lo, hi) by ``delta``;
+        returns the number rewritten."""
+        rewritten = 0
+        for address, locations in list(self._escapes.items()):
+            updated = set()
+            for loc in locations:
+                if lo <= loc < hi:
+                    updated.add(loc + delta)
+                    rewritten += 1
+                else:
+                    updated.add(loc)
+            self._escapes[address] = updated
+        for i, loc in enumerate(self._pending):
+            if lo <= loc < hi:
+                self._pending[i] = loc + delta
+                rewritten += 1
+        return rewritten

@@ -1,0 +1,366 @@
+"""Red-black tree keyed by integers.
+
+The paper's Allocation Table "is currently implemented as a C++ red/black
+tree whose key is the address of an allocated block" (Section 4.2); this
+is the same structure, written out in full (CLRS-style, with a shared NIL
+sentinel) because the allocation table's floor/ceiling and range queries
+are the hot path of page-move planning.
+
+Supports: insert, delete, exact search, floor (greatest key <= k),
+ceiling, min/max, ordered iteration, and range iteration — everything the
+allocation table and the region set need.  ``check_invariants`` verifies
+the red-black properties and is exercised by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: int, value: Any, color: bool, nil: "_Node") -> None:
+        self.key = key
+        self.value = value
+        self.color = color
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+
+
+class RedBlackTree:
+    """Balanced BST keyed by integers (the Allocation Table's engine)."""
+
+    def __init__(self) -> None:
+        self._nil = _Node.__new__(_Node)
+        self._nil.key = 0
+        self._nil.value = None
+        self._nil.color = BLACK
+        self._nil.left = self._nil
+        self._nil.right = self._nil
+        self._nil.parent = self._nil
+        self._root = self._nil
+        self._size = 0
+
+    # -- basic queries --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: int) -> bool:
+        return self._find(key) is not None
+
+    def get(self, key: int, default: Any = None) -> Any:
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def _find(self, key: int) -> Optional[_Node]:
+        node = self._root
+        while node is not self._nil:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    def min_item(self) -> Optional[Tuple[int, Any]]:
+        if self._root is self._nil:
+            return None
+        node = self._minimum(self._root)
+        return (node.key, node.value)
+
+    def max_item(self) -> Optional[Tuple[int, Any]]:
+        if self._root is self._nil:
+            return None
+        node = self._maximum(self._root)
+        return (node.key, node.value)
+
+    def floor_item(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Greatest (k, v) with k <= key."""
+        best: Optional[_Node] = None
+        node = self._root
+        while node is not self._nil:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key < key:
+                best = node
+                node = node.right
+            else:
+                node = node.left
+        return (best.key, best.value) if best is not None else None
+
+    def ceiling_item(self, key: int) -> Optional[Tuple[int, Any]]:
+        """Smallest (k, v) with k >= key."""
+        best: Optional[_Node] = None
+        node = self._root
+        while node is not self._nil:
+            if node.key == key:
+                return (node.key, node.value)
+            if node.key > key:
+                best = node
+                node = node.left
+            else:
+                node = node.right
+        return (best.key, best.value) if best is not None else None
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """In-order (ascending key) iteration."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not self._nil:
+            while node is not self._nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield (node.key, node.value)
+            node = node.right
+
+    def keys(self) -> Iterator[int]:
+        for key, _ in self.items():
+            yield key
+
+    def items_in_range(self, lo: int, hi: int) -> Iterator[Tuple[int, Any]]:
+        """Items with lo <= key < hi, ascending."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not self._nil:
+            while node is not self._nil:
+                if node.key >= lo:
+                    stack.append(node)
+                    node = node.left
+                else:
+                    node = node.right
+            if not stack:
+                return
+            node = stack.pop()
+            if node.key >= hi:
+                return
+            yield (node.key, node.value)
+            node = node.right
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or replace."""
+        parent = self._nil
+        node = self._root
+        while node is not self._nil:
+            parent = node
+            if key == node.key:
+                node.value = value
+                return
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, value, RED, self._nil)
+        fresh.parent = parent
+        if parent is self._nil:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._size += 1
+        self._insert_fixup(fresh)
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns False when absent."""
+        node = self._find(key)
+        if node is None:
+            return False
+        self._delete_node(node)
+        self._size -= 1
+        return True
+
+    def pop(self, key: int, default: Any = None) -> Any:
+        node = self._find(key)
+        if node is None:
+            return default
+        value = node.value
+        self._delete_node(node)
+        self._size -= 1
+        return value
+
+    # -- internals ------------------------------------------------------------------
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    def _maximum(self, node: _Node) -> _Node:
+        while node.right is not self._nil:
+            node = node.right
+        return node
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is RED:
+            if z.parent is z.parent.parent.left:
+                uncle = z.parent.parent.right
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = z.parent.parent.left
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self._root.color = BLACK
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _delete_node(self, z: _Node) -> None:
+        y = z
+        y_original_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color is BLACK:
+            self._delete_fixup(x)
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color is BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color is BLACK and w.right.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color is BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color is BLACK and w.left.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color is BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self._root
+        x.color = BLACK
+
+    # -- validation (for tests) ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the red-black properties; raises AssertionError on violation."""
+        assert self._root.color is BLACK, "root must be black"
+        assert self._nil.color is BLACK, "sentinel must be black"
+
+        def walk(node: _Node) -> int:
+            if node is self._nil:
+                return 1
+            if node.color is RED:
+                assert node.left.color is BLACK, "red node with red left child"
+                assert node.right.color is BLACK, "red node with red right child"
+            if node.left is not self._nil:
+                assert node.left.key < node.key, "BST order violated (left)"
+            if node.right is not self._nil:
+                assert node.right.key > node.key, "BST order violated (right)"
+            left_black = walk(node.left)
+            right_black = walk(node.right)
+            assert left_black == right_black, "black-height mismatch"
+            return left_black + (0 if node.color is RED else 1)
+
+        walk(self._root)
+        assert self._size == sum(1 for _ in self.items()), "size mismatch"

@@ -1,0 +1,252 @@
+"""The CARAT runtime (Section 4.2).
+
+Linked into every CARAT process (here: bound to the interpreter at load
+time), it is the backend for the injected instrumentation and the
+interface to the kernel:
+
+* **tracking** — ``on_alloc`` / ``on_free`` update the Allocation Table
+  eagerly; ``on_escape`` appends to the batched escape buffer;
+* **protection** — ``guard_*`` validate accesses against the kernel's
+  region landing zone through a pluggable guard mechanism, raising
+  :class:`~repro.errors.ProtectionFault` (the analog of a #GP) on failure
+  and accounting every guard's cycles;
+* **mapping** — ``service_move_request`` runs the Figure 8 protocol:
+  world-stop, negotiate, patch, move, resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProtectionFault
+from repro.machine.costs import DEFAULT_COSTS, CostModel
+from repro.runtime.allocation_table import Allocation, AllocationTable
+from repro.runtime.escape_map import AllocationToEscapeMap
+from repro.runtime.patching import (
+    MemoryInterface,
+    MoveCost,
+    MovePlan,
+    Patcher,
+    RegisterSnapshot,
+)
+from repro.runtime.regions import GuardMechanism, RegionSet, make_guard
+
+
+@dataclass
+class RuntimeStats:
+    """Counters behind Figures 3, 5, 6, 7, 9 and Table 3."""
+
+    guards_executed: int = 0
+    guard_cycles: int = 0
+    guard_faults: int = 0
+    tracking_events: int = 0
+    tracking_cycles: int = 0
+    world_stops: int = 0
+    moves_serviced: int = 0
+    move_cost_accum: MoveCost = field(default_factory=MoveCost)
+
+
+class CaratRuntime:
+    """The per-process runtime: tracking, guards, and patching backend."""
+
+    #: Per-entry cost (bytes) of an Allocation Table node: key, length,
+    #: kind, two child pointers, parent, color — matching a C++ rb-tree node.
+    TABLE_ENTRY_BYTES = 64
+
+    def __init__(
+        self,
+        memory: MemoryInterface,
+        regions: Optional[RegionSet] = None,
+        guard_mechanism: str = "mpx",
+        costs: CostModel = DEFAULT_COSTS,
+        escape_batch_limit: int = 4096,
+    ) -> None:
+        self.memory = memory
+        self.regions = regions if regions is not None else RegionSet()
+        self.costs = costs
+        self.guard: GuardMechanism = make_guard(guard_mechanism, costs)
+        self.table = AllocationTable()
+        self.escapes = AllocationToEscapeMap(batch_limit=escape_batch_limit)
+        self.patcher = Patcher(self.table, self.escapes, memory, costs)
+        self.stats = RuntimeStats()
+        self._stopped = False
+        #: escapes-at-free-time -> allocation count, accumulated over the
+        #: whole run (Figure 5 reports lifetime histograms, so freed
+        #: allocations must keep contributing).
+        self._lifetime_escape_counts: Dict[int, int] = {}
+        #: High-water mark of the tracking structures (Figure 6 reports
+        #: the footprint the run *needed*, not what is live at exit).
+        self.peak_tracking_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Tracking callbacks (carat.alloc / carat.free / carat.escape)
+    # ------------------------------------------------------------------
+
+    def on_alloc(self, address: int, size: int, kind: str = "heap") -> Allocation:
+        self.stats.tracking_events += 1
+        self.stats.tracking_cycles += self.costs.alloc_table_update
+        # Stack allocas land inside the stack block the loader registered;
+        # the table tracks "the stack" as one entry (Section 4.2), so a
+        # covered sub-allocation needs no new node.
+        containing = self.table.find_containing(address, max(1, size))
+        if containing is not None and containing.kind == "stack":
+            return containing
+        allocation = self.table.add(address, size, kind)
+        self._note_footprint()
+        return allocation
+
+    def on_free(self, address: int) -> Optional[Allocation]:
+        self.stats.tracking_events += 1
+        self.stats.tracking_cycles += self.costs.alloc_table_update
+        if self.table.find_containing(address) is not None:
+            # Attribute pending records before the allocation disappears so
+            # the lifetime histogram (Figure 5) sees them.
+            self.escapes.flush(self.table, self.memory.read_u64)
+        allocation = self.table.remove_if_present(address)
+        if allocation is not None:
+            count = self.escapes.escape_count(allocation)
+            self._lifetime_escape_counts[count] = (
+                self._lifetime_escape_counts.get(count, 0) + 1
+            )
+            self.escapes.drop_allocation(allocation.address)
+        return allocation
+
+    def on_escape(self, location: int) -> None:
+        self.stats.tracking_events += 1
+        self.stats.tracking_cycles += self.costs.escape_record
+        self.escapes.record(location)
+        if self.escapes.needs_flush():
+            self.flush_escapes()
+
+    def flush_escapes(self) -> int:
+        resolved = self.escapes.flush(self.table, self.memory.read_u64)
+        # Batch resolution costs one table lookup per record.
+        self.stats.tracking_cycles += resolved * (self.costs.escape_record * 2)
+        if resolved:
+            self._note_footprint()
+        return resolved
+
+    def _note_footprint(self) -> None:
+        current = self.tracking_footprint_bytes()
+        if current > self.peak_tracking_bytes:
+            self.peak_tracking_bytes = current
+
+    # ------------------------------------------------------------------
+    # Guards (carat.guard.*)
+    # ------------------------------------------------------------------
+
+    def guard_access(self, address: int, size: int, access: str) -> int:
+        """Validate a data access; returns cycles charged, raises
+        :class:`ProtectionFault` when disallowed."""
+        outcome = self.guard.check(self.regions, address, size, access)
+        self.stats.guards_executed += 1
+        self.stats.guard_cycles += outcome.cycles
+        if not outcome.allowed:
+            self.stats.guard_faults += 1
+            raise ProtectionFault(address, size, access)
+        return outcome.cycles
+
+    def guard_range(self, address: int, length: int, access: str = "read") -> int:
+        """Merged (Opt-2) guard: the whole byte range must be permitted for
+        ``access``.  Zero-length ranges always pass — emitted for loops
+        whose trip count may be zero."""
+        self.stats.guards_executed += 1
+        if length <= 0:
+            self.stats.guard_cycles += self.costs.instruction
+            return self.costs.instruction
+        outcome = self.guard.check(self.regions, address, length, access)
+        self.stats.guard_cycles += outcome.cycles
+        if not outcome.allowed:
+            self.stats.guard_faults += 1
+            raise ProtectionFault(address, length, "range")
+        return outcome.cycles
+
+    def guard_call(self, stack_pointer: int, frame_size: int) -> int:
+        """Call guard: the callee's worst-case frame [sp-frame, sp) must be
+        inside a writable region (the stack grows down)."""
+        base = stack_pointer - frame_size
+        outcome = self.guard.check(self.regions, base, frame_size, "write")
+        self.stats.guards_executed += 1
+        self.stats.guard_cycles += outcome.cycles
+        if not outcome.allowed:
+            self.stats.guard_faults += 1
+            # A failed stack guard aborts to the kernel, which may choose
+            # to expand the stack (Section 2.2); the interpreter surfaces
+            # this as a fault the kernel can catch.
+            raise ProtectionFault(base, frame_size, "stack")
+        return outcome.cycles
+
+    # ------------------------------------------------------------------
+    # Kernel-driven changes (Figure 8)
+    # ------------------------------------------------------------------
+
+    def world_stop(self, thread_count: int = 1) -> int:
+        """Steps 2-4: signal threads, dump registers, barrier.  Returns the
+        cycles charged."""
+        self._stopped = True
+        self.stats.world_stops += 1
+        cycles = self.costs.world_stop_per_thread * max(1, thread_count)
+        return cycles
+
+    def resume(self) -> None:
+        self._stopped = False
+
+    @property
+    def is_stopped(self) -> bool:
+        return self._stopped
+
+    def service_move_request(
+        self,
+        lo: int,
+        hi: int,
+        destination: int,
+        register_snapshots: Optional[List[RegisterSnapshot]] = None,
+    ) -> Tuple[MovePlan, MoveCost]:
+        """Steps 4-12 for one move request.  The caller (kernel module) is
+        responsible for the world-stop bracket and for updating the region
+        set afterwards."""
+        plan, cost = self.patcher.move_pages(
+            lo, hi, destination, register_snapshots
+        )
+        self.stats.moves_serviced += 1
+        self.stats.move_cost_accum = self.stats.move_cost_accum + cost
+        return plan, cost
+
+    # ------------------------------------------------------------------
+    # Introspection (feasibility figures)
+    # ------------------------------------------------------------------
+
+    def tracking_footprint_bytes(self) -> int:
+        """Memory dedicated to the tracking structures (Figure 6)."""
+        return (
+            len(self.table) * self.TABLE_ENTRY_BYTES
+            + self.escapes.memory_footprint_bytes()
+        )
+
+    def escape_histogram(self) -> Dict[int, int]:
+        """Escapes-per-allocation over the whole run (Figure 5): freed
+        allocations contribute their count at free time, live ones their
+        current count.  Flushes first so pending records are attributed."""
+        self.flush_escapes()
+        histogram = dict(self._lifetime_escape_counts)
+        for count, allocations in self.escapes.histogram().items():
+            histogram[count] = histogram.get(count, 0) + allocations
+        zero_live = sum(
+            1 for a in self.table if self.escapes.escape_count(a) == 0
+        )
+        if zero_live:
+            histogram[0] = histogram.get(0, 0) + zero_live
+        return histogram
+
+    def worst_case_allocation(self) -> Optional[Allocation]:
+        """The live allocation with the most escapes — the page the
+        Figure 9 experiment keeps moving."""
+        self.flush_escapes()
+        best: Optional[Allocation] = None
+        best_count = -1
+        for allocation in self.table:
+            count = self.escapes.escape_count(allocation)
+            if count > best_count:
+                best, best_count = allocation, count
+        return best

@@ -1,0 +1,29 @@
+"""Generic (non-CARAT) IR transformations.
+
+* :mod:`repro.transform.mem2reg` — SSA construction
+* :mod:`repro.transform.simplify` — constant folding / peepholes
+* :mod:`repro.transform.dce` — dead code and dead block elimination
+* :mod:`repro.transform.licm` — loop-invariant code motion
+* :mod:`repro.transform.pass_manager` — ordering and statistics
+"""
+
+from repro.transform.dce import eliminate_dead_code
+from repro.transform.licm import hoist_loop_invariants
+from repro.transform.mem2reg import promote_memory_to_registers
+from repro.transform.pass_manager import (
+    PassManager,
+    optimize_module,
+    standard_optimization_pipeline,
+)
+from repro.transform.simplify import fold_icmp, fold_int_binop
+
+__all__ = [
+    "eliminate_dead_code",
+    "hoist_loop_invariants",
+    "promote_memory_to_registers",
+    "PassManager",
+    "optimize_module",
+    "standard_optimization_pipeline",
+    "fold_icmp",
+    "fold_int_binop",
+]

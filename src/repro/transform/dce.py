@@ -1,0 +1,64 @@
+"""Dead code elimination.
+
+Removes instructions whose results are unused and that have no side
+effects, iterating until a fixed point so chains of dead computation
+disappear.  Also provides dead-block removal (delegating to the CFG
+utilities) as part of the standard cleanup pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import remove_unreachable_blocks
+from repro.ir.instructions import (
+    AllocaInst,
+    CallInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+)
+from repro.ir.module import Function, Module
+
+
+def is_trivially_dead(inst: Instruction) -> bool:
+    """Unused and side-effect free.
+
+    Loads are removable when unused (the memory state is unaffected);
+    allocas are removable when unused; calls are only removable when they
+    are known readonly.  Stores, branches, and returns never are.
+    """
+    if inst.type.is_void:
+        return False
+    if inst.num_uses:
+        return False
+    if isinstance(inst, CallInst):
+        return inst.is_readonly_call()
+    if inst.is_terminator:
+        return False
+    return True
+
+
+def eliminate_dead_code(fn: Function) -> int:
+    """Iteratively remove dead instructions.  Returns the number removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for inst in reversed(list(block.instructions)):
+                if is_trivially_dead(inst):
+                    inst.erase_from_parent()
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def run_on_function(fn: Function) -> int:
+    removed = eliminate_dead_code(fn)
+    removed += remove_unreachable_blocks(fn)
+    # Unreachable-block removal can orphan values; one more DCE sweep.
+    removed += eliminate_dead_code(fn)
+    return removed
+
+
+def run_on_module(module: Module) -> int:
+    return sum(run_on_function(fn) for fn in module.defined_functions())

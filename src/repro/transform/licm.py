@@ -1,0 +1,154 @@
+"""Loop-invariant code motion.
+
+Hoists computations whose operands are loop-invariant into the loop
+preheader.  Pure instructions (arithmetic, comparisons, casts, GEPs,
+selects) hoist whenever their operands are invariant and their block
+dominates all loop exits *or* the instruction is speculatable.  Loads
+hoist when, additionally, the PD analysis proves nothing in the loop may
+write the location (the paper's enhanced invariance detection).
+
+This pass represents the "readily-available compiler optimizations" of
+Figure 3(a); the CARAT-specific guard optimizations build on the same
+analyses but live in :mod:`repro.carat.guard_opt`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.alias import ChainedAliasAnalysis
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loops import Loop, LoopInfo
+from repro.analysis.pdg import ProgramDependenceGraph
+from repro.ir.instructions import (
+    BinaryInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    SelectInst,
+)
+from repro.ir.module import Function, Module
+from repro.ir.values import Constant, Value
+
+
+_SPECULATABLE_OPS = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "lshr",
+        "ashr",
+        "fadd",
+        "fsub",
+        "fmul",
+        "icmp",
+        "fcmp",
+        "getelementptr",
+        "select",
+        "bitcast",
+        "ptrtoint",
+        "inttoptr",
+        "trunc",
+        "zext",
+        "sext",
+        "sitofp",
+        "fptosi",
+    }
+)
+
+
+def _is_invariant_operand(value: Value, loop: Loop) -> bool:
+    if isinstance(value, Instruction):
+        return value.parent is not None and value.parent not in loop.blocks
+    return True  # constants, arguments, globals, functions
+
+
+def _is_hoistable_pure(inst: Instruction, loop: Loop) -> bool:
+    if inst.opcode not in _SPECULATABLE_OPS:
+        return False
+    if isinstance(inst, PhiInst):
+        return False
+    return all(_is_invariant_operand(op, loop) for op in inst.operands)
+
+
+def _is_hoistable_load(
+    inst: LoadInst, loop: Loop, pdg: ProgramDependenceGraph, domtree: DominatorTree
+) -> bool:
+    if not _is_invariant_operand(inst.pointer, loop):
+        return False
+    if pdg.writers_in_loop(loop, inst.pointer, inst.access_size()):
+        return False
+    # The load must execute on every complete iteration to be hoisted
+    # safely (it could fault if speculated); require that its block
+    # dominates every latch.
+    block = inst.parent
+    assert block is not None
+    return all(domtree.dominates(block, latch) for latch in loop.latches)
+
+
+def hoist_loop_invariants(fn: Function) -> int:
+    """Run LICM over all loops of ``fn`` (innermost first).  Returns the
+    number of instructions hoisted."""
+    if fn.is_declaration:
+        return 0
+    hoisted_total = 0
+    # Loop structure changes as preheaders are created, so iterate until
+    # no more hoisting happens (bounded by instruction count).
+    for _ in range(10):
+        domtree = DominatorTree.compute(fn)
+        loop_info = LoopInfo.compute(fn, domtree)
+        if not loop_info.loops:
+            return hoisted_total
+        aa = ChainedAliasAnalysis.standard(fn)
+        pdg = ProgramDependenceGraph(fn, aa)
+        hoisted_this_round = 0
+        for loop in sorted(loop_info.loops, key=lambda l: -l.depth):
+            hoisted_this_round += _hoist_in_loop(fn, loop, loop_info, pdg, domtree)
+        hoisted_total += hoisted_this_round
+        if not hoisted_this_round:
+            break
+    return hoisted_total
+
+
+def _hoist_in_loop(
+    fn: Function,
+    loop: Loop,
+    loop_info: LoopInfo,
+    pdg: ProgramDependenceGraph,
+    domtree: DominatorTree,
+) -> int:
+    candidates: List[Instruction] = []
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if _is_hoistable_pure(inst, loop):
+                candidates.append(inst)
+            elif isinstance(inst, LoadInst) and _is_hoistable_load(
+                inst, loop, pdg, domtree
+            ):
+                candidates.append(inst)
+    if not candidates:
+        return 0
+    preheader = loop_info.ensure_preheader(loop)
+    terminator = preheader.terminator
+    assert terminator is not None
+    hoisted = 0
+    for inst in candidates:
+        block = inst.parent
+        if block is None:
+            continue
+        block.remove(inst)
+        preheader.insert_before(terminator, inst)
+        hoisted += 1
+    return hoisted
+
+
+def run_on_module(module: Module) -> int:
+    return sum(hoist_loop_invariants(fn) for fn in module.defined_functions())

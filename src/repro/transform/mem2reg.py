@@ -1,0 +1,192 @@
+"""SSA construction: promote memory-only allocas to registers.
+
+The Mini-C frontend lowers every local variable to an ``alloca`` plus
+loads/stores (the classic "simple lowering").  This pass promotes allocas
+whose address never escapes — only direct loads and stores use them — into
+SSA values, inserting phi nodes at dominance frontiers and renaming uses
+along the dominator tree (Cytron et al.).
+
+Running mem2reg before the CARAT passes mirrors clang -O2 feeding the
+CARAT middle-end: induction variables become phis that SCEV can analyze,
+and guard counts reflect real memory traffic rather than frontend
+scaffolding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import reachable_blocks
+from repro.analysis.dominators import DominatorTree
+from repro.ir.instructions import (
+    AllocaInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    StoreInst,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import UndefValue, Value
+
+
+def is_promotable(alloca: AllocaInst) -> bool:
+    """An alloca is promotable when it is statically sized with count 1 and
+    every use is a direct load or a store *through* it (not of it)."""
+    if not alloca.is_static:
+        return False
+    if alloca.allocated_type.is_aggregate:
+        return False
+    from repro.ir.values import ConstantInt
+
+    count = alloca.count
+    if not isinstance(count, ConstantInt) or count.value != 1:
+        return False
+    for use in alloca.uses:
+        user = use.user
+        if isinstance(user, LoadInst):
+            continue
+        if isinstance(user, StoreInst) and user.pointer is alloca:
+            continue
+        return False
+    return True
+
+
+def promote_memory_to_registers(fn: Function) -> int:
+    """Promote all promotable allocas in ``fn``.  Returns the number
+    promoted."""
+    if fn.is_declaration:
+        return 0
+    allocas = [
+        inst
+        for inst in fn.entry.instructions
+        if isinstance(inst, AllocaInst) and is_promotable(inst)
+    ]
+    if not allocas:
+        return 0
+    domtree = DominatorTree.compute(fn)
+    frontier = domtree.dominance_frontier()
+    reachable = reachable_blocks(fn)
+
+    # 1. Phi placement per alloca (pruned by def blocks).
+    phi_for: Dict[Tuple[int, int], PhiInst] = {}  # (alloca id, block id) -> phi
+    phi_alloca: Dict[int, AllocaInst] = {}  # phi id -> alloca
+    for alloca in allocas:
+        def_blocks: List[BasicBlock] = []
+        for use in alloca.uses:
+            user = use.user
+            if isinstance(user, StoreInst) and user.parent in reachable:
+                if user.parent not in def_blocks:
+                    def_blocks.append(user.parent)
+        worklist = list(def_blocks)
+        placed: Set[int] = set()
+        while worklist:
+            block = worklist.pop()
+            for df_block in frontier.get(block, ()):
+                if id(df_block) in placed:
+                    continue
+                placed.add(id(df_block))
+                phi = PhiInst(alloca.allocated_type)
+                phi.name = fn.unique_name(f"{alloca.name}.phi")
+                df_block.insert(0, phi)
+                phi_for[(id(alloca), id(df_block))] = phi
+                phi_alloca[id(phi)] = alloca
+                if df_block not in def_blocks:
+                    worklist.append(df_block)
+
+    # 2. Rename along the dominator tree.
+    alloca_ids = {id(a) for a in allocas}
+    undef_of = {id(a): UndefValue(a.allocated_type) for a in allocas}
+
+    def rename(block: BasicBlock, incoming: Dict[int, Value]) -> None:
+        values = dict(incoming)
+        for inst in list(block.instructions):
+            if isinstance(inst, PhiInst) and id(inst) in phi_alloca:
+                values[id(phi_alloca[id(inst)])] = inst
+                continue
+            if isinstance(inst, LoadInst) and id(inst.pointer) in alloca_ids:
+                key = id(inst.pointer)
+                current = values.get(key, undef_of[key])
+                inst.replace_all_uses_with(current)
+                inst.erase_from_parent()
+                continue
+            if (
+                isinstance(inst, StoreInst)
+                and id(inst.pointer) in alloca_ids
+            ):
+                values[id(inst.pointer)] = inst.value
+                inst.erase_from_parent()
+                continue
+        for succ in block.successors():
+            for phi in succ.phis():
+                alloca = phi_alloca.get(id(phi))
+                if alloca is None:
+                    continue
+                value = values.get(id(alloca), undef_of[id(alloca)])
+                # One incoming entry per (pred, phi) pair; block may appear
+                # multiple times as a pred only via distinct branch targets,
+                # which our BranchInst forbids being identical... guard anyway.
+                already = any(b is block for _, b in phi.incoming)
+                if not already:
+                    phi.add_incoming(value, block)
+        for child in domtree.children(block):
+            rename(child, values)
+
+    # Recursion depth can exceed Python's limit on deep CFGs; use an
+    # explicit stack mirroring the recursive structure.
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10 * len(fn.blocks) + 1000))
+    try:
+        rename(fn.entry, {})
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    # 3. Remove the dead allocas (and any stores in unreachable blocks).
+    promoted = 0
+    for alloca in allocas:
+        for use in list(alloca.uses):
+            user = use.user
+            # Remaining users sit in unreachable blocks; drop them.
+            if isinstance(user, LoadInst):
+                user.replace_all_uses_with(undef_of[id(alloca)])
+            if user.parent is not None:
+                user.parent.remove(user)
+            user.drop_all_operands()
+        alloca.erase_from_parent()
+        promoted += 1
+
+    # 4. Prune trivial phis (single unique incoming value).
+    _simplify_trivial_phis(fn)
+    return promoted
+
+
+def _simplify_trivial_phis(fn: Function) -> None:
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for phi in list(block.phis()):
+                incoming_values = [
+                    v for v, _ in phi.incoming if v is not phi
+                ]
+                unique: List[Value] = []
+                for v in incoming_values:
+                    if all(u is not v for u in unique):
+                        unique.append(v)
+                if len(unique) == 1:
+                    phi.replace_all_uses_with(unique[0])
+                    phi.erase_from_parent()
+                    changed = True
+                elif not unique:
+                    # Self-referential or empty phi in unreachable cycle.
+                    if phi.num_uses == 0:
+                        phi.erase_from_parent()
+                        changed = True
+
+
+def run_on_module(module: Module) -> int:
+    total = 0
+    for fn in module.defined_functions():
+        total += promote_memory_to_registers(fn)
+    return total

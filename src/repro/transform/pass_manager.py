@@ -1,0 +1,67 @@
+"""Pass manager: named module passes, ordering, and statistics.
+
+Thin by design — passes are plain callables ``Module -> int`` (returning a
+change count).  The manager records per-pass change counts and optionally
+verifies the module after each pass, which the test suite switches on to
+catch pass bugs at their source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+
+ModulePass = Callable[[Module], int]
+
+
+@dataclass
+class PassResult:
+    name: str
+    changes: int
+
+
+@dataclass
+class PassManager:
+    verify_after_each: bool = False
+    _passes: List[tuple] = field(default_factory=list)
+    results: List[PassResult] = field(default_factory=list)
+
+    def add(self, name: str, module_pass: ModulePass) -> "PassManager":
+        self._passes.append((name, module_pass))
+        return self
+
+    def run(self, module: Module) -> Dict[str, int]:
+        self.results = []
+        for name, module_pass in self._passes:
+            changes = module_pass(module)
+            self.results.append(PassResult(name, changes))
+            if self.verify_after_each:
+                try:
+                    verify_module(module)
+                except Exception as exc:  # re-raise with pass attribution
+                    raise type(exc)(f"after pass {name!r}: {exc}") from exc
+        return {r.name: r.changes for r in self.results}
+
+
+def standard_optimization_pipeline(verify: bool = False) -> PassManager:
+    """The "general optimizations" pipeline (the -O2 stand-in used as the
+    baseline in Figure 3(a)): SSA construction, simplification, DCE, LICM,
+    then one more cleanup round."""
+    from repro.transform import dce, licm, mem2reg, simplify
+
+    pm = PassManager(verify_after_each=verify)
+    pm.add("mem2reg", mem2reg.run_on_module)
+    pm.add("simplify", simplify.run_on_module)
+    pm.add("dce", dce.run_on_module)
+    pm.add("licm", licm.run_on_module)
+    pm.add("simplify.2", simplify.run_on_module)
+    pm.add("dce.2", dce.run_on_module)
+    return pm
+
+
+def optimize_module(module: Module, verify: bool = False) -> Dict[str, int]:
+    """Run the standard pipeline over ``module`` and return change counts."""
+    return standard_optimization_pipeline(verify).run(module)

@@ -1,0 +1,12 @@
+"""The benchmark workload suite (Mini-C stand-ins for the paper's
+Mantevo / NAS / PARSEC / SPEC2017 selection)."""
+
+from repro.workloads.suite import (
+    SCALES,
+    Workload,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+__all__ = ["SCALES", "Workload", "all_workloads", "get_workload", "workload_names"]

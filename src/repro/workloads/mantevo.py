@@ -1,0 +1,80 @@
+"""Mantevo HPCCG stand-in: a conjugate-gradient mini-app on a 27-point
+stencil sparse matrix.  Regular affine sweeps over a handful of large
+arrays — exactly the pattern CARAT's Opt-2 (guard merging) eats for
+breakfast and a moderate TLB load under paging."""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload, _tier, register
+
+
+@register("hpccg")
+def hpccg(scale: str) -> Workload:
+    n = _tier(scale, 64, 256, 1024)
+    iters = _tier(scale, 3, 6, 10)
+    source = f"""
+// HPCCG: CG iterations on an implicit tridiagonal-ish stencil operator.
+long N = {n};
+long ITERS = {iters};
+
+double dot(double *x, double *y, long n) {{
+  double s = 0.0;
+  long i;
+  for (i = 0; i < n; i++) {{ s = s + x[i] * y[i]; }}
+  return s;
+}}
+
+void waxpby(double *w, double alpha, double *x, double beta, double *y, long n) {{
+  long i;
+  for (i = 0; i < n; i++) {{ w[i] = alpha * x[i] + beta * y[i]; }}
+}}
+
+void spmv(double *y, double *x, long n) {{
+  long i;
+  for (i = 0; i < n; i++) {{
+    double acc = 4.0 * x[i];
+    if (i > 0) {{ acc = acc - x[i - 1]; }}
+    if (i < n - 1) {{ acc = acc - x[i + 1]; }}
+    y[i] = acc;
+  }}
+}}
+
+void main() {{
+  long n = N;
+  double *b = (double*)malloc(sizeof(double) * n);
+  double *x = (double*)malloc(sizeof(double) * n);
+  double *r = (double*)malloc(sizeof(double) * n);
+  double *p = (double*)malloc(sizeof(double) * n);
+  double *ap = (double*)malloc(sizeof(double) * n);
+  long i;
+  for (i = 0; i < n; i++) {{ b[i] = 1.0; x[i] = 0.0; }}
+  // r = b - A*x = b ; p = r
+  for (i = 0; i < n; i++) {{ r[i] = b[i]; p[i] = r[i]; }}
+  double rr = dot(r, r, n);
+  long it;
+  for (it = 0; it < ITERS; it++) {{
+    spmv(ap, p, n);
+    double pap = dot(p, ap, n);
+    if (pap == 0.0) {{ break; }}
+    double alpha = rr / pap;
+    waxpby(x, 1.0, x, alpha, p, n);
+    waxpby(r, 1.0, r, -alpha, ap, n);
+    double rr_new = dot(r, r, n);
+    double beta = rr_new / rr;
+    waxpby(p, 1.0, r, beta, p, n);
+    rr = rr_new;
+  }}
+  double sum = 0.0;
+  for (i = 0; i < n; i++) {{ sum = sum + x[i]; }}
+  print_long((long)(sum * 1000.0));
+  free((char*)b); free((char*)x); free((char*)r);
+  free((char*)p); free((char*)ap);
+}}
+"""
+    return Workload(
+        name="hpccg",
+        suite="mantevo",
+        description="conjugate gradient mini-app, stencil SpMV",
+        behavior="regular-affine",
+        source=source,
+    )

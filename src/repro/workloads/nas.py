@@ -1,0 +1,218 @@
+"""NAS Parallel Benchmark stand-ins: CG, EP, FT, LU.
+
+Each reproduces the class of behaviour the original is known for:
+
+* **CG** — sparse matvec with an indirection vector (``a[col[j]]``
+  gathers): irregular reach, real TLB pressure.
+* **EP** — random-number crunching with an almost empty data footprint:
+  the low end of every memory metric.
+* **FT** — large *global* arrays (bss LOAD sections): the static
+  footprint ≈ total allocations case Table 2 calls out as pre-allocatable.
+* **LU** — blocked dense factorization sweeps over a global matrix.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload, _tier, register
+
+_LCG = """
+long lcg_state;
+long lcg_next(long bound) {
+  lcg_state = (lcg_state * 1103515245 + 12345) % 2147483648;
+  if (lcg_state < 0) { lcg_state = -lcg_state; }
+  return lcg_state % bound;
+}
+"""
+
+
+@register("cg")
+def cg(scale: str) -> Workload:
+    n = _tier(scale, 48, 192, 768)
+    nnz_per_row = 8
+    iters = _tier(scale, 2, 4, 8)
+    source = f"""
+// NAS CG: sparse matvec with column-index gathers.
+{_LCG}
+long N = {n};
+long NNZ = {nnz_per_row};
+long ITERS = {iters};
+
+void main() {{
+  long n = N;
+  long nnz = n * NNZ;
+  double *vals = (double*)malloc(sizeof(double) * nnz);
+  long *cols = (long*)malloc(sizeof(long) * nnz);
+  double *x = (double*)malloc(sizeof(double) * n);
+  double *y = (double*)malloc(sizeof(double) * n);
+  lcg_state = 42;
+  long i;
+  for (i = 0; i < nnz; i++) {{
+    vals[i] = 1.0 / (1.0 + (double)(i % 13));
+    cols[i] = lcg_next(n);
+  }}
+  for (i = 0; i < n; i++) {{ x[i] = 1.0; }}
+  long it;
+  for (it = 0; it < ITERS; it++) {{
+    long row;
+    for (row = 0; row < n; row++) {{
+      double acc = 0.0;
+      long j;
+      for (j = row * NNZ; j < (row + 1) * NNZ; j++) {{
+        acc = acc + vals[j] * x[cols[j]];
+      }}
+      y[row] = acc;
+    }}
+    double norm = 0.0;
+    for (i = 0; i < n; i++) {{ norm = norm + y[i] * y[i]; }}
+    if (norm > 0.0) {{
+      double inv = 1.0 / sqrt(norm);
+      for (i = 0; i < n; i++) {{ x[i] = y[i] * inv; }}
+    }}
+  }}
+  double sum = 0.0;
+  for (i = 0; i < n; i++) {{ sum = sum + x[i]; }}
+  print_long((long)(sum * 1000.0));
+  free((char*)vals); free((char*)cols); free((char*)x); free((char*)y);
+}}
+"""
+    return Workload(
+        name="cg",
+        suite="nas",
+        description="sparse matvec with random column gathers",
+        behavior="irregular-gather",
+        source=source,
+    )
+
+
+@register("ep")
+def ep(scale: str) -> Workload:
+    pairs = _tier(scale, 400, 2000, 10000)
+    source = f"""
+// NAS EP: embarrassingly parallel random pairs; tiny data footprint.
+{_LCG}
+long PAIRS = {pairs};
+long counts[10];
+
+void main() {{
+  lcg_state = 271828;
+  long accepted = 0;
+  long i;
+  for (i = 0; i < PAIRS; i++) {{
+    double u = (double)lcg_next(1000000) / 1000000.0;
+    double v = (double)lcg_next(1000000) / 1000000.0;
+    double x = 2.0 * u - 1.0;
+    double y = 2.0 * v - 1.0;
+    double t = x * x + y * y;
+    if (t <= 1.0 && t > 0.0) {{
+      accepted = accepted + 1;
+      double m = sqrt(-2.0 * log(t) / t);
+      double gx = fabs(x * m);
+      long bin = (long)gx;
+      if (bin > 9) {{ bin = 9; }}
+      counts[bin] = counts[bin] + 1;
+    }}
+  }}
+  long total = accepted;
+  for (i = 0; i < 10; i++) {{ total = total + counts[i]; }}
+  print_long(total);
+}}
+"""
+    return Workload(
+        name="ep",
+        suite="nas",
+        description="random-number kernel with near-zero footprint",
+        behavior="compute-bound",
+        source=source,
+    )
+
+
+@register("ft")
+def ft(scale: str) -> Workload:
+    n = _tier(scale, 512, 4096, 16384)
+    passes = _tier(scale, 2, 3, 4)
+    source = f"""
+// NAS FT: large global (bss) arrays — static footprint == allocations.
+long N = {n};
+long PASSES = {passes};
+double re[{n}];
+double im[{n}];
+double scratch[{n}];
+
+void main() {{
+  long n = N;
+  long i;
+  for (i = 0; i < n; i++) {{
+    re[i] = (double)(i % 17) * 0.25;
+    im[i] = (double)(i % 5) * 0.5;
+  }}
+  long p;
+  for (p = 0; p < PASSES; p++) {{
+    // Butterfly-ish pass with stride halving (bit-reversal flavour).
+    long stride = n / 2;
+    while (stride >= 1) {{
+      for (i = 0; i + stride < n; i = i + 2 * stride) {{
+        double a = re[i];
+        double b = re[i + stride];
+        scratch[i] = a + b;
+        scratch[i + stride] = a - b;
+      }}
+      for (i = 0; i < n; i++) {{ re[i] = scratch[i]; }}
+      stride = stride / 2;
+    }}
+    for (i = 0; i < n; i++) {{ im[i] = im[i] + re[i] * 0.001; }}
+  }}
+  double sum = 0.0;
+  for (i = 0; i < n; i++) {{ sum = sum + im[i]; }}
+  print_long((long)sum);
+}}
+"""
+    return Workload(
+        name="ft",
+        suite="nas",
+        description="FFT-style passes over large global arrays",
+        behavior="large-static",
+        source=source,
+    )
+
+
+@register("lu")
+def lu(scale: str) -> Workload:
+    n = _tier(scale, 16, 32, 64)
+    source = f"""
+// NAS LU: dense factorization over a global matrix (row-major 1D).
+long N = {n};
+double a[{n * n}];
+
+void main() {{
+  long n = N;
+  long i;
+  long j;
+  long k;
+  for (i = 0; i < n; i++) {{
+    for (j = 0; j < n; j++) {{
+      a[i * n + j] = (double)((i * 7 + j * 3) % 11) + 1.0;
+      if (i == j) {{ a[i * n + j] = a[i * n + j] + (double)n; }}
+    }}
+  }}
+  for (k = 0; k < n - 1; k++) {{
+    double pivot = a[k * n + k];
+    for (i = k + 1; i < n; i++) {{
+      double m = a[i * n + k] / pivot;
+      a[i * n + k] = m;
+      for (j = k + 1; j < n; j++) {{
+        a[i * n + j] = a[i * n + j] - m * a[k * n + j];
+      }}
+    }}
+  }}
+  double trace = 0.0;
+  for (i = 0; i < n; i++) {{ trace = trace + a[i * n + i]; }}
+  print_long((long)(trace * 100.0));
+}}
+"""
+    return Workload(
+        name="lu",
+        suite="nas",
+        description="dense LU factorization sweeps over a global matrix",
+        behavior="blocked-dense",
+        source=source,
+    )

@@ -1,0 +1,531 @@
+"""PARSEC stand-ins: blackscholes, bodytrack, canneal, fluidanimate,
+freqmine, streamcluster, swaptions, x264.
+
+Behaviour classes reproduced:
+
+* **blackscholes** — independent option pricing over parallel arrays,
+  transcendental-heavy, perfectly affine.
+* **bodytrack** — medium arrays with a particle-filter-ish weighted
+  resampling (mixed regular/indirect).
+* **canneal** — pointer-chasing over a randomized element graph with
+  random swaps: the TLB-hostile one.
+* **fluidanimate** — grid cells with neighbour access.
+* **freqmine** — FP-tree building: many small linked allocations, lots of
+  escapes.
+* **streamcluster** — many escapes from few allocations, all created
+  early (the paper singles this profile out in Figures 5-7).
+* **swaptions** — many short-lived allocations per iteration (the memory
+  tracking outlier of Figure 6).
+* **x264** — strided sweeps over frame buffers with a motion-search
+  window.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload, _tier, register
+
+_LCG = """
+long lcg_state;
+long lcg_next(long bound) {
+  lcg_state = (lcg_state * 1103515245 + 12345) % 2147483648;
+  if (lcg_state < 0) { lcg_state = -lcg_state; }
+  return lcg_state % bound;
+}
+"""
+
+
+@register("blackscholes")
+def blackscholes(scale: str) -> Workload:
+    n = _tier(scale, 100, 500, 2500)
+    source = f"""
+// blackscholes: independent option pricing over parallel arrays.
+long N = {n};
+
+double cndf(double x) {{
+  double ax = fabs(x);
+  double k = 1.0 / (1.0 + 0.2316419 * ax);
+  double poly = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937
+      + k * (-1.821255978 + k * 1.330274429))));
+  double w = 1.0 - 0.39894228 * exp(-0.5 * ax * ax) * poly;
+  if (x < 0.0) {{ return 1.0 - w; }}
+  return w;
+}}
+
+void main() {{
+  long n = N;
+  double *spot = (double*)malloc(sizeof(double) * n);
+  double *strike = (double*)malloc(sizeof(double) * n);
+  double *rate = (double*)malloc(sizeof(double) * n);
+  double *vol = (double*)malloc(sizeof(double) * n);
+  double *time = (double*)malloc(sizeof(double) * n);
+  double *price = (double*)malloc(sizeof(double) * n);
+  long i;
+  for (i = 0; i < n; i++) {{
+    spot[i] = 90.0 + (double)(i % 21);
+    strike[i] = 100.0;
+    rate[i] = 0.02 + 0.0001 * (double)(i % 7);
+    vol[i] = 0.2 + 0.001 * (double)(i % 11);
+    time[i] = 0.5 + 0.01 * (double)(i % 13);
+  }}
+  for (i = 0; i < n; i++) {{
+    double s = spot[i];
+    double k = strike[i];
+    double r = rate[i];
+    double v = vol[i];
+    double t = time[i];
+    double sq = v * sqrt(t);
+    double d1 = (log(s / k) + (r + 0.5 * v * v) * t) / sq;
+    double d2 = d1 - sq;
+    price[i] = s * cndf(d1) - k * exp(-r * t) * cndf(d2);
+  }}
+  double sum = 0.0;
+  for (i = 0; i < n; i++) {{ sum = sum + price[i]; }}
+  print_long((long)(sum * 100.0));
+  free((char*)spot); free((char*)strike); free((char*)rate);
+  free((char*)vol); free((char*)time); free((char*)price);
+}}
+"""
+    return Workload(
+        name="blackscholes",
+        suite="parsec",
+        description="option pricing over parallel arrays",
+        behavior="regular-affine",
+        source=source,
+    )
+
+
+@register("bodytrack")
+def bodytrack(scale: str) -> Workload:
+    particles = _tier(scale, 64, 256, 1024)
+    frames = _tier(scale, 3, 6, 12)
+    source = f"""
+// bodytrack: particle filter — weight, normalize, resample by index.
+{_LCG}
+long PARTICLES = {particles};
+long FRAMES = {frames};
+
+void main() {{
+  long n = PARTICLES;
+  double *state = (double*)malloc(sizeof(double) * n);
+  double *weight = (double*)malloc(sizeof(double) * n);
+  long *pick = (long*)malloc(sizeof(long) * n);
+  double *next = (double*)malloc(sizeof(double) * n);
+  lcg_state = 7;
+  long i;
+  for (i = 0; i < n; i++) {{ state[i] = (double)lcg_next(100) * 0.01; }}
+  long f;
+  for (f = 0; f < FRAMES; f++) {{
+    double target = 0.5 + 0.1 * (double)(f % 3);
+    double total = 0.0;
+    for (i = 0; i < n; i++) {{
+      double d = state[i] - target;
+      weight[i] = exp(-4.0 * d * d);
+      total = total + weight[i];
+    }}
+    // Systematic resampling by cumulative weight.
+    double step = total / (double)n;
+    double cursor = step * 0.5;
+    double acc = 0.0;
+    long j = 0;
+    for (i = 0; i < n; i++) {{
+      acc = acc + weight[i];
+      while (j < n && cursor <= acc) {{
+        pick[j] = i;
+        cursor = cursor + step;
+        j = j + 1;
+      }}
+    }}
+    while (j < n) {{ pick[j] = n - 1; j = j + 1; }}
+    for (i = 0; i < n; i++) {{
+      double jitter = ((double)lcg_next(100) - 50.0) * 0.001;
+      next[i] = state[pick[i]] + jitter;
+    }}
+    for (i = 0; i < n; i++) {{ state[i] = next[i]; }}
+  }}
+  double sum = 0.0;
+  for (i = 0; i < n; i++) {{ sum = sum + state[i]; }}
+  print_long((long)(sum * 1000.0));
+  free((char*)state); free((char*)weight); free((char*)pick); free((char*)next);
+}}
+"""
+    return Workload(
+        name="bodytrack",
+        suite="parsec",
+        description="particle filter with indexed resampling",
+        behavior="mixed",
+        source=source,
+    )
+
+
+@register("canneal")
+def canneal(scale: str) -> Workload:
+    elements = _tier(scale, 128, 512, 2048)
+    swaps = _tier(scale, 200, 1000, 5000)
+    source = f"""
+// canneal: simulated annealing over a randomized element graph —
+// pointer chasing plus random swaps.
+{_LCG}
+struct Element {{ long location; struct Element *a; struct Element *b; }};
+long N = {elements};
+long SWAPS = {swaps};
+
+void main() {{
+  long n = N;
+  struct Element **elems =
+      (struct Element**)malloc(sizeof(struct Element*) * n);
+  lcg_state = 1234;
+  long i;
+  for (i = 0; i < n; i++) {{
+    struct Element *e = (struct Element*)malloc(sizeof(struct Element));
+    e->location = i;
+    e->a = null;
+    e->b = null;
+    elems[i] = e;
+  }}
+  for (i = 0; i < n; i++) {{
+    elems[i]->a = elems[lcg_next(n)];
+    elems[i]->b = elems[lcg_next(n)];
+  }}
+  long cost = 0;
+  long s;
+  for (s = 0; s < SWAPS; s++) {{
+    long x = lcg_next(n);
+    long y = lcg_next(n);
+    struct Element *ex = elems[x];
+    struct Element *ey = elems[y];
+    long before = 0;
+    before = before + (ex->location - ex->a->location);
+    before = before + (ey->location - ey->b->location);
+    long tmp = ex->location;
+    ex->location = ey->location;
+    ey->location = tmp;
+    long after = 0;
+    after = after + (ex->location - ex->a->location);
+    after = after + (ey->location - ey->b->location);
+    if (after * after > before * before) {{
+      // reject: swap back
+      tmp = ex->location;
+      ex->location = ey->location;
+      ey->location = tmp;
+    }} else {{
+      cost = cost + 1;
+    }}
+  }}
+  print_long(cost);
+  for (i = 0; i < n; i++) {{ free((char*)elems[i]); }}
+  free((char*)elems);
+}}
+"""
+    return Workload(
+        name="canneal",
+        suite="parsec",
+        description="annealing swaps over a randomized pointer graph",
+        behavior="pointer-chase",
+        source=source,
+    )
+
+
+@register("fluidanimate")
+def fluidanimate(scale: str) -> Workload:
+    grid = _tier(scale, 8, 16, 32)
+    steps = _tier(scale, 2, 4, 8)
+    source = f"""
+// fluidanimate: grid cells exchanging with 4-neighbourhood.
+long G = {grid};
+long STEPS = {steps};
+
+void main() {{
+  long g = G;
+  long cells = g * g;
+  double *density = (double*)malloc(sizeof(double) * cells);
+  double *next = (double*)malloc(sizeof(double) * cells);
+  long i;
+  for (i = 0; i < cells; i++) {{ density[i] = (double)((i * 13) % 7); }}
+  long s;
+  for (s = 0; s < STEPS; s++) {{
+    long x;
+    long y;
+    for (y = 0; y < g; y++) {{
+      for (x = 0; x < g; x++) {{
+        long idx = y * g + x;
+        double acc = density[idx] * 4.0;
+        if (x > 0) {{ acc = acc + density[idx - 1]; }}
+        if (x < g - 1) {{ acc = acc + density[idx + 1]; }}
+        if (y > 0) {{ acc = acc + density[idx - g]; }}
+        if (y < g - 1) {{ acc = acc + density[idx + g]; }}
+        next[idx] = acc * 0.125;
+      }}
+    }}
+    for (i = 0; i < cells; i++) {{ density[i] = next[i]; }}
+  }}
+  double sum = 0.0;
+  for (i = 0; i < cells; i++) {{ sum = sum + density[i]; }}
+  print_long((long)(sum * 10.0));
+  free((char*)density); free((char*)next);
+}}
+"""
+    return Workload(
+        name="fluidanimate",
+        suite="parsec",
+        description="grid stencil with neighbour exchange",
+        behavior="stencil",
+        source=source,
+    )
+
+
+@register("freqmine")
+def freqmine(scale: str) -> Workload:
+    transactions = _tier(scale, 60, 240, 960)
+    items = 16
+    source = f"""
+// freqmine: FP-tree construction — many small linked allocations.
+{_LCG}
+struct TreeNode {{
+  long item;
+  long count;
+  struct TreeNode *child;
+  struct TreeNode *sibling;
+}};
+long TRANSACTIONS = {transactions};
+long ITEMS = {items};
+struct TreeNode *root;
+
+struct TreeNode *find_child(struct TreeNode *node, long item) {{
+  struct TreeNode *c = node->child;
+  while (c != null) {{
+    if (c->item == item) {{ return c; }}
+    c = c->sibling;
+  }}
+  return null;
+}}
+
+struct TreeNode *add_child(struct TreeNode *node, long item) {{
+  struct TreeNode *c = (struct TreeNode*)malloc(sizeof(struct TreeNode));
+  c->item = item;
+  c->count = 0;
+  c->child = null;
+  c->sibling = node->child;
+  node->child = c;
+  return c;
+}}
+
+long count_nodes(struct TreeNode *node) {{
+  if (node == null) {{ return 0; }}
+  return 1 + count_nodes(node->child) + count_nodes(node->sibling);
+}}
+
+void main() {{
+  lcg_state = 99;
+  root = (struct TreeNode*)malloc(sizeof(struct TreeNode));
+  root->item = -1;
+  root->count = 0;
+  root->child = null;
+  root->sibling = null;
+  long t;
+  for (t = 0; t < TRANSACTIONS; t++) {{
+    struct TreeNode *cursor = root;
+    long depth = 2 + lcg_next(5);
+    long d;
+    long item = lcg_next(ITEMS);
+    for (d = 0; d < depth; d++) {{
+      struct TreeNode *child = find_child(cursor, item);
+      if (child == null) {{ child = add_child(cursor, item); }}
+      child->count = child->count + 1;
+      cursor = child;
+      item = (item + 1 + lcg_next(3)) % ITEMS;
+    }}
+  }}
+  print_long(count_nodes(root));
+}}
+"""
+    return Workload(
+        name="freqmine",
+        suite="parsec",
+        description="FP-tree building: small linked allocations, escapes",
+        behavior="allocation-heavy",
+        source=source,
+    )
+
+
+@register("streamcluster")
+def streamcluster(scale: str) -> Workload:
+    points = _tier(scale, 64, 256, 1024)
+    dims = 4
+    rounds = _tier(scale, 2, 4, 8)
+    source = f"""
+// streamcluster: k-median style — a table of pointers to point blocks
+// built once up front (many escapes early, then none), then distance
+// computation rounds.
+{_LCG}
+long POINTS = {points};
+long DIMS = {dims};
+long ROUNDS = {rounds};
+
+void main() {{
+  long n = POINTS;
+  // One block per point, all escaping into the index table immediately.
+  double **index = (double**)malloc(sizeof(double*) * n);
+  lcg_state = 5;
+  long i;
+  long d;
+  for (i = 0; i < n; i++) {{
+    double *pt = (double*)malloc(sizeof(double) * DIMS);
+    for (d = 0; d < DIMS; d++) {{ pt[d] = (double)lcg_next(100) * 0.01; }}
+    index[i] = pt;
+  }}
+  long assign_sum = 0;
+  long r;
+  for (r = 0; r < ROUNDS; r++) {{
+    long centers = 4 + r;
+    for (i = 0; i < n; i++) {{
+      double best = 1000000.0;
+      long best_c = 0;
+      long c;
+      for (c = 0; c < centers; c++) {{
+        double *a = index[i];
+        double *b = index[(c * 17) % n];
+        double dist = 0.0;
+        for (d = 0; d < DIMS; d++) {{
+          double diff = a[d] - b[d];
+          dist = dist + diff * diff;
+        }}
+        if (dist < best) {{ best = dist; best_c = c; }}
+      }}
+      assign_sum = assign_sum + best_c;
+    }}
+  }}
+  print_long(assign_sum);
+  for (i = 0; i < n; i++) {{ free((char*)index[i]); }}
+  free((char*)index);
+}}
+"""
+    return Workload(
+        name="streamcluster",
+        suite="parsec",
+        description="early escape burst then stable distance rounds",
+        behavior="early-escapes",
+        source=source,
+    )
+
+
+@register("swaptions")
+def swaptions(scale: str) -> Workload:
+    swaptions_count = _tier(scale, 20, 80, 320)
+    paths = _tier(scale, 8, 16, 32)
+    total_paths = swaptions_count * paths
+    source = f"""
+// swaptions: Monte-Carlo per swaption with a fresh scratch buffer per
+// path, all kept live until the end (as the original's per-trial results
+// are) — the tracking-footprint outlier of Figure 6.
+{_LCG}
+long COUNT = {swaptions_count};
+long PATHS = {paths};
+double *scratch[{total_paths}];
+long scratch_used;
+
+void main() {{
+  lcg_state = 31337;
+  scratch_used = 0;
+  double total = 0.0;
+  long s;
+  for (s = 0; s < COUNT; s++) {{
+    double acc = 0.0;
+    long p;
+    for (p = 0; p < PATHS; p++) {{
+      // One small live buffer per path: the table must track them all.
+      double *fwd = (double*)malloc(sizeof(double) * 4);
+      long i;
+      double rate = 0.02 + 0.0005 * (double)(s % 9);
+      double payoff = 0.0;
+      for (i = 0; i < 4; i++) {{
+        rate = rate + ((double)lcg_next(100) - 50.0) * 0.00001;
+        fwd[i] = rate;
+        payoff = payoff + rate * exp(-rate * (double)(i + 1) * 0.25);
+      }}
+      scratch[scratch_used] = fwd;
+      scratch_used = scratch_used + 1;
+      acc = acc + payoff;
+    }}
+    total = total + acc / (double)PATHS;
+  }}
+  long k;
+  for (k = 0; k < scratch_used; k++) {{ free((char*)scratch[k]); }}
+  print_long((long)(total * 1000.0));
+}}
+"""
+    return Workload(
+        name="swaptions",
+        suite="parsec",
+        description="Monte-Carlo with per-path allocation churn",
+        behavior="allocation-churn",
+        source=source,
+    )
+
+
+@register("x264")
+def x264(scale: str) -> Workload:
+    width = _tier(scale, 32, 64, 128)
+    frames = _tier(scale, 2, 4, 8)
+    source = f"""
+// x264: frame-buffer sweeps with a small motion-search window.
+{_LCG}
+long W = {width};
+long FRAMES = {frames};
+
+void main() {{
+  long w = W;
+  long pixels = w * w;
+  long *current = (long*)malloc(sizeof(long) * pixels);
+  long *reference = (long*)malloc(sizeof(long) * pixels);
+  lcg_state = 2024;
+  long i;
+  for (i = 0; i < pixels; i++) {{ reference[i] = lcg_next(256); }}
+  long sad_total = 0;
+  long f;
+  for (f = 0; f < FRAMES; f++) {{
+    for (i = 0; i < pixels; i++) {{
+      current[i] = (reference[i] + lcg_next(16) - 8) % 256;
+    }}
+    // 4x4 block motion search in a +-2 window.
+    long by;
+    long bx;
+    for (by = 2; by + 6 < w; by = by + 4) {{
+      for (bx = 2; bx + 6 < w; bx = bx + 4) {{
+        long best = 1000000;
+        long dy;
+        for (dy = -2; dy <= 2; dy = dy + 2) {{
+          long dx;
+          for (dx = -2; dx <= 2; dx = dx + 2) {{
+            long sad = 0;
+            long y;
+            for (y = 0; y < 4; y++) {{
+              long x;
+              for (x = 0; x < 4; x++) {{
+                long cur = current[(by + y) * w + bx + x];
+                long ref = reference[(by + y + dy) * w + bx + x + dx];
+                long diff = cur - ref;
+                if (diff < 0) {{ diff = -diff; }}
+                sad = sad + diff;
+              }}
+            }}
+            if (sad < best) {{ best = sad; }}
+          }}
+        }}
+        sad_total = sad_total + best;
+      }}
+    }}
+    long *tmp = current;
+    current = reference;
+    reference = tmp;
+  }}
+  print_long(sad_total);
+  free((char*)current); free((char*)reference);
+}}
+"""
+    return Workload(
+        name="x264",
+        suite="parsec",
+        description="frame sweeps with windowed motion search",
+        behavior="strided",
+        source=source,
+    )

@@ -1,0 +1,551 @@
+"""SPEC2017 stand-ins: deepsjeng, lbm, mcf, nab, namd, omnetpp, x264_s,
+xalancbmk, xz.
+
+Behaviour classes reproduced:
+
+* **deepsjeng** — big hash table with random probes (transposition
+  table): TLB-hostile random reach.
+* **lbm** — streaming sweeps over a large lattice: huge footprint,
+  perfectly regular.
+* **mcf** — network simplex pointer chasing over arc/node structs: the
+  paper's worst DTLB case.
+* **nab** — molecular dynamics with one big neighbour structure holding
+  *many* pointers into one allocation (the Figure 5 escape outlier).
+* **namd** — force loops over fixed particle arrays.
+* **omnetpp** — discrete event simulation: a binary-heap event queue with
+  constant allocation/free of event objects.
+* **xalancbmk** — DOM-ish tree of many small nodes, traversals.
+* **xz** — LZ-style match finding over a byte buffer with a hash chain.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload, _tier, register
+
+_LCG = """
+long lcg_state;
+long lcg_next(long bound) {
+  lcg_state = (lcg_state * 1103515245 + 12345) % 2147483648;
+  if (lcg_state < 0) { lcg_state = -lcg_state; }
+  return lcg_state % bound;
+}
+"""
+
+
+@register("deepsjeng")
+def deepsjeng(scale: str) -> Workload:
+    table = _tier(scale, 1024, 8192, 65536)
+    probes = _tier(scale, 400, 2000, 10000)
+    source = f"""
+// deepsjeng: transposition-table probes — random reach over a big table.
+{_LCG}
+long TABLE = {table};
+long PROBES = {probes};
+
+void main() {{
+  long n = TABLE;
+  long *keys = (long*)malloc(sizeof(long) * n);
+  long *scores = (long*)malloc(sizeof(long) * n);
+  lcg_state = 0xbeef;
+  long i;
+  for (i = 0; i < n; i++) {{ keys[i] = 0; scores[i] = 0; }}
+  long hits = 0;
+  long p;
+  for (p = 0; p < PROBES; p++) {{
+    long hash = lcg_next(2147483647);
+    long slot = hash % n;
+    if (keys[slot] == hash) {{
+      hits = hits + scores[slot];
+    }} else {{
+      keys[slot] = hash;
+      scores[slot] = hash % 100;
+    }}
+  }}
+  print_long(hits);
+  free((char*)keys); free((char*)scores);
+}}
+"""
+    return Workload(
+        name="deepsjeng",
+        suite="spec",
+        description="hash-table probes with random reach",
+        behavior="random-probe",
+        source=source,
+    )
+
+
+@register("lbm")
+def lbm(scale: str) -> Workload:
+    cells = _tier(scale, 1024, 8192, 32768)
+    steps = _tier(scale, 2, 3, 5)
+    source = f"""
+// lbm: lattice streaming — two big buffers, regular sweeps.
+long CELLS = {cells};
+long STEPS = {steps};
+
+void main() {{
+  long n = CELLS;
+  double *src = (double*)malloc(sizeof(double) * n);
+  double *dst = (double*)malloc(sizeof(double) * n);
+  long i;
+  for (i = 0; i < n; i++) {{ src[i] = (double)(i % 9) * 0.125; }}
+  long s;
+  for (s = 0; s < STEPS; s++) {{
+    for (i = 1; i < n - 1; i++) {{
+      dst[i] = 0.5 * src[i] + 0.25 * src[i - 1] + 0.25 * src[i + 1];
+    }}
+    dst[0] = src[0];
+    dst[n - 1] = src[n - 1];
+    double *tmp = src;
+    src = dst;
+    dst = tmp;
+  }}
+  double sum = 0.0;
+  for (i = 0; i < n; i++) {{ sum = sum + src[i]; }}
+  print_long((long)(sum * 10.0));
+  free((char*)src); free((char*)dst);
+}}
+"""
+    return Workload(
+        name="lbm",
+        suite="spec",
+        description="lattice streaming over large buffers",
+        behavior="streaming",
+        source=source,
+    )
+
+
+@register("mcf")
+def mcf(scale: str) -> Workload:
+    nodes = _tier(scale, 96, 384, 1536)
+    iters = _tier(scale, 2, 4, 8)
+    source = f"""
+// mcf: network-simplex flavour — arc/node structs chased by pointer.
+{_LCG}
+struct Arc {{ long cost; long flow; struct McfNode *head; struct Arc *next; }};
+struct McfNode {{ long potential; long depth; struct Arc *first; }};
+long NODES = {nodes};
+long ITERS = {iters};
+
+void main() {{
+  long n = NODES;
+  struct McfNode **nodes =
+      (struct McfNode**)malloc(sizeof(struct McfNode*) * n);
+  lcg_state = 777;
+  long i;
+  for (i = 0; i < n; i++) {{
+    struct McfNode *node = (struct McfNode*)malloc(sizeof(struct McfNode));
+    node->potential = lcg_next(1000);
+    node->depth = 0;
+    node->first = null;
+    nodes[i] = node;
+  }}
+  // 3 arcs per node to random heads.
+  for (i = 0; i < n; i++) {{
+    long a;
+    for (a = 0; a < 3; a++) {{
+      struct Arc *arc = (struct Arc*)malloc(sizeof(struct Arc));
+      arc->cost = lcg_next(100) + 1;
+      arc->flow = 0;
+      arc->head = nodes[lcg_next(n)];
+      arc->next = nodes[i]->first;
+      nodes[i]->first = arc;
+    }}
+  }}
+  long total_reduced = 0;
+  long it;
+  for (it = 0; it < ITERS; it++) {{
+    for (i = 0; i < n; i++) {{
+      struct Arc *arc = nodes[i]->first;
+      while (arc != null) {{
+        long reduced = arc->cost + nodes[i]->potential - arc->head->potential;
+        if (reduced < 0) {{
+          arc->flow = arc->flow + 1;
+          arc->head->potential = arc->head->potential + reduced / 2;
+          total_reduced = total_reduced - reduced;
+        }}
+        arc = arc->next;
+      }}
+    }}
+  }}
+  print_long(total_reduced);
+}}
+"""
+    return Workload(
+        name="mcf",
+        suite="spec",
+        description="arc/node pointer chasing (network simplex)",
+        behavior="pointer-chase",
+        source=source,
+    )
+
+
+@register("nab")
+def nab(scale: str) -> Workload:
+    atoms = _tier(scale, 48, 128, 512)
+    steps = _tier(scale, 2, 3, 5)
+    source = f"""
+// nab: molecular dynamics — one coordinate block referenced by a big
+// neighbour list (many escapes into one allocation: Figure 5's outlier).
+{_LCG}
+long ATOMS = {atoms};
+long STEPS = {steps};
+
+void main() {{
+  long n = ATOMS;
+  double *coords = (double*)malloc(sizeof(double) * n * 3);
+  // The neighbour list stores *pointers into coords* — every entry is an
+  // escape of the same single allocation.
+  double **neighbors = (double**)malloc(sizeof(double*) * n * 8);
+  double *forces = (double*)malloc(sizeof(double) * n * 3);
+  lcg_state = 1701;
+  long i;
+  for (i = 0; i < n * 3; i++) {{
+    coords[i] = (double)lcg_next(1000) * 0.01;
+    forces[i] = 0.0;
+  }}
+  for (i = 0; i < n * 8; i++) {{
+    neighbors[i] = coords + lcg_next(n) * 3;
+  }}
+  long s;
+  for (s = 0; s < STEPS; s++) {{
+    for (i = 0; i < n; i++) {{
+      double fx = 0.0;
+      long k;
+      for (k = 0; k < 8; k++) {{
+        double *other = neighbors[i * 8 + k];
+        double dx = coords[i * 3] - other[0];
+        double r2 = dx * dx + 0.25;
+        fx = fx + dx / (r2 * r2);
+      }}
+      forces[i * 3] = fx;
+    }}
+    for (i = 0; i < n; i++) {{
+      coords[i * 3] = coords[i * 3] + forces[i * 3] * 0.0001;
+    }}
+  }}
+  double sum = 0.0;
+  for (i = 0; i < n; i++) {{ sum = sum + coords[i * 3]; }}
+  print_long((long)(sum * 100.0));
+  free((char*)coords); free((char*)neighbors); free((char*)forces);
+}}
+"""
+    return Workload(
+        name="nab",
+        suite="spec",
+        description="MD with a neighbour list of pointers into one block",
+        behavior="many-escapes-one-alloc",
+        source=source,
+    )
+
+
+@register("namd")
+def namd(scale: str) -> Workload:
+    particles = _tier(scale, 48, 128, 384)
+    steps = _tier(scale, 2, 3, 4)
+    source = f"""
+// namd: pairwise force loops over fixed particle arrays.
+long N = {particles};
+long STEPS = {steps};
+
+void main() {{
+  long n = N;
+  double *x = (double*)malloc(sizeof(double) * n);
+  double *y = (double*)malloc(sizeof(double) * n);
+  double *fx = (double*)malloc(sizeof(double) * n);
+  double *fy = (double*)malloc(sizeof(double) * n);
+  long i;
+  for (i = 0; i < n; i++) {{
+    x[i] = (double)(i % 10);
+    y[i] = (double)((i * 3) % 10);
+    fx[i] = 0.0; fy[i] = 0.0;
+  }}
+  long s;
+  for (s = 0; s < STEPS; s++) {{
+    for (i = 0; i < n; i++) {{
+      double ax = 0.0;
+      double ay = 0.0;
+      long j;
+      for (j = 0; j < n; j++) {{
+        if (j != i) {{
+          double dx = x[i] - x[j];
+          double dy = y[i] - y[j];
+          double r2 = dx * dx + dy * dy + 0.5;
+          double inv = 1.0 / (r2 * sqrt(r2));
+          ax = ax + dx * inv;
+          ay = ay + dy * inv;
+        }}
+      }}
+      fx[i] = ax;
+      fy[i] = ay;
+    }}
+    for (i = 0; i < n; i++) {{
+      x[i] = x[i] + fx[i] * 0.001;
+      y[i] = y[i] + fy[i] * 0.001;
+    }}
+  }}
+  double sum = 0.0;
+  for (i = 0; i < n; i++) {{ sum = sum + x[i] + y[i]; }}
+  print_long((long)(sum * 10.0));
+  free((char*)x); free((char*)y); free((char*)fx); free((char*)fy);
+}}
+"""
+    return Workload(
+        name="namd",
+        suite="spec",
+        description="pairwise force loops over particle arrays",
+        behavior="n-squared-regular",
+        source=source,
+    )
+
+
+@register("omnetpp")
+def omnetpp(scale: str) -> Workload:
+    events = _tier(scale, 200, 800, 3200)
+    source = f"""
+// omnetpp: discrete-event simulation — binary-heap queue with constant
+// event object churn.
+{_LCG}
+struct Event {{ long time; long kind; }};
+long EVENTS = {events};
+long HEAP_CAP = 256;
+struct Event *heap[256];
+long heap_size;
+
+void heap_push(struct Event *e) {{
+  long i = heap_size;
+  heap[i] = e;
+  heap_size = heap_size + 1;
+  while (i > 0) {{
+    long parent = (i - 1) / 2;
+    if (heap[parent]->time <= heap[i]->time) {{ break; }}
+    struct Event *tmp = heap[parent];
+    heap[parent] = heap[i];
+    heap[i] = tmp;
+    i = parent;
+  }}
+}}
+
+struct Event *heap_pop() {{
+  struct Event *top = heap[0];
+  heap_size = heap_size - 1;
+  heap[0] = heap[heap_size];
+  long i = 0;
+  while (1) {{
+    long left = 2 * i + 1;
+    long right = 2 * i + 2;
+    long smallest = i;
+    if (left < heap_size && heap[left]->time < heap[smallest]->time) {{
+      smallest = left;
+    }}
+    if (right < heap_size && heap[right]->time < heap[smallest]->time) {{
+      smallest = right;
+    }}
+    if (smallest == i) {{ break; }}
+    struct Event *tmp = heap[i];
+    heap[i] = heap[smallest];
+    heap[smallest] = tmp;
+    i = smallest;
+  }}
+  return top;
+}}
+
+void main() {{
+  lcg_state = 60203;
+  heap_size = 0;
+  long processed = 0;
+  long clock = 0;
+  long i;
+  for (i = 0; i < 16; i++) {{
+    struct Event *e = (struct Event*)malloc(sizeof(struct Event));
+    e->time = lcg_next(100);
+    e->kind = i % 4;
+    heap_push(e);
+  }}
+  while (processed < EVENTS && heap_size > 0) {{
+    struct Event *e = heap_pop();
+    clock = e->time;
+    processed = processed + 1;
+    // Each event schedules 0-2 follow-ups.
+    long follow = lcg_next(3);
+    long f;
+    for (f = 0; f < follow && heap_size < HEAP_CAP - 1; f++) {{
+      struct Event *next = (struct Event*)malloc(sizeof(struct Event));
+      next->time = clock + 1 + lcg_next(50);
+      next->kind = (e->kind + f) % 4;
+      heap_push(next);
+    }}
+    free((char*)e);
+  }}
+  print_long(clock + processed);
+}}
+"""
+    return Workload(
+        name="omnetpp",
+        suite="spec",
+        description="event-queue simulation with object churn",
+        behavior="queue-churn",
+        source=source,
+    )
+
+
+@register("x264_s")
+def x264_s(scale: str) -> Workload:
+    from repro.workloads.parsec import x264
+
+    base = x264(scale)
+    return Workload(
+        name="x264_s",
+        suite="spec",
+        description=base.description + " (SPEC input)",
+        behavior=base.behavior,
+        source=base.source.replace("lcg_state = 2024;", "lcg_state = 4202;"),
+    )
+
+
+@register("xalancbmk")
+def xalancbmk(scale: str) -> Workload:
+    nodes = _tier(scale, 80, 320, 1280)
+    source = f"""
+// xalancbmk: DOM-style tree of many small nodes plus traversals.
+{_LCG}
+struct Dom {{
+  long tag;
+  long value;
+  struct Dom *first_child;
+  struct Dom *next_sibling;
+}};
+long NODES = {nodes};
+long built;
+struct Dom *root;
+
+struct Dom *new_node(long tag) {{
+  struct Dom *n = (struct Dom*)malloc(sizeof(struct Dom));
+  n->tag = tag;
+  n->value = tag * 3 % 17;
+  n->first_child = null;
+  n->next_sibling = null;
+  built = built + 1;
+  return n;
+}}
+
+void add_child(struct Dom *parent, struct Dom *child) {{
+  child->next_sibling = parent->first_child;
+  parent->first_child = child;
+}}
+
+struct Dom *stack[{nodes + 16}];
+
+long walk(struct Dom *n) {{
+  // Iterative traversal with an explicit stack (sibling chains can be
+  // long; recursion would overflow the call depth).
+  long top = 0;
+  long total = 0;
+  stack[top] = n;
+  top = top + 1;
+  while (top > 0) {{
+    top = top - 1;
+    struct Dom *cur = stack[top];
+    while (cur != null) {{
+      total = total + cur->value;
+      if (cur->first_child != null) {{
+        stack[top] = cur->first_child;
+        top = top + 1;
+      }}
+      cur = cur->next_sibling;
+    }}
+  }}
+  return total;
+}}
+
+void main() {{
+  lcg_state = 11;
+  built = 0;
+  root = new_node(0);
+  // Random insertion: descend a few levels, attach.
+  while (built < NODES) {{
+    struct Dom *cursor = root;
+    long depth = lcg_next(6);
+    long d;
+    for (d = 0; d < depth; d++) {{
+      if (cursor->first_child == null) {{ break; }}
+      // Walk a random number of siblings.
+      struct Dom *c = cursor->first_child;
+      long hops = lcg_next(3);
+      while (hops > 0 && c->next_sibling != null) {{
+        c = c->next_sibling;
+        hops = hops - 1;
+      }}
+      cursor = c;
+    }}
+    add_child(cursor, new_node(built));
+  }}
+  long total = walk(root);
+  long pass;
+  for (pass = 0; pass < 3; pass++) {{ total = total + walk(root); }}
+  print_long(total);
+}}
+"""
+    return Workload(
+        name="xalancbmk",
+        suite="spec",
+        description="DOM tree building and traversal",
+        behavior="small-nodes-tree",
+        source=source,
+    )
+
+
+@register("xz")
+def xz(scale: str) -> Workload:
+    size = _tier(scale, 1024, 4096, 16384)
+    source = f"""
+// xz: LZ-style match finding over a buffer with a hash-head table.
+{_LCG}
+long SIZE = {size};
+long HASH = 256;
+
+void main() {{
+  long n = SIZE;
+  char *buf = (char*)malloc(n);
+  long *head = (long*)malloc(sizeof(long) * HASH);
+  long *prev = (long*)malloc(sizeof(long) * n);
+  lcg_state = 424242;
+  long i;
+  for (i = 0; i < n; i++) {{
+    // Compressible-ish data: runs plus noise.
+    if (lcg_next(4) == 0) {{ buf[i] = (char)lcg_next(64); }}
+    else {{ buf[i] = (char)((i / 7) % 64); }}
+  }}
+  for (i = 0; i < HASH; i++) {{ head[i] = -1; }}
+  long matched = 0;
+  for (i = 0; i + 3 < n; i++) {{
+    long h = ((long)buf[i] * 31 + (long)buf[i + 1] * 7 + (long)buf[i + 2]) % HASH;
+    if (h < 0) {{ h = -h; }}
+    long candidate = head[h];
+    long chain = 0;
+    long best = 0;
+    while (candidate >= 0 && chain < 8) {{
+      long len = 0;
+      while (i + len < n && len < 32 &&
+             buf[candidate + len] == buf[i + len]) {{
+        len = len + 1;
+      }}
+      if (len > best) {{ best = len; }}
+      candidate = prev[candidate];
+      chain = chain + 1;
+    }}
+    matched = matched + best;
+    prev[i] = head[h];
+    head[h] = i;
+  }}
+  print_long(matched);
+  free((char*)buf); free((char*)head); free((char*)prev);
+}}
+"""
+    return Workload(
+        name="xz",
+        suite="spec",
+        description="LZ match finding with hash chains",
+        behavior="window-scan",
+        source=source,
+    )

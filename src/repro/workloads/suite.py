@@ -1,0 +1,80 @@
+"""Workload registry.
+
+Each workload is a Mini-C program modelled on one benchmark from the
+paper's suite (Section 3: Mantevo HPCCG; NAS CG/EP/FT/LU; PARSEC
+blackscholes, bodytrack, canneal, fluidanimate, freqmine, streamcluster,
+swaptions, x264; SPEC2017 deepsjeng, lbm, mcf, nab, namd, omnetpp,
+xalancbmk, xz).  The programs are scaled down ~10^3-10^4 from the
+originals but reproduce the *class* of memory behaviour each one is
+known for — that behaviour class, not the computation, is what every
+experiment measures.
+
+``scale`` selects the footprint/iteration tier:
+
+* ``tiny``  — unit tests; tens of thousands of interpreted instructions
+* ``small`` — benchmark harness default; a few hundred thousand
+* ``medium`` — heavier runs for the figure-level experiments
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+SCALES = ("tiny", "small", "medium")
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    suite: str  # 'mantevo' | 'nas' | 'parsec' | 'spec'
+    description: str
+    #: The memory-behaviour class the original is known for; experiments
+    #: key expectations off this.
+    behavior: str
+    source: str
+    #: The value main() prints last, when deterministic (checked by tests).
+    checksum: Optional[int] = None
+
+
+_GENERATORS: Dict[str, Callable[[str], Workload]] = {}
+
+
+def register(name: str):
+    def wrap(fn: Callable[[str], Workload]) -> Callable[[str], Workload]:
+        _GENERATORS[name] = fn
+        return fn
+
+    return wrap
+
+
+def get_workload(name: str, scale: str = "small") -> Workload:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; pick one of {SCALES}")
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_GENERATORS)}"
+        )
+    return generator(scale)
+
+
+def workload_names() -> List[str]:
+    return sorted(_GENERATORS)
+
+
+def all_workloads(scale: str = "small") -> List[Workload]:
+    return [get_workload(name, scale) for name in workload_names()]
+
+
+def _tier(scale: str, tiny: int, small: int, medium: int) -> int:
+    return {"tiny": tiny, "small": small, "medium": medium}[scale]
+
+
+# Import the suite modules for their registration side effects.
+def _load_all() -> None:
+    from repro.workloads import mantevo, nas, parsec, spec  # noqa: F401
+
+
+_load_all()

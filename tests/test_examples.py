@@ -1,0 +1,57 @@
+"""The shipped examples must run clean (they are executable docs)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "identical in all modes" in out
+    assert "guards injected" in out
+
+
+def test_protection_demo():
+    out = _run("protection_demo.py")
+    assert "guard caught it" in out
+    assert "inline asm" in out
+    assert "unsigned" in out
+
+
+def test_page_migration():
+    out = _run("page_migration.py")
+    assert "pages moved mid-run" in out
+    assert "never observed" in out
+
+
+def test_swap_demo():
+    out = _run("swap_demo.py")
+    assert "swapped out" in out
+    assert "swap-ins: " in out
+
+
+def test_multithreaded_migration():
+    out = _run("multithreaded_migration.py")
+    assert "right answer" in out
+    assert "page moves" in out
+
+
+def test_guard_optimization_tour():
+    out = _run("guard_optimization_tour.py")
+    assert "carat.guard.range" in out
+    assert "dynamic:" in out

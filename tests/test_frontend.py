@@ -1,0 +1,371 @@
+"""Mini-C frontend: lexer, parser, semantic analysis, and lowering
+semantics (checked by executing the compiled programs)."""
+
+import pytest
+
+from repro.errors import ParseError, RestrictionError, SemanticError
+from repro.frontend import analyze, compile_source, parse
+from repro.frontend.lexer import decode_char_literal, decode_string_literal, tokenize
+from repro.ir import verify_module
+from repro.machine import run_carat_baseline
+
+
+def run_src(source: str):
+    """Compile + run without instrumentation; returns the output lines."""
+    return run_carat_baseline(source, name="t").output
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("long x = 42;")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["keyword", "ident", "punct", "int", "punct", "eof"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("// hi\nlong /* there */ x;")
+        assert [t.text for t in toks[:-1]] == ["long", "x", ";"]
+
+    def test_float_and_hex(self):
+        toks = tokenize("1.5 0x10 2e3")
+        assert toks[0].kind == "float"
+        assert toks[1].kind == "int"
+        assert toks[2].kind == "float"
+
+    def test_multichar_operators(self):
+        toks = tokenize("a <= b >> c && d -> e")
+        texts = [t.text for t in toks[:-1]]
+        assert "<=" in texts and ">>" in texts and "&&" in texts and "->" in texts
+
+    def test_char_literals(self):
+        assert decode_char_literal("'a'") == 97
+        assert decode_char_literal("'\\n'") == 10
+        assert decode_char_literal("'\\0'") == 0
+
+    def test_string_literals(self):
+        assert decode_string_literal('"hi"') == b"hi\x00"
+        assert decode_string_literal('"a\\tb"') == b"a\tb\x00"
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[1].line == 2
+        assert toks[2].line == 3
+        assert toks[2].col == 3
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("long `x;")
+
+
+class TestParser:
+    def test_function_and_globals(self):
+        prog = parse("long g; long f(long x) { return x; }")
+        assert len(prog.items) == 2
+
+    def test_struct_def(self):
+        prog = parse("struct P { long x; long y; }; struct P g;")
+        assert prog.items[0].fields[0][1] == "x"
+
+    def test_precedence(self):
+        prog = parse("long f() { return 1 + 2 * 3; }")
+        ret = prog.items[0].body.statements[0]
+        assert ret.value.op == "+"
+        assert ret.value.rhs.op == "*"
+
+    def test_unary_and_cast(self):
+        parse("long f(long *p) { return -*p + (long)1.5; }")
+
+    def test_control_flow(self):
+        parse(
+            """
+            void f(long n) {
+              long i;
+              for (i = 0; i < n; i++) { if (i % 2) continue; else break; }
+              while (n > 0) { n = n - 1; }
+              do { n = n + 1; } while (n < 5);
+            }
+            """
+        )
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("long f() { return 1 }")
+
+    def test_ternary(self):
+        parse("long f(long x) { return x > 0 ? x : -x; }")
+
+
+class TestSema:
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            analyze(parse("long f() { return ghost; }"))
+
+    def test_type_mismatch_assignment(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("void f(long *p) { double d; p = d; }"))
+
+    def test_call_arity(self):
+        with pytest.raises(SemanticError, match="argument"):
+            analyze(parse("long g(long x) { return x; } long f() { return g(); }"))
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            analyze(parse("void f() { break; }"))
+
+    def test_member_of_non_struct(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("void f(long x) { long y = x.field; }"))
+
+    def test_arrow_requires_struct_pointer(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("void f(long *p) { long y = p->field; }"))
+
+    def test_address_of_rvalue(self):
+        with pytest.raises(SemanticError, match="address"):
+            analyze(parse("void f(long x) { long *p = &(x + 1); }"))
+
+    def test_duplicate_definition(self):
+        with pytest.raises(SemanticError, match="redefinition"):
+            analyze(parse("void f() { long x; long x; }"))
+
+    def test_void_variable_rejected(self):
+        # Rejected at parse time (a bare `void` cannot start a statement).
+        with pytest.raises((SemanticError, ParseError)):
+            analyze(parse("void f() { void x; }"))
+
+    def test_pointer_cast_to_int_must_be_long(self):
+        with pytest.raises(SemanticError):
+            analyze(parse("void f(long *p) { int x = (int)p; }"))
+
+
+class TestRestrictions:
+    """CARAT Section 2.2: violations must *fail compilation*."""
+
+    def test_inline_asm_rejected(self):
+        with pytest.raises(RestrictionError, match="assembly"):
+            analyze(parse('void f() { asm("nop"); }'))
+
+    def test_function_used_as_value(self):
+        with pytest.raises(RestrictionError, match="function"):
+            analyze(parse("long g() { return 1; } void f() { long x = (long)g; }"))
+
+    def test_division_by_constant_zero(self):
+        with pytest.raises(RestrictionError, match="zero"):
+            analyze(parse("long f(long x) { return x / 0; }"))
+
+    def test_modulo_by_constant_zero(self):
+        with pytest.raises(RestrictionError):
+            analyze(parse("long f(long x) { return x % 0; }"))
+
+    def test_call_through_variable(self):
+        with pytest.raises((RestrictionError, SemanticError)):
+            analyze(parse("void f(long g) { g(); }"))
+
+
+class TestLoweringSemantics:
+    """Lowered programs must compute C semantics."""
+
+    def test_arithmetic(self):
+        out = run_src("void main() { print_long(7 + 3 * 4 - 10 / 2); }")
+        assert out == ["14"]
+
+    def test_signed_division(self):
+        out = run_src("void main() { print_long(-7 / 2); print_long(-7 % 2); }")
+        assert out == ["-3", "-1"]
+
+    def test_comparisons_and_logic(self):
+        out = run_src(
+            "void main() { print_long(1 < 2 && 3 > 4 || 5 == 5); }"
+        )
+        assert out == ["1"]
+
+    def test_short_circuit(self):
+        # Division by n guarded by n != 0; short-circuit must protect it.
+        out = run_src(
+            """
+            long n;
+            void main() {
+              n = 0;
+              if (n != 0 && 10 / n > 1) { print_long(1); }
+              else { print_long(0); }
+            }
+            """
+        )
+        assert out == ["0"]
+
+    def test_while_and_for(self):
+        out = run_src(
+            """
+            void main() {
+              long s = 0; long i;
+              for (i = 1; i <= 10; i++) { s += i; }
+              long t = 0;
+              while (t < 5) { t++; }
+              print_long(s + t);
+            }
+            """
+        )
+        assert out == ["60"]
+
+    def test_do_while_runs_once(self):
+        out = run_src(
+            "void main() { long i = 100; do { i++; } while (i < 0); print_long(i); }"
+        )
+        assert out == ["101"]
+
+    def test_break_continue(self):
+        out = run_src(
+            """
+            void main() {
+              long s = 0; long i;
+              for (i = 0; i < 10; i++) {
+                if (i == 3) continue;
+                if (i == 6) break;
+                s += i;
+              }
+              print_long(s);
+            }
+            """
+        )
+        assert out == [str(0 + 1 + 2 + 4 + 5)]
+
+    def test_recursion(self):
+        out = run_src(
+            """
+            long fib(long n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            void main() { print_long(fib(12)); }
+            """
+        )
+        assert out == ["144"]
+
+    def test_pointers_and_arrays(self):
+        out = run_src(
+            """
+            void main() {
+              long *a = (long*)malloc(8 * 4);
+              a[0] = 10; a[1] = 20; a[2] = 30; a[3] = 40;
+              long *p = a + 1;
+              print_long(*p + p[1]);
+              print_long(&a[3] - a);
+              free((char*)a);
+            }
+            """
+        )
+        assert out == ["50", "3"]
+
+    def test_structs(self):
+        out = run_src(
+            """
+            struct Pair { long a; long b; };
+            void main() {
+              struct Pair p;
+              p.a = 3; p.b = 4;
+              struct Pair *q = &p;
+              q->a = q->a * 10;
+              print_long(p.a + p.b);
+            }
+            """
+        )
+        assert out == ["34"]
+
+    def test_global_initializers(self):
+        out = run_src(
+            """
+            long g = 42;
+            double d = 1.5;
+            long zeroed;
+            void main() { print_long(g + (long)(d * 2.0) + zeroed); }
+            """
+        )
+        assert out == ["45"]
+
+    def test_global_arrays_zeroed(self):
+        out = run_src(
+            """
+            long table[8];
+            void main() {
+              long s = 0; long i;
+              for (i = 0; i < 8; i++) { s += table[i]; }
+              table[3] = 7;
+              print_long(s + table[3]);
+            }
+            """
+        )
+        assert out == ["7"]
+
+    def test_char_arithmetic(self):
+        out = run_src(
+            """
+            void main() {
+              char *s = (char*)malloc(4);
+              s[0] = 'a'; s[1] = s[0] + 1; s[2] = 0;
+              print_long((long)s[1]);
+              free(s);
+            }
+            """
+        )
+        assert out == ["98"]
+
+    def test_double_math(self):
+        out = run_src(
+            "void main() { print_long((long)(sqrt(144.0) + exp(0.0))); }"
+        )
+        assert out == ["13"]
+
+    def test_ternary(self):
+        out = run_src("void main() { long x = -5; print_long(x < 0 ? -x : x); }")
+        assert out == ["5"]
+
+    def test_string_literal(self):
+        out = run_src('void main() { print_str("hello"); }')
+        assert out == ["hello"]
+
+    def test_sizeof(self):
+        out = run_src(
+            """
+            struct S { long a; char b; };
+            void main() {
+              print_long(sizeof(long) + sizeof(char) + sizeof(struct S));
+            }
+            """
+        )
+        assert out == [str(8 + 1 + 16)]
+
+    def test_nested_struct_pointers(self):
+        out = run_src(
+            """
+            struct Inner { long v; };
+            struct Outer { struct Inner *inner; long pad; };
+            void main() {
+              struct Inner i;
+              i.v = 99;
+              struct Outer o;
+              o.inner = &i;
+              print_long(o.inner->v);
+            }
+            """
+        )
+        assert out == ["99"]
+
+    def test_compound_assignment(self):
+        out = run_src(
+            """
+            void main() {
+              long x = 10;
+              x += 5; x -= 2; x *= 3; x /= 2;
+              print_long(x);
+            }
+            """
+        )
+        assert out == ["19"]
+
+    def test_shifts_and_bitwise(self):
+        out = run_src(
+            "void main() { print_long(((1 << 4) | 3) & 0x1F ^ 2); }"
+        )
+        assert out == [str((((1 << 4) | 3) & 0x1F) ^ 2)]
+
+    def test_verified_ir(self):
+        from tests.conftest import SUM_SOURCE
+
+        module = compile_source(SUM_SOURCE)
+        verify_module(module)

@@ -1,0 +1,193 @@
+"""End-to-end integration scenarios that cross every subsystem."""
+
+import pytest
+
+from repro.carat import CompileOptions, compile_carat
+from repro.kernel import Kernel
+from repro.kernel.pagetable import PAGE_SIZE
+from repro.machine import run_carat, run_carat_baseline
+from repro.machine.interp import Interpreter
+
+
+MULTI_PHASE = """
+// Three phases: array phase (affine guards), pointer phase (escapes),
+// and free phase (table deletions) — the full CARAT surface in one run.
+struct Cell { long v; struct Cell *next; };
+struct Cell *list;
+long grid[64];
+
+long phase_array() {
+  long i;
+  long s = 0;
+  for (i = 0; i < 64; i++) { grid[i] = i * 7 % 13; }
+  for (i = 0; i < 64; i++) { s += grid[i]; }
+  return s;
+}
+
+long phase_list(long n) {
+  long i;
+  for (i = 0; i < n; i++) {
+    struct Cell *c = (struct Cell*)malloc(sizeof(struct Cell));
+    c->v = i;
+    c->next = list;
+    list = c;
+  }
+  long s = 0;
+  struct Cell *p = list;
+  while (p != null) { s += p->v; p = p->next; }
+  return s;
+}
+
+long phase_free() {
+  long freed = 0;
+  while (list != null) {
+    struct Cell *next = list->next;
+    free((char*)list);
+    list = next;
+    freed++;
+  }
+  return freed;
+}
+
+void main() {
+  print_long(phase_array());
+  print_long(phase_list(80));
+  print_long(phase_free());
+}
+"""
+
+EXPECTED = [
+    str(sum(i * 7 % 13 for i in range(64))),
+    str(sum(range(80))),
+    "80",
+]
+
+
+class TestMultiPhase:
+    def test_baseline_semantics(self):
+        assert run_carat_baseline(MULTI_PHASE, name="mp").output == EXPECTED
+
+    def test_full_carat_semantics_and_cleanup(self):
+        result = run_carat(MULTI_PHASE, name="mp")
+        assert result.output == EXPECTED
+        rt = result.process.runtime
+        # All 80 heap cells were freed; only statics remain live.
+        live_kinds = {a.kind for a in rt.table}
+        assert "heap" not in live_kinds
+        assert rt.table.total_frees >= 80
+        assert rt.stats.guard_faults == 0
+
+    def test_repeated_moves_through_all_phases(self):
+        binary = compile_carat(MULTI_PHASE, module_name="mp")
+        kernel = Kernel()
+        process = kernel.load_carat(binary)
+        interp = Interpreter(process, kernel)
+        interp.start("main")
+        moves = 0
+        while True:
+            status = interp.run_steps(700)
+            if status == "done":
+                break
+            victim = process.runtime.worst_case_allocation()
+            if victim is None or victim.kind == "code":
+                continue
+            snaps = interp.register_snapshots()
+            kernel.request_page_move(
+                process,
+                victim.address & ~(PAGE_SIZE - 1),
+                register_snapshots=snaps,
+            )
+            interp.apply_snapshots(snaps)
+            moves += 1
+        assert interp.output == EXPECTED
+        assert moves >= 3
+        # The allocation table survived every relocation consistently.
+        process.runtime.table.check_invariants()
+
+    def test_moving_the_globals_page(self):
+        """Moving the page holding @grid and @list mid-run must be
+        transparent — globals are allocations like any other."""
+        binary = compile_carat(MULTI_PHASE, module_name="mp")
+        kernel = Kernel()
+        process = kernel.load_carat(binary)
+        interp = Interpreter(process, kernel)
+        interp.start("main")
+        interp.run_steps(900)
+        globals_page = process.globals_map["grid"] & ~(PAGE_SIZE - 1)
+        snaps = interp.register_snapshots()
+        plan, cost, _ = kernel.request_page_move(
+            process, globals_page, register_snapshots=snaps
+        )
+        interp.apply_snapshots(snaps)
+        # The symbol map must have followed.
+        assert process.globals_map["grid"] != globals_page or plan.lo != globals_page
+        interp.run_steps(50_000_000)
+        assert interp.output == EXPECTED
+
+    def test_protection_change_between_phases(self):
+        from repro.errors import ProtectionFault
+        from repro.runtime.regions import PERM_RWX
+
+        binary = compile_carat(MULTI_PHASE, module_name="mp")
+        kernel = Kernel()
+        process = kernel.load_carat(binary)
+        interp = Interpreter(process, kernel)
+        interp.start("main")
+        # Run into the list phase so per-iteration (non-mergeable) guards
+        # are active, then revoke all access to the first heap page.
+        interp.run_steps(1200)
+        process.runtime.flush_escapes()
+        victim = next(a for a in process.runtime.table if a.kind == "heap")
+        base = victim.address & ~(PAGE_SIZE - 1)
+        kernel.request_protection_change(process, base, PAGE_SIZE, 0)
+        with pytest.raises(ProtectionFault):
+            interp.run_steps(50_000_000)
+        kernel.request_protection_change(process, base, PAGE_SIZE, PERM_RWX)
+        interp.run_steps(50_000_000)
+        assert interp.output == EXPECTED
+
+
+class TestGuardMechanismEquivalence:
+    @pytest.mark.parametrize("mech", ["mpx", "binary_search", "if_tree"])
+    def test_all_mechanisms_compute_same_answer(self, mech):
+        result = run_carat(MULTI_PHASE, guard_mechanism=mech, name="mp")
+        assert result.output == EXPECTED
+
+
+class TestConfigurationsMatrix:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            CompileOptions(guards=False, tracking=False),
+            CompileOptions(guards=True, carat_guard_opts=False, tracking=False),
+            CompileOptions(guards=True, carat_guard_opts=True, tracking=False),
+            CompileOptions(guards=False, tracking=True),
+            CompileOptions(),
+        ],
+        ids=["baseline", "guards-naive", "guards-opt", "tracking", "full"],
+    )
+    def test_every_configuration_is_transparent(self, options):
+        binary = compile_carat(MULTI_PHASE, options, module_name="mp")
+        result = run_carat(binary)
+        assert result.output == EXPECTED
+
+    def test_guard_opt_reduces_dynamic_guards(self):
+        naive = run_carat(
+            compile_carat(
+                MULTI_PHASE,
+                CompileOptions(carat_guard_opts=False, tracking=False),
+                module_name="mp",
+            )
+        )
+        optimized = run_carat(
+            compile_carat(
+                MULTI_PHASE,
+                CompileOptions(carat_guard_opts=True, tracking=False),
+                module_name="mp",
+            )
+        )
+        assert (
+            optimized.process.runtime.stats.guards_executed
+            < naive.process.runtime.stats.guards_executed
+        )
+        assert optimized.cycles < naive.cycles

@@ -1,0 +1,259 @@
+"""Instruction construction rules and queries."""
+
+import pytest
+
+from repro.errors import IRError, IRTypeError
+from repro.ir import (
+    ConstantInt,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+)
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    GEPInst,
+    ICmpInst,
+    LoadInst,
+    PhiInst,
+    SelectInst,
+    StoreInst,
+)
+from repro.ir.types import (
+    ArrayType,
+    F64,
+    I1,
+    I8,
+    I32,
+    I64,
+    StructType,
+    VOID,
+    ptr,
+)
+
+
+@pytest.fixture
+def fn_and_builder(module):
+    fn = Function(
+        "f", FunctionType(I64, [ptr(I64), I64]), module, ["p", "n"]
+    )
+    block = fn.add_block("entry")
+    return fn, IRBuilder(block)
+
+
+class TestMemoryInstructions:
+    def test_alloca_default_count(self):
+        a = AllocaInst(I64)
+        assert a.is_static
+        assert a.allocation_size() == 8
+        assert a.type == ptr(I64)
+
+    def test_alloca_dynamic(self, fn_and_builder):
+        fn, b = fn_and_builder
+        a = b.alloca(I64, count=fn.args[1])
+        assert not a.is_static
+        assert a.allocation_size() is None
+
+    def test_load_requires_pointer(self, fn_and_builder):
+        fn, b = fn_and_builder
+        with pytest.raises(IRTypeError):
+            LoadInst(fn.args[1])
+        load = b.load(fn.args[0])
+        assert load.type == I64
+        assert load.access_size() == 8
+
+    def test_store_type_check(self, fn_and_builder):
+        fn, b = fn_and_builder
+        b.store(fn.args[1], fn.args[0])
+        with pytest.raises(IRTypeError):
+            StoreInst(ConstantInt(I32, 1), fn.args[0])
+
+    def test_store_pointer_detection(self, fn_and_builder):
+        fn, b = fn_and_builder
+        slot = b.alloca(ptr(I64))
+        store = b.store(fn.args[0], slot)
+        assert store.stores_pointer()
+        plain = b.store(fn.args[1], fn.args[0])
+        assert not plain.stores_pointer()
+
+
+class TestGEP:
+    def test_simple_index(self, fn_and_builder):
+        fn, b = fn_and_builder
+        g = b.gep(fn.args[0], [fn.args[1]])
+        assert g.type == ptr(I64)
+
+    def test_struct_navigation(self, module):
+        node = StructType([I64, ptr(I8)], name="n2")
+        fn = Function("g", FunctionType(VOID, [ptr(node)]), module, ["s"])
+        b = IRBuilder(fn.add_block("entry"))
+        g = b.gep(fn.args[0], [b.i64(0), ConstantInt(I64, 1)])
+        assert g.type == ptr(ptr(I8))
+
+    def test_struct_index_must_be_constant(self, module):
+        node = StructType([I64, I64], name="n3")
+        fn = Function("h", FunctionType(VOID, [ptr(node), I64]), module)
+        b = IRBuilder(fn.add_block("entry"))
+        with pytest.raises(IRTypeError):
+            b.gep(fn.args[0], [b.i64(0), fn.args[1]])
+
+    def test_constant_offset(self, module):
+        s = StructType([I64, I32, I32], name="n4")
+        fn = Function("k", FunctionType(VOID, [ptr(s)]), module)
+        b = IRBuilder(fn.add_block("entry"))
+        g = b.gep(fn.args[0], [b.i64(1), ConstantInt(I64, 2)])
+        # One struct (16 bytes) + offset of field 2 (12).
+        assert g.constant_offset() == 16 + 12
+
+    def test_array_gep_offset(self, module):
+        arr = ArrayType(I32, 10)
+        fn = Function("m", FunctionType(VOID, [ptr(arr)]), module)
+        b = IRBuilder(fn.add_block("entry"))
+        g = b.gep(fn.args[0], [b.i64(0), b.i64(3)])
+        assert g.type == ptr(I32)
+        assert g.constant_offset() == 12
+
+    def test_dynamic_offset_is_none(self, fn_and_builder):
+        fn, b = fn_and_builder
+        g = b.gep(fn.args[0], [fn.args[1]])
+        assert g.constant_offset() is None
+
+
+class TestArithmeticAndCompare:
+    def test_binary_type_mismatch(self, fn_and_builder):
+        fn, b = fn_and_builder
+        with pytest.raises(IRTypeError):
+            BinaryInst("add", fn.args[1], ConstantInt(I32, 1))
+
+    def test_float_op_on_int_rejected(self, fn_and_builder):
+        fn, b = fn_and_builder
+        with pytest.raises(IRTypeError):
+            BinaryInst("fadd", fn.args[1], fn.args[1])
+
+    def test_unknown_opcode(self, fn_and_builder):
+        fn, b = fn_and_builder
+        with pytest.raises(IRTypeError):
+            BinaryInst("bogus", fn.args[1], fn.args[1])
+
+    def test_commutativity_flag(self, fn_and_builder):
+        fn, b = fn_and_builder
+        assert b.add(fn.args[1], b.i64(1)).is_commutative
+        assert not b.sub(fn.args[1], b.i64(1)).is_commutative
+
+    def test_icmp_result_is_i1(self, fn_and_builder):
+        fn, b = fn_and_builder
+        c = b.icmp("slt", fn.args[1], b.i64(10))
+        assert c.type == I1
+
+    def test_icmp_bad_predicate(self, fn_and_builder):
+        fn, b = fn_and_builder
+        with pytest.raises(IRTypeError):
+            ICmpInst("lt", fn.args[1], b.i64(1))
+
+    def test_icmp_on_pointers(self, fn_and_builder):
+        fn, b = fn_and_builder
+        c = b.icmp("eq", fn.args[0], fn.args[0])
+        assert c.type == I1
+
+
+class TestCasts:
+    def test_valid_casts(self, fn_and_builder):
+        fn, b = fn_and_builder
+        n = fn.args[1]
+        assert b.trunc(n, I32).type == I32
+        assert b.sext(b.trunc(n, I32), I64).type == I64
+        assert b.ptrtoint(fn.args[0]).type == I64
+        assert b.inttoptr(n, ptr(I8)).type == ptr(I8)
+        assert b.sitofp(n).type == F64
+        assert b.bitcast(fn.args[0], ptr(I8)).type == ptr(I8)
+
+    def test_invalid_casts(self, fn_and_builder):
+        fn, b = fn_and_builder
+        n = fn.args[1]
+        with pytest.raises(IRTypeError):
+            CastInst("trunc", n, I64)  # same width
+        with pytest.raises(IRTypeError):
+            CastInst("zext", n, I32)  # narrowing
+        with pytest.raises(IRTypeError):
+            CastInst("bitcast", n, ptr(I8))  # int -> ptr must be inttoptr
+
+
+class TestControlFlow:
+    def test_unconditional_branch(self, module):
+        fn = Function("br1", FunctionType(VOID, []), module)
+        a = fn.add_block("a")
+        c = fn.add_block("c")
+        br = IRBuilder(a).br(c)
+        assert not br.is_conditional
+        assert br.targets == (c,)
+        assert a.successors() == [c]
+        assert c.predecessors() == [a]
+
+    def test_conditional_branch_requires_i1(self, module):
+        fn = Function("br2", FunctionType(VOID, [I64]), module)
+        a = fn.add_block("a")
+        t = fn.add_block("t")
+        e = fn.add_block("e")
+        with pytest.raises(IRTypeError):
+            BranchInst(t, fn.args[0], e)
+
+    def test_phi_incoming(self, module):
+        fn = Function("ph", FunctionType(VOID, []), module)
+        a = fn.add_block("a")
+        c = fn.add_block("c")
+        phi = PhiInst(I64)
+        phi.add_incoming(ConstantInt(I64, 1), a)
+        phi.add_incoming(ConstantInt(I64, 2), c)
+        assert phi.incoming_for_block(a).value == 1  # type: ignore[attr-defined]
+        phi.remove_incoming(a)
+        assert len(phi.incoming) == 1
+        with pytest.raises(IRError):
+            phi.incoming_for_block(a)
+
+    def test_phi_type_check(self, module):
+        fn = Function("ph2", FunctionType(VOID, []), module)
+        a = fn.add_block("a")
+        phi = PhiInst(I64)
+        with pytest.raises(IRTypeError):
+            phi.add_incoming(ConstantInt(I32, 1), a)
+
+    def test_select(self, fn_and_builder):
+        fn, b = fn_and_builder
+        c = b.icmp("slt", fn.args[1], b.i64(0))
+        s = b.select(c, b.i64(1), b.i64(2))
+        assert s.type == I64
+        with pytest.raises(IRTypeError):
+            SelectInst(fn.args[1], b.i64(1), b.i64(2))
+
+
+class TestCalls:
+    def test_call_arity_and_types(self, module):
+        callee = Function("callee", FunctionType(I64, [I64]), module)
+        caller = Function("caller", FunctionType(VOID, [I64]), module)
+        b = IRBuilder(caller.add_block("entry"))
+        call = b.call(callee, [caller.args[0]])
+        assert call.type == I64
+        assert call.callee_name == "callee"
+        with pytest.raises(IRTypeError):
+            CallInst(callee, [])
+        with pytest.raises(IRTypeError):
+            CallInst(callee, [ConstantInt(I32, 1)])
+
+    def test_vararg_call(self, module):
+        v = Function("v", FunctionType(VOID, [], vararg=True), module)
+        caller = Function("c2", FunctionType(VOID, [I64]), module)
+        b = IRBuilder(caller.add_block("entry"))
+        b.call(v, [])
+        b.call(v, [caller.args[0], caller.args[0]])
+
+    def test_intrinsic_detection(self, module):
+        g = Function("carat.guard.load", FunctionType(VOID, [], vararg=True), module)
+        caller = Function("c3", FunctionType(VOID, [I64]), module)
+        b = IRBuilder(caller.add_block("entry"))
+        call = b.call(g, [caller.args[0]])
+        assert call.is_intrinsic()
+        assert call.is_readonly_call()

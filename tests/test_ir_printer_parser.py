@@ -1,0 +1,164 @@
+"""Textual IR: printing, parsing, and round-tripping."""
+
+import pytest
+
+from repro.errors import IRError, ParseError
+from repro.ir import (
+    ConstantArray,
+    ConstantInt,
+    ConstantZero,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    IRBuilder,
+    Module,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from repro.ir.types import ArrayType, F64, I8, I64, StructType, VOID, ptr
+from tests.conftest import build_count_loop
+
+
+def roundtrip(module: Module) -> Module:
+    text = print_module(module)
+    parsed = parse_module(text)
+    assert print_module(parsed) == text
+    return parsed
+
+
+class TestRoundTrip:
+    def test_count_loop(self, module):
+        build_count_loop(module)
+        verify_module(module)
+        parsed = roundtrip(module)
+        verify_module(parsed)
+
+    def test_module_name_preserved(self):
+        m = Module("fancy-name")
+        assert parse_module(print_module(m)).name == "fancy-name"
+
+    def test_globals(self, module):
+        module.add_global(GlobalVariable("x", I64, ConstantInt(I64, -7)))
+        module.add_global(
+            GlobalVariable("arr", ArrayType(I64, 3), ConstantZero(ArrayType(I64, 3)))
+        )
+        module.add_global(
+            GlobalVariable(
+                "init",
+                ArrayType(I8, 2),
+                ConstantArray(ArrayType(I8, 2), [ConstantInt(I8, 104), ConstantInt(I8, 0)]),
+                is_constant=True,
+            )
+        )
+        parsed = roundtrip(module)
+        assert parsed.get_global("x").initializer.value == -7
+        assert parsed.get_global("init").is_constant
+
+    def test_struct_types(self, module):
+        node = StructType([I64, ptr(I8)], name="node")
+        module.add_struct_type(node)
+        fn = Function("touch", FunctionType(VOID, [ptr(node)]), module, ["p"])
+        b = IRBuilder(fn.add_block("entry"))
+        g = b.gep(fn.args[0], [b.i64(0), ConstantInt(I64, 1)])
+        b.load(g)
+        b.ret()
+        verify_module(module)
+        parsed = roundtrip(module)
+        assert "node" in parsed.struct_types
+
+    def test_recursive_struct(self):
+        text = """
+%struct.n = type { i64, %struct.n* }
+
+define void @f(%struct.n* %p) {
+entry:
+  %q = getelementptr %struct.n* %p, i64 0, i64 1
+  %r = load %struct.n** %q
+  ret void
+}
+"""
+        m = parse_module(text)
+        verify_module(m)
+        st = m.struct_types["n"]
+        assert st.fields[1].pointee is st
+
+    def test_declare_with_vararg(self):
+        m = parse_module("declare void @printf(i8*, ...)\n")
+        assert m.get_function("printf").ftype.vararg
+
+    def test_all_scalar_instructions(self):
+        text = """
+define i64 @ops(i64 %a, f64 %f) {
+entry:
+  %t1 = add i64 %a, 2
+  %t2 = sub i64 %t1, 1
+  %t3 = mul i64 %t2, 3
+  %t4 = sdiv i64 %t3, 2
+  %t5 = and i64 %t4, 255
+  %t6 = shl i64 %t5, 1
+  %t7 = lshr i64 %t6, 1
+  %t8 = xor i64 %t7, 5
+  %c = icmp slt i64 %t8, 100
+  %s = select i1 %c, i64 %t8, i64 100
+  %g = fadd f64 %f, 1.5
+  %h = fmul f64 %g, 2.0
+  %fc = fcmp olt f64 %h, 10.0
+  %z = zext i1 %fc to i64
+  %sum = add i64 %s, %z
+  ret i64 %sum
+}
+"""
+        m = parse_module(text)
+        verify_module(m)
+        assert print_module(parse_module(print_module(m))) == print_module(m)
+
+    def test_forward_value_reference_via_phi(self):
+        text = """
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %i
+}
+"""
+        m = parse_module(text)
+        verify_module(m)
+
+
+class TestParseErrors:
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse_module("define i64 @f(banana %x) {\nentry:\n  ret i64 0\n}\n")
+
+    def test_undefined_value(self):
+        with pytest.raises(IRError, match="undefined value"):
+            parse_module(
+                "define i64 @f() {\nentry:\n  ret i64 %ghost\n}\n"
+            )
+
+    def test_unknown_global(self):
+        with pytest.raises(ParseError, match="unknown global"):
+            parse_module(
+                "define i64 @f() {\nentry:\n  %x = load i64* @nope\n  ret i64 %x\n}\n"
+            )
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_module("hello world")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_module("define i64 @f() { entry: ret i64 0 } #")
+
+    def test_type_mismatch_surfaces(self):
+        with pytest.raises(Exception):
+            parse_module(
+                "define void @f(i64 %x) {\nentry:\n"
+                "  store i32 5, i64* null\n  ret void\n}\n"
+            )

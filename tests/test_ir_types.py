@@ -1,0 +1,167 @@
+"""Type system: construction, equality, data layout."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir.types import (
+    ArrayType,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    StructType,
+    VOID,
+    align_of,
+    ptr,
+    size_of,
+    stride_of,
+    struct_field_offset,
+)
+
+
+class TestIntTypes:
+    def test_interning(self):
+        assert IntType(64) is I64
+        assert IntType(32) is I32
+
+    def test_equality_and_hash(self):
+        assert IntType(64) == I64
+        assert hash(IntType(8)) == hash(I8)
+        assert I8 != I16
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(IRTypeError):
+            IntType(0)
+        with pytest.raises(IRTypeError):
+            IntType(256)
+
+    def test_signed_bounds(self):
+        assert I8.min_signed == -128
+        assert I8.max_signed == 127
+        assert I8.max_unsigned == 255
+
+    def test_wrap_signed(self):
+        assert I8.wrap(130) == -126
+        assert I8.wrap(-130) == 126
+        assert I64.wrap(2**63) == -(2**63)
+
+    def test_wrap_unsigned(self):
+        assert I8.wrap_unsigned(-1) == 255
+        assert I16.wrap_unsigned(65536) == 0
+
+    def test_predicates(self):
+        assert I64.is_integer
+        assert not I64.is_float
+        assert I64.is_first_class
+
+
+class TestFloatAndVoid:
+    def test_float_str(self):
+        assert str(F64) == "f64"
+        assert str(FloatType(32)) == "f32"
+
+    def test_invalid_float(self):
+        with pytest.raises(IRTypeError):
+            FloatType(16)
+
+    def test_void(self):
+        assert VOID.is_void
+        assert not VOID.is_first_class
+        assert VOID == VOID
+
+
+class TestPointerArrayStruct:
+    def test_pointer(self):
+        p = ptr(I64)
+        assert p.pointee == I64
+        assert str(p) == "i64*"
+        assert ptr(I64) == ptr(I64)
+        assert ptr(I64) != ptr(I32)
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(IRTypeError):
+            PointerType(VOID)
+
+    def test_array(self):
+        a = ArrayType(I32, 10)
+        assert str(a) == "[10 x i32]"
+        assert a == ArrayType(I32, 10)
+        assert a != ArrayType(I32, 11)
+
+    def test_negative_array_rejected(self):
+        with pytest.raises(IRTypeError):
+            ArrayType(I32, -1)
+
+    def test_named_struct_equality_by_name(self):
+        a = StructType([I64], name="node")
+        b = StructType([I64, I64], name="node")
+        assert a == b  # name wins
+
+    def test_literal_struct_structural_equality(self):
+        assert StructType([I64, F64]) == StructType([I64, F64])
+        assert StructType([I64]) != StructType([I32])
+
+    def test_field_index(self):
+        s = StructType([I64, F64], field_names=["a", "b"])
+        assert s.field_index("b") == 1
+        with pytest.raises(IRTypeError):
+            s.field_index("zzz")
+
+    def test_function_type(self):
+        ft = FunctionType(I64, [ptr(I8), I64])
+        assert str(ft) == "i64 (i8*, i64)"
+        assert ft == FunctionType(I64, [ptr(I8), I64])
+        assert ft != FunctionType(I64, [ptr(I8), I64], vararg=True)
+
+
+class TestLayout:
+    def test_scalar_sizes(self):
+        assert size_of(I1) == 1
+        assert size_of(I8) == 1
+        assert size_of(I16) == 2
+        assert size_of(I32) == 4
+        assert size_of(I64) == 8
+        assert size_of(F64) == 8
+        assert size_of(ptr(I8)) == 8
+
+    def test_array_size(self):
+        assert size_of(ArrayType(I32, 10)) == 40
+        assert size_of(ArrayType(ptr(I8), 3)) == 24
+
+    def test_struct_padding(self):
+        # {i8, i64} pads the i8 to 8 bytes.
+        s = StructType([I8, I64])
+        assert size_of(s) == 16
+        assert struct_field_offset(s, 0) == 0
+        assert struct_field_offset(s, 1) == 8
+
+    def test_struct_tail_padding(self):
+        # {i64, i8} is 16 bytes (tail padded to alignment 8).
+        s = StructType([I64, I8])
+        assert size_of(s) == 16
+
+    def test_align(self):
+        assert align_of(I8) == 1
+        assert align_of(I64) == 8
+        assert align_of(StructType([I8, I32])) == 4
+
+    def test_stride(self):
+        s = StructType([I32, I8])  # size 5+pad -> 8 stride
+        assert stride_of(s) == 8
+
+    def test_nested_aggregate(self):
+        inner = StructType([I64, I8])
+        outer = StructType([I8, inner, I32])
+        assert struct_field_offset(outer, 1) == 8
+        assert struct_field_offset(outer, 2) == 24
+
+    def test_offset_out_of_range(self):
+        s = StructType([I64])
+        with pytest.raises(IRTypeError):
+            struct_field_offset(s, 5)

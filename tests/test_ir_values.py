@@ -1,0 +1,129 @@
+"""Values, constants, and use-def chain maintenance."""
+
+import pytest
+
+from repro.errors import IRError, IRTypeError
+from repro.ir import (
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantStruct,
+    ConstantZero,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    UndefValue,
+)
+from repro.ir.types import ArrayType, F64, I8, I64, StructType, ptr
+from repro.ir.values import walk_constants
+
+
+class TestConstants:
+    def test_constant_int_wraps(self):
+        c = ConstantInt(I8, 300)
+        assert c.value == 44
+
+    def test_constant_int_equality(self):
+        assert ConstantInt(I64, 5) == ConstantInt(I64, 5)
+        assert ConstantInt(I64, 5) != ConstantInt(I8, 5)
+        assert hash(ConstantInt(I64, 5)) == hash(ConstantInt(I64, 5))
+
+    def test_constant_int_requires_int_type(self):
+        with pytest.raises(IRTypeError):
+            ConstantInt(F64, 1)  # type: ignore[arg-type]
+
+    def test_constant_float(self):
+        assert ConstantFloat(F64, 1.5).value == 1.5
+        with pytest.raises(IRTypeError):
+            ConstantFloat(I64, 1.5)  # type: ignore[arg-type]
+
+    def test_null_requires_pointer(self):
+        assert ConstantNull(ptr(I64)).ref() == "null"
+        with pytest.raises(IRTypeError):
+            ConstantNull(I64)  # type: ignore[arg-type]
+
+    def test_array_arity_checked(self):
+        ty = ArrayType(I64, 2)
+        ConstantArray(ty, [ConstantInt(I64, 1), ConstantInt(I64, 2)])
+        with pytest.raises(IRTypeError):
+            ConstantArray(ty, [ConstantInt(I64, 1)])
+        with pytest.raises(IRTypeError):
+            ConstantArray(ty, [ConstantInt(I8, 1), ConstantInt(I8, 2)])
+
+    def test_struct_fields_checked(self):
+        ty = StructType([I64, F64])
+        ConstantStruct(ty, [ConstantInt(I64, 1), ConstantFloat(F64, 2.0)])
+        with pytest.raises(IRTypeError):
+            ConstantStruct(ty, [ConstantFloat(F64, 2.0), ConstantInt(I64, 1)])
+
+    def test_walk_constants(self):
+        inner = ConstantArray(ArrayType(I8, 2), [ConstantInt(I8, 1), ConstantInt(I8, 2)])
+        outer = ConstantStruct(StructType([ArrayType(I8, 2)]), [inner])
+        assert len(list(walk_constants(outer))) == 4
+
+    def test_zero_and_undef(self):
+        assert ConstantZero(I64) == ConstantZero(I64)
+        assert UndefValue(I64) == UndefValue(I64)
+        assert UndefValue(I64) != UndefValue(I8)
+
+
+class TestUseDef:
+    def _simple_fn(self):
+        m = Module("t")
+        fn = Function("f", FunctionType(I64, [I64]), m, ["x"])
+        block = fn.add_block("entry")
+        return m, fn, IRBuilder(block)
+
+    def test_uses_tracked_on_build(self):
+        _, fn, b = self._simple_fn()
+        x = fn.args[0]
+        add = b.add(x, x)
+        assert add in x.users
+        assert x.num_uses == 2  # both operands
+
+    def test_replace_all_uses_with(self):
+        _, fn, b = self._simple_fn()
+        x = fn.args[0]
+        add = b.add(x, b.i64(1))
+        mul = b.mul(add, add)
+        replacement = b.sub(x, b.i64(2))
+        add.replace_all_uses_with(replacement)
+        assert mul.lhs is replacement
+        assert mul.rhs is replacement
+        assert add.num_uses == 0
+        assert replacement.num_uses == 2
+
+    def test_rauw_type_mismatch_rejected(self):
+        _, fn, b = self._simple_fn()
+        add = b.add(fn.args[0], b.i64(1))
+        with pytest.raises(IRTypeError):
+            add.replace_all_uses_with(ConstantFloat(F64, 1.0))
+
+    def test_set_operand_updates_uses(self):
+        _, fn, b = self._simple_fn()
+        x = fn.args[0]
+        add = b.add(x, b.i64(1))
+        add.set_operand(1, x)
+        assert add.rhs is x
+        assert x.num_uses == 2
+
+    def test_erase_requires_no_uses(self):
+        _, fn, b = self._simple_fn()
+        add = b.add(fn.args[0], b.i64(1))
+        mul = b.mul(add, b.i64(2))
+        with pytest.raises(IRError):
+            add.erase_from_parent()
+        mul.replace_all_uses_with(ConstantInt(I64, 0)) if mul.num_uses else None
+        mul.erase_from_parent()
+        add.erase_from_parent()
+        assert fn.args[0].num_uses == 0
+
+    def test_erase_severs_operand_uses(self):
+        _, fn, b = self._simple_fn()
+        x = fn.args[0]
+        add = b.add(x, b.i64(1))
+        assert x.num_uses == 1
+        add.erase_from_parent()
+        assert x.num_uses == 0

@@ -1,0 +1,124 @@
+"""The structural verifier must catch each invariant violation."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import (
+    ConstantInt,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    verify_function,
+    verify_module,
+)
+from repro.ir.instructions import BranchInst, PhiInst, ReturnInst
+from repro.ir.types import I64, VOID, ptr
+from tests.conftest import build_count_loop
+
+
+def test_good_function_passes(module):
+    build_count_loop(module)
+    verify_module(module)
+
+
+def test_declaration_is_fine(module):
+    Function("ext", FunctionType(I64, [I64]), module)
+    verify_module(module)
+
+
+def test_unterminated_block(module):
+    fn = Function("f", FunctionType(VOID, []), module)
+    block = fn.add_block("entry")
+    IRBuilder(block).i64(0)  # constants insert nothing; block stays empty
+    with pytest.raises(VerificationError, match="empty"):
+        verify_function(fn)
+
+
+def test_missing_terminator(module):
+    fn = Function("f", FunctionType(I64, [I64]), module)
+    block = fn.add_block("entry")
+    b = IRBuilder(block)
+    b.add(fn.args[0], b.i64(1))
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_function(fn)
+
+
+def test_entry_with_predecessor(module):
+    fn = Function("f", FunctionType(VOID, []), module)
+    entry = fn.add_block("entry")
+    IRBuilder(entry).br(entry)
+    with pytest.raises(VerificationError, match="entry block"):
+        verify_function(fn)
+
+
+def test_phi_missing_predecessor(module):
+    fn, parts = build_count_loop(module)
+    parts["i"].remove_incoming(parts["entry"])
+    with pytest.raises(VerificationError, match="phi"):
+        verify_function(fn)
+
+
+def test_phi_after_non_phi(module):
+    fn, parts = build_count_loop(module)
+    loop = parts["loop"]
+    phi = PhiInst(I64)
+    phi.name = "late"
+    phi.add_incoming(ConstantInt(I64, 0), parts["entry"])
+    phi.add_incoming(ConstantInt(I64, 0), parts["body"])
+    loop.insert(2, phi)  # after the existing phi AND the icmp
+    with pytest.raises(VerificationError, match="phi after non-phi"):
+        verify_function(fn)
+
+
+def test_use_not_dominated(module):
+    fn = Function("f", FunctionType(I64, [I64]), module)
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    join = fn.add_block("join")
+    b = IRBuilder(entry)
+    cond = b.icmp("slt", fn.args[0], b.i64(0))
+    b.cond_br(cond, left, right)
+    b.position_at_end(left)
+    x = b.add(fn.args[0], b.i64(1))
+    b.br(join)
+    b.position_at_end(right)
+    b.br(join)
+    b.position_at_end(join)
+    y = b.add(x, b.i64(2))  # x does not dominate join
+    b.ret(y)
+    with pytest.raises(VerificationError, match="not dominated"):
+        verify_function(fn)
+
+
+def test_return_type_mismatch(module):
+    fn = Function("f", FunctionType(I64, []), module)
+    block = fn.add_block("entry")
+    block.append(ReturnInst())  # ret void from an i64 function
+    with pytest.raises(VerificationError, match="ret"):
+        verify_function(fn)
+
+
+def test_duplicate_block_names(module):
+    fn = Function("f", FunctionType(VOID, []), module)
+    a = fn.add_block("same")
+    c = fn.add_block("x")
+    c.name = a.name
+    IRBuilder(a).ret()
+    IRBuilder(c).ret()
+    with pytest.raises(VerificationError, match="duplicate block"):
+        verify_function(fn)
+
+
+def test_cross_function_value_use(module):
+    f1 = Function("f1", FunctionType(I64, [I64]), module)
+    e1 = f1.add_block("entry")
+    b1 = IRBuilder(e1)
+    val = b1.add(f1.args[0], b1.i64(1))
+    b1.ret(val)
+    f2 = Function("f2", FunctionType(I64, []), module)
+    e2 = f2.add_block("entry")
+    IRBuilder(e2).ret(val)  # value from f1!
+    with pytest.raises(VerificationError, match="another function"):
+        verify_function(f2)

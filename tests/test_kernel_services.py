@@ -1,0 +1,279 @@
+"""The kernel facade: loading (both models), faults, page moves,
+protection changes, the notifier trace, and swapping."""
+
+import pytest
+
+from repro.carat import CompileOptions, compile_baseline, compile_carat
+from repro.errors import ProtectionFault, SegmentationFault, SigningError
+from repro.kernel import Kernel, PAGE_SIZE
+from repro.kernel.loader import constant_to_bytes, static_footprint_pages
+from repro.kernel.mmu import PageFault
+from repro.kernel.mmu_notifier import EventKind
+from repro.kernel.swap import NONCANONICAL_BASE, SwapManager, is_noncanonical
+from repro.machine.interp import Interpreter
+from repro.runtime.regions import PERM_READ, PERM_RW, PERM_RWX
+from tests.conftest import LINKED_LIST_SOURCE, SUM_SOURCE
+
+
+@pytest.fixture(scope="module")
+def sum_binary():
+    return compile_carat(SUM_SOURCE, module_name="sum")
+
+
+@pytest.fixture(scope="module")
+def baseline_binary():
+    return compile_baseline(SUM_SOURCE, module_name="sum")
+
+
+class TestLoaderSerialization:
+    def test_constant_to_bytes_int(self):
+        from repro.ir import ConstantInt
+        from repro.ir.types import I32, I64
+
+        assert constant_to_bytes(ConstantInt(I64, -1), I64) == b"\xff" * 8
+        assert constant_to_bytes(ConstantInt(I32, 0x1234), I32) == b"\x34\x12\x00\x00"
+
+    def test_constant_to_bytes_float(self):
+        import struct
+
+        from repro.ir import ConstantFloat
+        from repro.ir.types import F64
+
+        assert constant_to_bytes(ConstantFloat(F64, 1.5), F64) == struct.pack("<d", 1.5)
+
+    def test_constant_to_bytes_aggregates(self):
+        from repro.ir import ConstantArray, ConstantInt, ConstantZero
+        from repro.ir.types import ArrayType, I16
+
+        ty = ArrayType(I16, 3)
+        arr = ConstantArray(ty, [ConstantInt(I16, 1), ConstantInt(I16, 2), ConstantInt(I16, 3)])
+        assert constant_to_bytes(arr, ty) == b"\x01\x00\x02\x00\x03\x00"
+        assert constant_to_bytes(ConstantZero(ty), ty) == b"\x00" * 6
+
+    def test_struct_with_padding(self):
+        from repro.ir import ConstantInt, ConstantStruct
+        from repro.ir.types import I8, I64, StructType
+
+        ty = StructType([I8, I64])
+        c = ConstantStruct(ty, [ConstantInt(I8, 0xAB), ConstantInt(I64, 1)])
+        blob = constant_to_bytes(c, ty)
+        assert len(blob) == 16
+        assert blob[0] == 0xAB
+        assert blob[8] == 1
+
+    def test_static_footprint(self, sum_binary):
+        pages = static_footprint_pages(sum_binary)
+        assert pages >= 2  # at least one code + one globals page
+
+
+class TestCaratLoading:
+    def test_load_layout_contiguous(self, sum_binary):
+        kernel = Kernel()
+        process = kernel.load_carat(sum_binary)
+        layout = process.layout
+        # Dark capsule: stack < globals < code < heap, all contiguous.
+        assert layout.stack_base < layout.globals_base < layout.code_base < layout.heap_base
+        assert layout.globals_base == layout.stack_base + layout.stack_size
+        assert len(process.regions) == 1  # single optimal region
+
+    def test_static_allocations_recorded(self, sum_binary):
+        kernel = Kernel()
+        process = kernel.load_carat(sum_binary)
+        table = process.runtime.table
+        kinds = {a.kind for a in table}
+        assert "global" in kinds and "stack" in kinds and "code" in kinds
+        # Both globals (@N, @total) present.
+        assert table.find_containing(process.globals_map["N"]) is not None
+
+    def test_global_initializers_written(self, sum_binary):
+        kernel = Kernel()
+        process = kernel.load_carat(sum_binary)
+        assert kernel.memory.read_u64(process.globals_map["N"]) == 64
+        assert kernel.memory.read_u64(process.globals_map["total"]) == 0
+
+    def test_unsigned_binary_rejected(self):
+        binary = compile_carat(SUM_SOURCE, CompileOptions(sign=False))
+        kernel = Kernel()
+        with pytest.raises(SigningError):
+            kernel.load_carat(binary)
+
+    def test_untrusted_toolchain_rejected(self, sum_binary):
+        kernel = Kernel(trusted_toolchains={"other-compiler"})
+        with pytest.raises(SigningError):
+            kernel.load_carat(sum_binary)
+
+    def test_tampered_binary_rejected(self, baseline_binary):
+        import copy
+
+        from repro.ir import ConstantInt, GlobalVariable
+        from repro.ir.types import I64
+
+        binary = compile_carat(SUM_SOURCE)
+        binary.module.add_global(GlobalVariable("sneak", I64, ConstantInt(I64, 1)))
+        kernel = Kernel()
+        with pytest.raises(SigningError):
+            kernel.load_carat(binary)
+
+
+class TestTraditionalLoading:
+    def test_virtual_layout(self, baseline_binary):
+        kernel = Kernel()
+        process = kernel.load_traditional(baseline_binary)
+        assert process.page_table is not None
+        assert process.mmu is not None
+        assert process.initial_pages > 0
+        # Code and globals are mapped; the heap is not.
+        assert process.page_table.is_mapped(process.layout.code_base >> 12)
+        assert not process.page_table.is_mapped(process.layout.heap_base >> 12)
+
+    def test_globals_written_through_page_table(self, baseline_binary):
+        kernel = Kernel()
+        process = kernel.load_traditional(baseline_binary)
+        vaddr = process.globals_map["N"]
+        pte = process.page_table.lookup(vaddr >> 12)
+        paddr = (pte.pfn << 12) | (vaddr & 0xFFF)
+        assert kernel.memory.read_u64(paddr) == 64
+
+
+class TestDemandPaging:
+    def test_fault_in_heap_allocates(self, baseline_binary):
+        kernel = Kernel()
+        process = kernel.load_traditional(baseline_binary)
+        heap_vaddr = process.layout.heap_base + 0x2000
+        fault = PageFault(heap_vaddr, "write", present=False)
+        cycles = kernel.handle_page_fault(process, fault)
+        assert cycles > 0
+        assert process.page_table.is_mapped(heap_vaddr >> 12)
+        assert process.demand_page_allocs == 1
+        assert kernel.notifier.page_allocs == 1
+
+    def test_fault_outside_segments_is_segfault(self, baseline_binary):
+        kernel = Kernel()
+        process = kernel.load_traditional(baseline_binary)
+        with pytest.raises(SegmentationFault):
+            kernel.handle_page_fault(
+                process, PageFault(0xDEAD00000000, "read", present=False)
+            )
+
+    def test_stack_grows_on_demand(self, baseline_binary):
+        kernel = Kernel()
+        process = kernel.load_traditional(baseline_binary)
+        deep = process.layout.stack_top - 16 * PAGE_SIZE
+        kernel.handle_page_fault(process, PageFault(deep, "write", present=False))
+        assert process.page_table.is_mapped(deep >> 12)
+
+
+class TestTraditionalMoves:
+    def test_move_page(self, baseline_binary):
+        kernel = Kernel()
+        process = kernel.load_traditional(baseline_binary)
+        vaddr = process.globals_map["N"]
+        vpn = vaddr >> 12
+        old_pfn = process.page_table.lookup(vpn).pfn
+        kernel.move_page_traditional(process, vaddr)
+        new_pfn = process.page_table.lookup(vpn).pfn
+        assert new_pfn != old_pfn
+        # Contents preserved at the new frame.
+        paddr = (new_pfn << 12) | (vaddr & 0xFFF)
+        assert kernel.memory.read_u64(paddr) == 64
+        assert kernel.notifier.page_moves == 1
+        assert kernel.notifier.counts[EventKind.INVALIDATE_RANGE] == 1
+
+
+class TestCaratChanges:
+    def _loaded(self):
+        binary = compile_carat(LINKED_LIST_SOURCE, module_name="list")
+        kernel = Kernel()
+        process = kernel.load_carat(binary)
+        interp = Interpreter(process, kernel)
+        return kernel, process, interp
+
+    def test_page_move_midrun_preserves_semantics(self):
+        kernel, process, interp = self._loaded()
+        interp.start("main")
+        interp.run_steps(1200)
+        victim = process.runtime.worst_case_allocation()
+        snaps = interp.register_snapshots()
+        plan, cost, cycles = kernel.request_page_move(
+            process, victim.address & ~(PAGE_SIZE - 1), register_snapshots=snaps
+        )
+        interp.apply_snapshots(snaps)
+        assert cost.total > 0
+        assert cycles > cost.total  # includes the world stop
+        interp.run_steps(10_000_000)
+        assert interp.output == [str(sum(range(40)))]
+
+    def test_move_updates_regions_and_frames(self):
+        kernel, process, interp = self._loaded()
+        interp.start("main")
+        interp.run_steps(1200)
+        victim = process.runtime.worst_case_allocation()
+        page = victim.address & ~(PAGE_SIZE - 1)
+        free_before = kernel.frames.free_frames
+        plan, _, _ = kernel.request_page_move(process, page)
+        # Old pages freed, new allocated: net change zero.
+        assert kernel.frames.free_frames == free_before
+        # The moved-out range is no longer permitted.
+        assert process.regions.find(plan.lo) is None or not process.regions.find(
+            plan.lo
+        ).covers(plan.lo, plan.length)
+
+    def test_protection_change(self):
+        kernel, process, interp = self._loaded()
+        base = process.layout.stack_base
+        cycles = kernel.request_protection_change(
+            process, base, PAGE_SIZE, PERM_READ
+        )
+        assert cycles > 0
+        assert not process.regions.check(base, 8, "write")
+        assert process.regions.check(base, 8, "read")
+        # Restore and verify coalescing brings us back to one region.
+        kernel.request_protection_change(process, base, PAGE_SIZE, PERM_RWX)
+        assert len(process.regions) == 1
+
+
+class TestSwap:
+    def test_swap_out_and_in_roundtrip(self):
+        binary = compile_carat(LINKED_LIST_SOURCE, module_name="list")
+        kernel = Kernel()
+        process = kernel.load_carat(binary)
+        interp = Interpreter(process, kernel)
+        interp.start("main")
+        interp.run_steps(600)  # mid build loop: nodes exist, traversal ahead
+
+        swap = SwapManager(kernel)
+        process.runtime.flush_escapes()
+        victim = next(a for a in process.runtime.table if a.kind == "heap")
+        page = victim.address & ~(PAGE_SIZE - 1)
+        snaps = interp.register_snapshots()
+        record = swap.swap_out(process, page, register_snapshots=snaps)
+        interp.apply_snapshots(snaps)
+        assert swap.swap_outs == 1
+        # The allocation table now holds the block at an encoded address.
+        assert process.runtime.table.at(victim.address) is victim
+        assert is_noncanonical(victim.address)
+
+        # Running on must fault on the first touch of swapped memory...
+        with pytest.raises(ProtectionFault) as info:
+            interp.run_steps(10_000_000)
+        assert is_noncanonical(info.value.address)
+
+        # ...and the fault handler swaps it back in.
+        snaps = interp.register_snapshots()
+        new_addr = swap.handle_fault(process, info.value, snaps)
+        interp.apply_snapshots(snaps)
+        assert not is_noncanonical(new_addr)
+        assert swap.swap_ins == 1
+
+        # Execution resumes and completes with the correct answer.
+        interp.run_steps(10_000_000)
+        assert interp.output == [str(sum(range(40)))]
+
+    def test_unrelated_fault_reraised(self):
+        binary = compile_carat(SUM_SOURCE)
+        kernel = Kernel()
+        process = kernel.load_carat(binary)
+        swap = SwapManager(kernel)
+        fault = ProtectionFault(0x123456, 8, "read")
+        with pytest.raises(ProtectionFault):
+            swap.handle_fault(process, fault)

@@ -1,0 +1,84 @@
+"""Opt2 soundness: merged range guards must never over-claim.
+
+A merged guard asserts the program will touch [low, low+len).  If the
+loop can exit early (break), the canonical trip count over-approximates
+and a range guard could fault on memory the program never touches —
+e.g. a search loop over a buffer whose permitted region ends exactly
+where the data does, where the break always fires before the end.
+"""
+
+import pytest
+
+from repro.analysis.loops import LoopInfo
+from repro.analysis.scev import ScalarEvolution
+from repro.carat import CompileOptions, compile_carat
+from repro.carat.intrinsics import GUARD_RANGE
+from repro.frontend import compile_source
+from repro.machine import run_carat
+from repro.transform.pass_manager import optimize_module
+
+SEARCH_WITH_BREAK = """
+long find(long *a, long n, long needle) {
+  long i;
+  for (i = 0; i < n; i++) {
+    if (a[i] == needle) { break; }
+  }
+  return i;
+}
+void main() {
+  long *a = (long*)malloc(sizeof(long) * 16);
+  long i;
+  for (i = 0; i < 16; i++) { a[i] = i * 10; }
+  print_long(find(a, 1000000, 30));
+  free((char*)a);
+}
+"""
+
+
+def test_break_loop_not_merged():
+    """find() claims n=1000000 but always breaks by i=3; merging its guard
+    would check a megabyte the program never touches."""
+    module = compile_source(SEARCH_WITH_BREAK)
+    optimize_module(module)
+    fn = module.get_function("find")
+    li = LoopInfo.compute(fn)
+    se = ScalarEvolution(fn, li)
+    for loop in li.loops:
+        if len(loop.exiting_blocks()) > 1:
+            for block in loop.blocks:
+                for inst in block.instructions:
+                    from repro.ir.instructions import LoadInst
+
+                    if isinstance(inst, LoadInst):
+                        assert se.affine_range(inst.pointer, loop) is None
+
+
+def test_break_program_runs_clean_under_carat():
+    """End to end: the search program must not fault even though its loop
+    bound reaches far past the allocation."""
+    binary = compile_carat(
+        SEARCH_WITH_BREAK, CompileOptions(tracking=False), module_name="search"
+    )
+    result = run_carat(binary)
+    assert result.output == ["3"]
+    assert result.process.runtime.stats.guard_faults == 0
+
+
+def test_single_exit_loops_still_merge():
+    source = """
+    void main() {
+      long *a = (long*)malloc(sizeof(long) * 64);
+      long i;
+      for (i = 0; i < 64; i++) { a[i] = i; }
+      free((char*)a);
+    }
+    """
+    binary = compile_carat(source, CompileOptions(tracking=False))
+    assert binary.guard_stats.merged >= 1
+    names = [
+        inst.callee_name
+        for fn in binary.module.defined_functions()
+        for inst in fn.instructions()
+        if getattr(inst, "callee_name", None) == GUARD_RANGE
+    ]
+    assert names

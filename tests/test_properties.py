@@ -1,0 +1,200 @@
+"""Cross-cutting property tests.
+
+* differential execution: randomly generated Mini-C arithmetic must
+  compute exactly what a reference Python evaluator (with 64-bit wrap
+  semantics) computes — this exercises lexer, parser, sema, lowering,
+  every generic optimization, and the interpreter in one shot;
+* CARAT transparency: for random list/array programs, the instrumented
+  binary must produce the baseline's output with zero guard faults;
+* region-set operations vs a page-permission reference model.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import run_carat, run_carat_baseline
+from repro.runtime.regions import PERM_RW, Region, RegionSet
+
+I64_MASK = (1 << 64) - 1
+
+
+def wrap64(value: int) -> int:
+    value &= I64_MASK
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+# --- random expression trees -------------------------------------------------
+
+_BINOPS = ["+", "-", "*", "&", "|", "^"]
+
+
+@st.composite
+def expr_trees(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(st.integers(min_value=-(2**31), max_value=2**31))
+    op = draw(st.sampled_from(_BINOPS))
+    lhs = draw(expr_trees(depth=depth + 1))
+    rhs = draw(expr_trees(depth=depth + 1))
+    return (op, lhs, rhs)
+
+
+def render(tree) -> str:
+    if isinstance(tree, int):
+        return f"({tree})" if tree < 0 else str(tree)
+    op, lhs, rhs = tree
+    return f"({render(lhs)} {op} {render(rhs)})"
+
+
+def evaluate(tree) -> int:
+    if isinstance(tree, int):
+        return wrap64(tree)
+    op, lhs, rhs = tree
+    a, b = evaluate(lhs), evaluate(rhs)
+    if op == "+":
+        return wrap64(a + b)
+    if op == "-":
+        return wrap64(a - b)
+    if op == "*":
+        return wrap64(a * b)
+    if op == "&":
+        return wrap64(a & b)
+    if op == "|":
+        return wrap64(a | b)
+    if op == "^":
+        return wrap64(a ^ b)
+    raise AssertionError(op)
+
+
+class TestDifferentialExecution:
+    @given(expr_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_expression_semantics(self, tree):
+        source = f"void main() {{ print_long({render(tree)}); }}"
+        result = run_carat_baseline(source, name="prop")
+        assert result.output == [str(evaluate(tree))]
+
+    @given(
+        st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=20)
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_array_sum_matches(self, values):
+        writes = "\n".join(
+            f"  a[{i}] = {v};" for i, v in enumerate(values)
+        )
+        source = f"""
+        void main() {{
+          long *a = (long*)malloc(sizeof(long) * {len(values)});
+          {writes}
+          long s = 0;
+          long i;
+          for (i = 0; i < {len(values)}; i++) {{ s += a[i]; }}
+          print_long(s);
+          free((char*)a);
+        }}
+        """
+        result = run_carat_baseline(source, name="prop")
+        assert result.output == [str(sum(values))]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=15)
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_carat_is_transparent(self, values):
+        """The full CARAT treatment never changes program behaviour."""
+        pushes = "\n".join(
+            f"""
+            node = (struct N*)malloc(sizeof(struct N));
+            node->v = {v}; node->next = head; head = node;
+            """
+            for v in values
+        )
+        source = f"""
+        struct N {{ long v; struct N *next; }};
+        struct N *head;
+        struct N *node;
+        void main() {{
+          {pushes}
+          long s = 0;
+          struct N *p = head;
+          while (p != null) {{ s += p->v; p = p->next; }}
+          print_long(s);
+        }}
+        """
+        base = run_carat_baseline(source, name="prop")
+        carat = run_carat(source, name="prop")
+        assert base.output == carat.output == [str(sum(values))]
+        assert carat.process.runtime.stats.guard_faults == 0
+
+
+class TestRegionSetModel:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove", "coalesce"]),
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=1, max_value=6),
+            ),
+            max_size=25,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_page_permission_model(self, operations):
+        """Model: a dict page -> covered?  The region set must agree after
+        any sequence of adds / range removals / coalesces."""
+        rs = RegionSet()
+        model = set()
+        page = 0x1000
+        for op, start, length in operations:
+            lo, hi = start * page, (start + length) * page
+            if op == "add":
+                if any(p in model for p in range(start, start + length)):
+                    with pytest.raises(ValueError):
+                        rs.add(Region(lo, hi - lo, PERM_RW))
+                    continue
+                rs.add(Region(lo, hi - lo, PERM_RW))
+                model.update(range(start, start + length))
+            elif op == "remove":
+                rs.remove_range(lo, hi)
+                model.difference_update(range(start, start + length))
+            else:
+                rs.coalesce()  # never changes coverage
+        for p in range(0, 40):
+            covered = rs.check(p * page, page, "read")
+            assert covered == (p in model), f"page {p}"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=1, max_value=5),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_coalesce_preserves_checks(self, spans):
+        rs = RegionSet()
+        for start, length in spans:
+            try:
+                rs.add(Region(start * 0x1000, length * 0x1000, PERM_RW))
+            except ValueError:
+                pass
+        before = [rs.check(p * 0x1000, 8, "write") for p in range(30)]
+        rs.coalesce()
+        after = [rs.check(p * 0x1000, 8, "write") for p in range(30)]
+        assert before == after
+
+
+class TestGlobalInitializerRoundtrip:
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_global_scalars_survive_loading(self, values):
+        decls = "\n".join(f"long g{i} = {v};" for i, v in enumerate(values))
+        prints = "\n".join(f"  print_long(g{i});" for i in range(len(values)))
+        source = f"{decls}\nvoid main() {{\n{prints}\n}}"
+        result = run_carat_baseline(source, name="prop")
+        assert result.output == [str(v) for v in values]

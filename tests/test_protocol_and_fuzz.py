@@ -1,0 +1,164 @@
+"""The Figure 8 protocol trace, plus builder->printer->parser fuzzing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carat import compile_carat
+from repro.ir import (
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from repro.ir.types import F64, I1, I64, ptr
+from repro.kernel import Kernel
+from repro.kernel.pagetable import PAGE_SIZE
+from repro.machine.interp import Interpreter
+from tests.conftest import LINKED_LIST_SOURCE
+
+
+class TestProtocolTrace:
+    def test_move_emits_figure8_steps_in_order(self):
+        kernel = Kernel()
+        kernel.trace_protocol = True
+        process = kernel.load_carat(compile_carat(LINKED_LIST_SOURCE))
+        interp = Interpreter(process, kernel)
+        interp.start("main")
+        interp.run_steps(1000)
+        victim = process.runtime.worst_case_allocation()
+        snaps = interp.register_snapshots()
+        kernel.request_page_move(
+            process, victim.address & ~(PAGE_SIZE - 1), register_snapshots=snaps
+        )
+        interp.apply_snapshots(snaps)
+        steps = [int(line.split(":")[0].split()[1]) for line in kernel.protocol_trace]
+        assert steps == sorted(steps)
+        assert steps[0] == 1
+        assert steps[-1] == 12
+        assert len(set(steps)) == 12
+        joined = "\n".join(kernel.protocol_trace)
+        assert "dump registers" in joined
+        assert "escapes patched" in joined
+        assert "threads resume" in joined
+
+    def test_trace_off_by_default(self):
+        kernel = Kernel()
+        process = kernel.load_carat(compile_carat(LINKED_LIST_SOURCE))
+        interp = Interpreter(process, kernel)
+        interp.start("main")
+        interp.run_steps(1000)
+        victim = process.runtime.worst_case_allocation()
+        kernel.request_page_move(process, victim.address & ~(PAGE_SIZE - 1))
+        assert kernel.protocol_trace == []
+
+
+# ---------------------------------------------------------------------------
+# Builder -> printer -> parser fuzzing: random straight-line functions must
+# survive a full round trip bit-identically and re-verify.
+# ---------------------------------------------------------------------------
+
+_INT_OPS = ["add", "sub", "mul", "and", "or", "xor"]
+_FLOAT_OPS = ["fadd", "fsub", "fmul"]
+_PREDS = ["eq", "ne", "slt", "sle", "sgt", "sge"]
+
+
+@st.composite
+def straightline_programs(draw):
+    """A recipe: a list of op codes the builder turns into a function."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("int"), st.sampled_from(_INT_OPS)),
+                st.tuples(st.just("float"), st.sampled_from(_FLOAT_OPS)),
+                st.tuples(st.just("icmp"), st.sampled_from(_PREDS)),
+                st.tuples(st.just("const"), st.integers(-(2**31), 2**31)),
+                st.tuples(st.just("gep"), st.integers(0, 7)),
+                st.tuples(st.just("loadstore"), st.integers(0, 7)),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+
+
+def _build(recipe) -> Module:
+    module = Module("fuzz")
+    fn = Function(
+        "f", FunctionType(I64, [I64, F64, ptr(I64)]), module, ["x", "y", "p"]
+    )
+    b = IRBuilder(fn.add_block("entry"))
+    ints = [fn.args[0]]
+    floats = [fn.args[1]]
+    for kind, payload in recipe:
+        if kind == "int":
+            ints.append(b.binop(payload, ints[-1], ints[len(ints) // 2]))
+        elif kind == "float":
+            floats.append(b.binop(payload, floats[-1], floats[len(floats) // 2]))
+        elif kind == "icmp":
+            flag = b.icmp(payload, ints[-1], ints[0])
+            ints.append(b.zext(flag, I64))
+        elif kind == "const":
+            ints.append(b.add(ints[-1], b.i64(payload)))
+        elif kind == "gep":
+            g = b.gep(fn.args[2], [b.i64(payload)])
+            ints.append(b.load(g))
+        elif kind == "loadstore":
+            g = b.gep(fn.args[2], [b.i64(payload)])
+            b.store(ints[-1], g)
+            ints.append(b.load(g))
+    b.ret(ints[-1])
+    return module
+
+
+class TestRoundTripFuzz:
+    @given(straightline_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_print_parse_fixpoint(self, recipe):
+        module = _build(recipe)
+        verify_module(module)
+        text = print_module(module)
+        parsed = parse_module(text)
+        verify_module(parsed)
+        assert print_module(parsed) == text
+
+    @given(straightline_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_parsed_module_executes_identically(self, recipe):
+        """The parsed module must compute the same result as the original
+        when run with fixed inputs through a driver."""
+        from repro.carat import compile_baseline
+        from repro.ir import GlobalVariable, ConstantZero
+        from repro.ir.types import ArrayType
+        from repro.machine import run_carat_baseline
+
+        def with_driver(module: Module) -> Module:
+            from repro.ir.types import VOID
+            from repro.ir.values import ConstantFloat, ConstantInt
+
+            buf = module.add_global(
+                GlobalVariable(
+                    "buf", ArrayType(I64, 8), ConstantZero(ArrayType(I64, 8))
+                )
+            )
+            printer = module.get_or_declare("print_long", FunctionType(VOID, [I64]))
+            main = Function("main", FunctionType(VOID, []), module)
+            b = IRBuilder(main.add_block("entry"))
+            base = b.gep(buf, [b.i64(0), b.i64(0)])
+            value = b.call(
+                module.get_function("f"),
+                [ConstantInt(I64, 37), ConstantFloat(F64, 1.5), base],
+            )
+            b.call(printer, [value])
+            b.ret()
+            return module
+
+        original = with_driver(_build(recipe))
+        text = print_module(original)
+        reparsed = parse_module(text)
+        out1 = run_carat_baseline(compile_baseline(original)).output
+        out2 = run_carat_baseline(compile_baseline(reparsed)).output
+        assert out1 == out2

@@ -1,0 +1,160 @@
+"""Red-black tree: unit tests plus hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.rbtree import RedBlackTree
+
+
+class TestBasics:
+    def test_empty(self):
+        t = RedBlackTree()
+        assert len(t) == 0
+        assert not t
+        assert t.get(1) is None
+        assert t.min_item() is None
+        assert t.max_item() is None
+        assert not t.delete(5)
+
+    def test_insert_and_get(self):
+        t = RedBlackTree()
+        t.insert(5, "five")
+        t.insert(3, "three")
+        t.insert(8, "eight")
+        assert t.get(5) == "five"
+        assert t.get(3) == "three"
+        assert 8 in t
+        assert 9 not in t
+        assert len(t) == 3
+
+    def test_replace_value(self):
+        t = RedBlackTree()
+        t.insert(1, "a")
+        t.insert(1, "b")
+        assert len(t) == 1
+        assert t.get(1) == "b"
+
+    def test_ordered_iteration(self):
+        t = RedBlackTree()
+        for k in (5, 1, 9, 3, 7):
+            t.insert(k, k * 10)
+        assert list(t.keys()) == [1, 3, 5, 7, 9]
+        assert list(t.items())[0] == (1, 10)
+
+    def test_min_max(self):
+        t = RedBlackTree()
+        for k in (5, 1, 9):
+            t.insert(k, None)
+        assert t.min_item() == (1, None)
+        assert t.max_item() == (9, None)
+
+    def test_floor_ceiling(self):
+        t = RedBlackTree()
+        for k in (10, 20, 30):
+            t.insert(k, k)
+        assert t.floor_item(25) == (20, 20)
+        assert t.floor_item(20) == (20, 20)
+        assert t.floor_item(5) is None
+        assert t.ceiling_item(25) == (30, 30)
+        assert t.ceiling_item(30) == (30, 30)
+        assert t.ceiling_item(35) is None
+
+    def test_range_iteration(self):
+        t = RedBlackTree()
+        for k in range(0, 100, 10):
+            t.insert(k, k)
+        assert [k for k, _ in t.items_in_range(25, 65)] == [30, 40, 50, 60]
+        assert [k for k, _ in t.items_in_range(0, 10)] == [0]
+        assert list(t.items_in_range(200, 300)) == []
+
+    def test_delete(self):
+        t = RedBlackTree()
+        for k in range(20):
+            t.insert(k, k)
+        assert t.delete(10)
+        assert 10 not in t
+        assert len(t) == 19
+        assert not t.delete(10)
+        t.check_invariants()
+
+    def test_pop(self):
+        t = RedBlackTree()
+        t.insert(1, "x")
+        assert t.pop(1) == "x"
+        assert t.pop(1, "default") == "default"
+
+    def test_sequential_insert_stays_balanced(self):
+        t = RedBlackTree()
+        for k in range(1000):
+            t.insert(k, k)
+        t.check_invariants()
+        assert list(t.keys()) == list(range(1000))
+
+    def test_reverse_insert_stays_balanced(self):
+        t = RedBlackTree()
+        for k in reversed(range(1000)):
+            t.insert(k, k)
+        t.check_invariants()
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=-(10**9), max_value=10**9)))
+    @settings(max_examples=60)
+    def test_matches_dict_semantics(self, keys):
+        t = RedBlackTree()
+        reference = {}
+        for k in keys:
+            t.insert(k, k * 2)
+            reference[k] = k * 2
+        assert len(t) == len(reference)
+        assert list(t.keys()) == sorted(reference)
+        for k in keys:
+            assert t.get(k) == reference[k]
+        t.check_invariants()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=200), min_size=1),
+        st.lists(st.integers(min_value=0, max_value=200)),
+    )
+    @settings(max_examples=60)
+    def test_insert_delete_interleaved(self, inserts, deletes):
+        t = RedBlackTree()
+        reference = set()
+        for k in inserts:
+            t.insert(k, None)
+            reference.add(k)
+        for k in deletes:
+            assert t.delete(k) == (k in reference)
+            reference.discard(k)
+            t.check_invariants()
+        assert list(t.keys()) == sorted(reference)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60)
+    def test_floor_ceiling_consistency(self, keys, probe):
+        t = RedBlackTree()
+        for k in keys:
+            t.insert(k, None)
+        unique = sorted(set(keys))
+        floor = t.floor_item(probe)
+        expected_floor = max((k for k in unique if k <= probe), default=None)
+        assert (floor[0] if floor else None) == expected_floor
+        ceiling = t.ceiling_item(probe)
+        expected_ceiling = min((k for k in unique if k >= probe), default=None)
+        assert (ceiling[0] if ceiling else None) == expected_ceiling
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=1),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=60)
+    def test_range_query_matches_filter(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        t = RedBlackTree()
+        for k in keys:
+            t.insert(k, None)
+        got = [k for k, _ in t.items_in_range(lo, hi)]
+        expected = sorted(k for k in set(keys) if lo <= k < hi)
+        assert got == expected

@@ -1,0 +1,178 @@
+"""Multi-threaded execution and multi-thread world stops."""
+
+import pytest
+
+from repro.carat import compile_carat
+from repro.kernel import Kernel
+from repro.kernel.pagetable import PAGE_SIZE
+from repro.machine.threads import ThreadGroup, ThreadSpec
+
+PARALLEL_SUM = """
+// Three workers sum disjoint slices of a shared heap array into
+// per-worker globals; main() is unused (threads drive the work).
+long results[4];
+long *shared;
+
+void setup(long n) {
+  shared = (long*)malloc(sizeof(long) * n);
+  long i;
+  for (i = 0; i < n; i++) { shared[i] = i; }
+}
+
+void worker(long tid, long lo, long hi) {
+  long s = 0;
+  long i;
+  for (i = lo; i < hi; i++) { s += shared[i]; }
+  results[tid] = s;
+}
+
+void main() { }
+"""
+
+LIST_WORKERS = """
+struct Node { long value; struct Node *next; };
+struct Node *lists[4];
+long sums[4];
+
+void builder(long tid, long n) {
+  long i;
+  for (i = 0; i < n; i++) {
+    struct Node *node = (struct Node*)malloc(sizeof(struct Node));
+    node->value = tid * 1000 + i;
+    node->next = lists[tid];
+    lists[tid] = node;
+  }
+  long s = 0;
+  struct Node *p = lists[tid];
+  while (p != null) { s += p->value; p = p->next; }
+  sums[tid] = s;
+}
+
+void main() { }
+"""
+
+
+def _group(source, specs, quantum=300):
+    binary = compile_carat(source, module_name="mt")
+    kernel = Kernel()
+    process = kernel.load_carat(binary)
+    group = ThreadGroup(process, kernel, specs, quantum=quantum)
+    return kernel, process, group
+
+
+class TestScheduling:
+    def test_three_workers_share_memory(self):
+        n = 120
+        kernel, process, group = _group(
+            PARALLEL_SUM,
+            [
+                ThreadSpec("setup", (n,)),
+                # Workers read `shared` only after setup writes it; give
+                # setup a head start by scheduling it as thread 0 with a
+                # quantum large enough to finish its init loop first.
+                ThreadSpec("worker", (1, 0, 40)),
+                ThreadSpec("worker", (2, 40, 80)),
+                ThreadSpec("worker", (3, 80, 120)),
+            ],
+            quantum=5_000,
+        )
+        group.run_to_completion()
+        mem = kernel.memory
+        results_base = process.globals_map["results"]
+        totals = [mem.read_int(results_base + 8 * i, 8) for i in range(4)]
+        assert totals[1] == sum(range(0, 40))
+        assert totals[2] == sum(range(40, 80))
+        assert totals[3] == sum(range(80, 120))
+
+    def test_each_thread_has_its_own_stack(self):
+        kernel, process, group = _group(
+            LIST_WORKERS,
+            [ThreadSpec("builder", (i, 20)) for i in range(3)],
+        )
+        bases = {t.stack_base for t in group.threads}
+        assert len(bases) == 3  # distinct stacks
+        # Extra-thread stacks live in the heap region and are tracked.
+        for thread in group.threads[1:]:
+            allocation = process.runtime.table.find_containing(
+                thread.stack_top - 8
+            )
+            assert allocation is not None
+            assert allocation.kind == "stack"
+
+    def test_round_robin_interleaves(self):
+        kernel, process, group = _group(
+            LIST_WORKERS,
+            [ThreadSpec("builder", (i, 30)) for i in range(2)],
+            quantum=100,
+        )
+        rounds = 0
+        while group.run_round():
+            rounds += 1
+            # After any round, both threads have made progress.
+            if rounds == 2:
+                progress = [t.stats.instructions for t in group.threads]
+                assert all(p > 0 for p in progress)
+        assert rounds > 2  # genuinely interleaved, not run-to-completion
+
+
+class TestMultiThreadWorldStop:
+    def test_concurrent_builders_survive_page_moves(self):
+        kernel, process, group = _group(
+            LIST_WORKERS,
+            [ThreadSpec("builder", (i, 40)) for i in range(4)],
+            quantum=250,
+        )
+        moves = 0
+        while group.run_round():
+            victim = process.runtime.worst_case_allocation()
+            if victim is None or victim.kind == "code":
+                continue
+            snaps = group.stop_the_world()
+            kernel.request_page_move(
+                process,
+                victim.address & ~(PAGE_SIZE - 1),
+                register_snapshots=snaps,
+                thread_count=len(group.threads),
+            )
+            group.resume_after()
+            moves += 1
+        assert moves >= 3
+        mem = kernel.memory
+        sums_base = process.globals_map["sums"]
+        for tid in range(4):
+            expected = sum(tid * 1000 + i for i in range(40))
+            assert mem.read_int(sums_base + 8 * tid, 8) == expected
+
+    def test_stop_collects_snapshot_per_thread(self):
+        kernel, process, group = _group(
+            LIST_WORKERS,
+            [ThreadSpec("builder", (i, 30)) for i in range(3)],
+        )
+        group.run_round()
+        snaps = group.stop_the_world()
+        assert process.runtime.is_stopped
+        # At least one snapshot per live thread (one per frame).
+        assert len(snaps) >= len(group.alive)
+        group.resume_after()
+        assert not process.runtime.is_stopped
+
+    def test_resume_requires_stop(self):
+        from repro.errors import InterpError
+
+        kernel, process, group = _group(
+            LIST_WORKERS, [ThreadSpec("builder", (0, 5))]
+        )
+        with pytest.raises(InterpError):
+            group.resume_after()
+
+    def test_stop_cost_scales_with_threads(self):
+        kernel, process, group = _group(
+            LIST_WORKERS,
+            [ThreadSpec("builder", (i, 10)) for i in range(4)],
+        )
+        group.run_round()
+        cycles = process.runtime.world_stop(thread_count=4)
+        process.runtime.resume()
+        single = process.runtime.world_stop(thread_count=1)
+        process.runtime.resume()
+        assert cycles == 4 * single

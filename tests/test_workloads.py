@@ -1,0 +1,107 @@
+"""Workload suite: every program compiles under the full CARAT treatment
+and computes the same answer in all three configurations."""
+
+import pytest
+
+from repro.carat import compile_baseline, compile_carat
+from repro.machine import run_carat, run_carat_baseline, run_traditional
+from repro.workloads import all_workloads, get_workload, workload_names
+
+ALL_NAMES = workload_names()
+
+
+def test_suite_covers_the_paper(snapshot=None):
+    # The paper's Section 3 list (Mantevo, NAS, PARSEC, SPEC).
+    expected = {
+        "hpccg", "cg", "ep", "ft", "lu",
+        "blackscholes", "bodytrack", "canneal", "fluidanimate",
+        "freqmine", "streamcluster", "swaptions", "x264",
+        "deepsjeng", "lbm", "mcf", "nab", "namd", "omnetpp",
+        "x264_s", "xalancbmk", "xz",
+    }
+    assert expected <= set(ALL_NAMES)
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        get_workload("quake3")
+    with pytest.raises(ValueError):
+        get_workload("hpccg", scale="galactic")
+
+
+def test_scales_change_footprint():
+    tiny = get_workload("lbm", "tiny")
+    small = get_workload("lbm", "small")
+    assert tiny.source != small.source
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_compiles_under_carat(name):
+    wl = get_workload(name, "tiny")
+    binary = compile_carat(wl.source, module_name=name)
+    assert binary.guard_stats.total > 0
+    assert binary.is_signed
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_carat_matches_baseline(name):
+    wl = get_workload(name, "tiny")
+    base = run_carat_baseline(wl.source, name=name)
+    carat = run_carat(wl.source, name=name)
+    assert base.output == carat.output
+    assert base.exit_code == carat.exit_code == 0
+    assert carat.process.runtime.stats.guard_faults == 0
+
+
+@pytest.mark.parametrize(
+    "name", ["hpccg", "canneal", "mcf", "swaptions", "ft", "deepsjeng"]
+)
+def test_traditional_matches_baseline(name):
+    wl = get_workload(name, "tiny")
+    base = run_carat_baseline(wl.source, name=name)
+    trad = run_traditional(wl.source, name=name)
+    assert base.output == trad.output
+
+
+def test_behavior_classes_show_up_in_tlb_pressure():
+    """Pointer-chasing/random workloads must out-miss regular ones, the
+    ordering Figure 2 exists to show."""
+    regular = run_traditional(get_workload("hpccg", "tiny").source, name="hpccg")
+    chase = run_traditional(get_workload("deepsjeng", "tiny").source, name="deepsjeng")
+    assert chase.dtlb_mpki() > regular.dtlb_mpki()
+
+
+def test_nab_is_the_escape_outlier():
+    """nab holds many escapes into one allocation (Figure 5)."""
+    r = run_carat(get_workload("nab", "tiny").source, name="nab")
+    rt = r.process.runtime
+    hist = rt.escape_histogram()
+    assert hist, "nab must record escapes"
+    assert max(hist.keys()) > 50  # one allocation with many escapes
+
+
+def test_streamcluster_escapes_happen_early():
+    from repro.carat import compile_carat
+    from repro.kernel import Kernel
+    from repro.machine.interp import Interpreter
+
+    wl = get_workload("streamcluster", "tiny")
+    binary = compile_carat(wl.source, module_name=wl.name)
+    kernel = Kernel()
+    process = kernel.load_carat(binary)
+    interp = Interpreter(process, kernel)
+    interp.start("main")
+    interp.run_steps(10_000_000)
+    stats = process.runtime.escapes.stats
+    assert stats.recorded > 0
+
+
+def test_ft_static_footprint_dominates():
+    """FT's data lives in globals: static footprint ~ total footprint
+    (Table 2's pre-allocatable case)."""
+    from repro.kernel.loader import static_footprint_pages
+
+    # Compile only (no run), so the small scale is cheap here.
+    ft = compile_baseline(get_workload("ft", "small").source, module_name="ft")
+    ep = compile_baseline(get_workload("ep", "small").source, module_name="ep")
+    assert static_footprint_pages(ft) > 3 * static_footprint_pages(ep)
