@@ -6,8 +6,11 @@ Commands:
   IR and the guard/tracking statistics (``--emit-ir``, ``--no-opt``...);
 * ``run FILE``      — compile and execute under a chosen model
   (``--mode carat|baseline|traditional``), reporting output and cycles;
-* ``bench NAME``    — run one suite workload under all three models and
-  print the comparison row;
+* ``bench [NAME]``  — run one suite workload under all three models and
+  print the comparison row; with no name, list the available targets;
+* ``policy NAME``   — run one workload under CARAT with the memory-policy
+  engine attached (heat-tracked compaction + tiered placement) and print
+  the :class:`~repro.policy.engine.PolicyStats` summary;
 * ``workloads``     — list the benchmark suite.
 """
 
@@ -58,9 +61,57 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stats", action="store_true", help="print cycle accounting")
 
     bench = sub.add_parser("bench", help="run one suite workload in all modes")
-    bench.add_argument("name", help="workload name (see `repro workloads`)")
+    bench.add_argument(
+        "name",
+        nargs="?",
+        help="workload name (omit to list the available targets)",
+    )
     bench.add_argument(
         "--scale", choices=["tiny", "small", "medium"], default="tiny"
+    )
+
+    policy = sub.add_parser(
+        "policy",
+        help="run a workload under CARAT with the memory-policy engine",
+    )
+    policy.add_argument("name", help="workload name (see `repro workloads`)")
+    policy.add_argument(
+        "--scale", choices=["tiny", "small", "medium"], default="tiny"
+    )
+    policy.add_argument(
+        "--fast-kb",
+        type=int,
+        default=1024,
+        help="fast-tier size in KiB (0 disables tiering; default 1024)",
+    )
+    policy.add_argument(
+        "--memory-kb",
+        type=int,
+        default=8192,
+        help="total physical memory in KiB (default 8192)",
+    )
+    policy.add_argument(
+        "--epoch-cycles",
+        type=int,
+        default=20_000,
+        help="policy epoch length in cycles (default 20000)",
+    )
+    policy.add_argument(
+        "--budget",
+        type=int,
+        default=100_000,
+        help="move-cycle budget per epoch (default 100000)",
+    )
+    policy.add_argument(
+        "--no-compaction", action="store_true", help="disable the compaction daemon"
+    )
+    policy.add_argument(
+        "--no-tiering", action="store_true", help="disable the tiering balancer"
+    )
+    policy.add_argument(
+        "--scatter",
+        action="store_true",
+        help="pre-fragment physical memory before running (compaction demo)",
     )
 
     sub.add_parser("workloads", help="list the benchmark suite")
@@ -144,6 +195,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     from repro.workloads import get_workload
 
+    if args.name is None:
+        return _cmd_workloads(args)
     workload = get_workload(args.name, args.scale)
     base = run_carat_baseline(workload.source, name=workload.name)
     carat = run_carat(workload.source, name=workload.name)
@@ -157,6 +210,83 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"{'carat':12s} {carat.cycles:12d} {carat.cycles / base.cycles:12.3f}")
     print(f"{'traditional':12s} {trad.cycles:12d} {trad.cycles / base.cycles:12.3f}")
     return 0
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    from repro.kernel.kernel import Kernel
+    from repro.machine.executor import run_carat
+    from repro.policy import (
+        CompactionDaemon,
+        HeatTracker,
+        PolicyEngine,
+        TieringBalancer,
+        assess_fragmentation,
+        scatter_capsule,
+    )
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.name, args.scale)
+    fast = args.fast_kb * 1024
+    kernel = Kernel(
+        memory_size=args.memory_kb * 1024,
+        fast_memory=fast if fast else None,
+    )
+    engine: Optional[PolicyEngine] = None
+    frag_before = None
+
+    def setup(interpreter) -> None:
+        nonlocal engine, frag_before
+        process = interpreter.process
+        if args.scatter:
+            scatter_capsule(kernel, process, interpreter=interpreter)
+        frag_before = assess_fragmentation(kernel.frames)
+        heat = HeatTracker(sample_period=1, decay=0.5)
+        compaction = (
+            None
+            if args.no_compaction
+            else CompactionDaemon(kernel, process)
+        )
+        tiering = (
+            TieringBalancer(kernel, process, heat, max_allocation_pages=40)
+            if fast and not args.no_tiering
+            else None
+        )
+        engine = PolicyEngine(
+            kernel,
+            process,
+            epoch_cycles=args.epoch_cycles,
+            budget_cycles=args.budget,
+            heat=heat,
+            compaction=compaction,
+            tiering=tiering,
+        )
+        engine.attach(interpreter)
+
+    result = run_carat(
+        workload.source,
+        kernel=kernel,
+        name=workload.name,
+        # Modest capsule so it fits the slow tier of the default 8 MiB
+        # machine (suite workloads at these scales need far less).
+        heap_size=512 * 1024,
+        stack_size=128 * 1024,
+        setup=setup,
+    )
+    assert engine is not None and frag_before is not None
+    frag_after = assess_fragmentation(kernel.frames)
+    stats = engine.stats
+    print(f"workload    : {workload.name} ({workload.suite}, {args.scale})")
+    print(f"output      : {result.output[-1] if result.output else ''}")
+    print(f"policy      : {stats.describe()}")
+    print(f"frag before : {frag_before.describe()}")
+    print(f"frag after  : {frag_after.describe()}")
+    if kernel.frames.tiered:
+        print(
+            f"tiering     : {result.stats.fast_tier_accesses} fast / "
+            f"{result.stats.slow_tier_accesses} slow accesses "
+            f"({result.stats.hot_tier_share():.1%} overall hot-tier share)"
+        )
+    return result.exit_code
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
@@ -174,6 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compile": _cmd_compile,
         "run": _cmd_run,
         "bench": _cmd_bench,
+        "policy": _cmd_policy,
         "workloads": _cmd_workloads,
     }
     return handlers[args.command](args)

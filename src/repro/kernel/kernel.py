@@ -83,9 +83,15 @@ class Kernel:
         costs: CostModel = DEFAULT_COSTS,
         trusted_toolchains: Optional[set] = None,
         keep_notifier_events: bool = False,
+        fast_memory: Optional[int] = None,
     ) -> None:
-        self.memory = PhysicalMemory(memory_size)
-        self.frames = FrameAllocator(memory_size)
+        self.memory = PhysicalMemory(memory_size, fast_size=fast_memory)
+        self.frames = FrameAllocator(
+            memory_size,
+            fast_frames=(
+                fast_memory // PAGE_SIZE if fast_memory is not None else None
+            ),
+        )
         self.costs = costs
         self.notifier = MMUNotifier(keep_events=keep_notifier_events)
         self.trusted_toolchains = trusted_toolchains or {DEFAULT_TOOLCHAIN}
@@ -96,6 +102,14 @@ class Kernel:
         #: When True, change requests append Figure-8 step labels here.
         self.trace_protocol = False
         self.protocol_trace: List[str] = []
+        #: On a tiered kernel, new capsules land in the capacity tier and
+        #: the policy engine promotes what turns out to be hot.
+        self.placement_tier: Optional[str] = (
+            "slow" if fast_memory is not None else None
+        )
+        #: Attached memory-policy engine (see :mod:`repro.policy`); driven
+        #: from :meth:`advance_clock`.
+        self.policy = None
 
     def _trace(self, step: int, message: str) -> None:
         if self.trace_protocol:
@@ -123,7 +137,9 @@ class Kernel:
         heap_size = page_align(heap_size)
 
         total = stack_size + globals_size + code_size + heap_size
-        base = self.frames.alloc_address(total // PAGE_SIZE)
+        base = self.frames.alloc_address(
+            total // PAGE_SIZE, tier=self.placement_tier
+        )
 
         layout = MemoryLayout(
             stack_base=base,
@@ -325,10 +341,16 @@ class Kernel:
         register_snapshots: Optional[List[RegisterSnapshot]] = None,
         destination: Optional[int] = None,
         thread_count: int = 1,
+        reason: str = "carat-move",
     ) -> Tuple[MovePlan, MoveCost, int]:
         """Steps 1-12: move ``page_count_`` pages starting at
         ``page_address``.  Returns (plan, cost breakdown, total cycles
-        including the world stop)."""
+        including the world stop).
+
+        ``reason`` labels the MMU-notifier event so trace consumers
+        (Table 2 accounting, the policy benchmarks) can attribute the
+        move to its initiator — e.g. ``policy-compaction``,
+        ``policy-promote``, ``policy-demote``."""
         runtime = process.runtime
         regions = process.regions
         if runtime is None or regions is None:
@@ -393,6 +415,15 @@ class Kernel:
         for symbol, address in list(process.globals_map.items()):
             if plan.lo <= address < plan.hi:
                 process.globals_map[symbol] = address + delta
+        # Layout bookkeeping follows too: a segment whose base sat inside
+        # the moved range (the stack moves whole — it is one allocation)
+        # now starts at the relocated address.  Without this, stack moves
+        # would break the interpreter's stack-limit checks.
+        layout = process.layout
+        for attr in ("stack_base", "globals_base", "code_base", "heap_base"):
+            segment_base = getattr(layout, attr)
+            if plan.lo <= segment_base < plan.hi:
+                setattr(layout, attr, segment_base + delta)
 
         # The old frames return to the kernel.
         self.frames.free_address(plan.lo, plan.length // PAGE_SIZE)
@@ -400,7 +431,7 @@ class Kernel:
         process.pages_moved += plan.page_count
         self.stats.carat_moves += 1
         self.notifier.pte_change(
-            process.pid, plan.lo >> PAGE_SHIFT, self.clock_cycles, "carat-move"
+            process.pid, plan.lo >> PAGE_SHIFT, self.clock_cycles, reason
         )
         if initiated_stop:
             runtime.resume()
@@ -511,5 +542,12 @@ class Kernel:
         process.exited = True
         process.exit_code = code
 
+    def attach_policy(self, engine) -> None:
+        """Install a memory-policy engine (see :mod:`repro.policy`); its
+        epochs fire from :meth:`advance_clock`."""
+        self.policy = engine
+
     def advance_clock(self, cycles: int) -> None:
         self.clock_cycles += cycles
+        if self.policy is not None:
+            self.policy.on_clock(self)

@@ -10,11 +10,16 @@ translates first.
 from __future__ import annotations
 
 import struct
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import OutOfMemoryError, ReproError
 
 PAGE_SIZE = 4096
+
+#: Tier names for a fast/slow split of physical memory (the policy
+#: engine's tiered-placement substrate).  ``None`` means "untiered".
+TIER_FAST = "fast"
+TIER_SLOW = "slow"
 
 
 class PhysicalMemoryError(ReproError):
@@ -22,19 +27,46 @@ class PhysicalMemoryError(ReproError):
 
 
 class PhysicalMemory:
-    """Byte-addressable physical memory with little-endian typed access."""
+    """Byte-addressable physical memory with little-endian typed access.
 
-    def __init__(self, size: int) -> None:
+    ``fast_size`` optionally splits the memory into two tiers: addresses
+    below the boundary are the *fast* (near/DRAM) tier, addresses at or
+    above it are the *slow* (far/capacity) tier.  The split is purely an
+    accounting boundary — one flat bytearray backs both tiers — but the
+    interpreter charges tier-dependent access cycles and the policy
+    engine's tiering balancer migrates pages across the boundary.
+    """
+
+    def __init__(self, size: int, fast_size: Optional[int] = None) -> None:
         if size <= 0 or size % PAGE_SIZE:
             raise PhysicalMemoryError(
                 f"physical memory size must be a positive multiple of "
                 f"{PAGE_SIZE}, got {size}"
             )
+        if fast_size is not None and (
+            fast_size <= 0 or fast_size % PAGE_SIZE or fast_size >= size
+        ):
+            raise PhysicalMemoryError(
+                f"fast tier size must be a page-aligned positive size "
+                f"smaller than memory ({size}), got {fast_size}"
+            )
         self.size = size
+        #: Byte address where the slow tier starts; ``None`` = untiered.
+        self.fast_size = fast_size
         self._data = bytearray(size)
         #: Counters for bandwidth-style accounting.
         self.bytes_read = 0
         self.bytes_written = 0
+
+    @property
+    def tiered(self) -> bool:
+        return self.fast_size is not None
+
+    def tier_of(self, address: int) -> Optional[str]:
+        """Which tier serves ``address``; ``None`` when untiered."""
+        if self.fast_size is None:
+            return None
+        return TIER_FAST if address < self.fast_size else TIER_SLOW
 
     # -- bounds -----------------------------------------------------------------
 
@@ -120,16 +152,35 @@ class FrameAllocator:
     ``reserve_low`` frames at the bottom are never handed out (the kernel
     image / firmware hole, and it keeps address 0 unmapped so null pointer
     dereferences fault in both models).
+
+    ``fast_frames`` optionally splits the frame space into a fast tier
+    (frames below the boundary) and a slow tier (the rest), mirroring
+    :class:`PhysicalMemory`'s ``fast_size``.  ``alloc(..., tier=...)``
+    then constrains the search to one pool; tier-less allocations keep
+    the historical next-fit behaviour over the whole space.
     """
 
-    def __init__(self, memory_size: int, reserve_low: int = 16) -> None:
+    def __init__(
+        self,
+        memory_size: int,
+        reserve_low: int = 16,
+        fast_frames: Optional[int] = None,
+    ) -> None:
         if memory_size % PAGE_SIZE:
             raise PhysicalMemoryError("memory size must be page aligned")
         self.total_frames = memory_size // PAGE_SIZE
+        if fast_frames is not None and not (
+            reserve_low < fast_frames < self.total_frames
+        ):
+            raise PhysicalMemoryError(
+                f"fast tier must span (reserve_low, total_frames), got "
+                f"{fast_frames} of {self.total_frames}"
+            )
         self._free: List[bool] = [True] * self.total_frames
         for frame in range(min(reserve_low, self.total_frames)):
             self._free[frame] = False
         self.reserved_low = reserve_low
+        self.fast_frames = fast_frames
         self.allocated_frames = 0
         self._cursor = reserve_low  # next-fit search position
 
@@ -137,31 +188,77 @@ class FrameAllocator:
     def free_frames(self) -> int:
         return sum(self._free)
 
+    @property
+    def usable_frames(self) -> int:
+        """Frames the allocator can ever hand out."""
+        return self.total_frames - min(self.reserved_low, self.total_frames)
+
+    def occupancy(self) -> float:
+        """Fraction of usable frames currently allocated."""
+        usable = self.usable_frames
+        return self.allocated_frames / usable if usable else 0.0
+
     def frame_is_free(self, frame: int) -> bool:
         return self._free[frame]
 
-    def alloc(self, count: int = 1) -> int:
+    # -- tiers ------------------------------------------------------------------
+
+    @property
+    def tiered(self) -> bool:
+        return self.fast_frames is not None
+
+    def tier_of_frame(self, frame: int) -> Optional[str]:
+        if self.fast_frames is None:
+            return None
+        return TIER_FAST if frame < self.fast_frames else TIER_SLOW
+
+    def tier_bounds(self, tier: Optional[str]) -> Tuple[int, int]:
+        """Frame range [lo, hi) the allocator searches for ``tier``."""
+        if tier is None:
+            return self.reserved_low, self.total_frames
+        if self.fast_frames is None:
+            raise PhysicalMemoryError("allocator is not tiered")
+        if tier == TIER_FAST:
+            return self.reserved_low, self.fast_frames
+        if tier == TIER_SLOW:
+            return self.fast_frames, self.total_frames
+        raise PhysicalMemoryError(f"unknown tier {tier!r}")
+
+    def free_frames_in(self, tier: Optional[str]) -> int:
+        lo, hi = self.tier_bounds(tier)
+        return sum(self._free[lo:hi])
+
+    # -- allocation -------------------------------------------------------------
+
+    def alloc(self, count: int = 1, tier: Optional[str] = None) -> int:
         """Allocate ``count`` physically contiguous frames; returns the
-        first frame number."""
+        first frame number.  ``tier`` constrains the search to one pool
+        of a tiered allocator (first fit within the pool)."""
         if count <= 0:
             raise PhysicalMemoryError("frame count must be positive")
-        start = self._find_run(self._cursor, count)
-        if start is None:
-            start = self._find_run(self.reserved_low, count)
+        if tier is not None:
+            lo, hi = self.tier_bounds(tier)
+            start = self._find_run(lo, count, limit=hi)
+        else:
+            start = self._find_run(self._cursor, count)
+            if start is None:
+                start = self._find_run(self.reserved_low, count)
         if start is None:
             raise OutOfMemoryError(
-                f"cannot allocate {count} contiguous frame(s); "
-                f"{self.free_frames} free"
+                f"cannot allocate {count} contiguous frame(s)"
+                + (f" in the {tier} tier" if tier else "")
+                + f"; {self.free_frames_in(tier)} free"
             )
         for frame in range(start, start + count):
             self._free[frame] = False
         self.allocated_frames += count
-        self._cursor = start + count
+        if tier is None:
+            self._cursor = start + count
         return start
 
-    def alloc_address(self, count: int = 1) -> int:
+    def alloc_address(self, count: int = 1, tier: Optional[str] = None) -> int:
         """Allocate frames and return the base *byte* address."""
-        return self.alloc(count) * PAGE_SIZE
+        return self.alloc(count, tier=tier) * PAGE_SIZE
 
     def alloc_at(self, frame: int, count: int = 1) -> bool:
         """Claim a specific frame run if (and only if) it is entirely free.
@@ -178,9 +275,12 @@ class FrameAllocator:
         self.allocated_frames += count
         return True
 
-    def _find_run(self, begin: int, count: int) -> Optional[int]:
+    def _find_run(
+        self, begin: int, count: int, limit: Optional[int] = None
+    ) -> Optional[int]:
         run = 0
-        for frame in range(begin, self.total_frames):
+        end = self.total_frames if limit is None else min(limit, self.total_frames)
+        for frame in range(begin, end):
             if self._free[frame]:
                 run += 1
                 if run == count:
@@ -202,3 +302,32 @@ class FrameAllocator:
         if address % PAGE_SIZE:
             raise PhysicalMemoryError("address must be page aligned")
         self.free(address // PAGE_SIZE, count)
+
+    # -- occupancy / fragmentation introspection --------------------------------
+    #
+    # The compaction daemon reads these; they are also the substrate of
+    # ``repro.policy.fragmentation``'s external-fragmentation index.
+
+    def free_runs(self, tier: Optional[str] = None) -> List[Tuple[int, int]]:
+        """Maximal runs of free frames as (start_frame, length), ascending.
+
+        Reserved-low frames are never free, so they never appear.  With
+        ``tier`` set, runs are clipped to that tier's frame range.
+        """
+        lo, hi = self.tier_bounds(tier)
+        runs: List[Tuple[int, int]] = []
+        start: Optional[int] = None
+        for frame in range(lo, hi):
+            if self._free[frame]:
+                if start is None:
+                    start = frame
+            elif start is not None:
+                runs.append((start, frame - start))
+                start = None
+        if start is not None:
+            runs.append((start, hi - start))
+        return runs
+
+    def largest_free_run(self, tier: Optional[str] = None) -> int:
+        """Length of the largest contiguous free frame run (0 if none)."""
+        return max((length for _, length in self.free_runs(tier)), default=0)

@@ -71,6 +71,14 @@ class CostModel:
     #: Signal delivery + world-stop barrier per thread.
     world_stop_per_thread: int = 500
 
+    # -- tiered memory (policy engine) ------------------------------------------
+    #: Extra cycles when a data access is served by the *fast* (near) tier
+    #: of a tiered physical memory.  0: the fast tier is ordinary DRAM.
+    fast_tier_access: int = 0
+    #: Extra cycles when a data access is served by the *slow* (far /
+    #: capacity) tier — CXL-class far memory at several times DRAM latency.
+    slow_tier_access: int = 30
+
     def guard_cost(self, mechanism: str, num_regions: int, strided: bool = False) -> int:
         """Cycles for one guard evaluation.
 
@@ -97,6 +105,15 @@ class CostModel:
                 per_level += self.if_tree_mispredict
             return max(self.range_guard_single, per_level * depth)
         raise ValueError(f"unknown guard mechanism: {mechanism!r}")
+
+    def tier_access_extra(self, tier: str) -> int:
+        """Extra cycles for a data access served by ``tier`` ('fast' or
+        'slow') of a tiered physical memory."""
+        if tier == "fast":
+            return self.fast_tier_access
+        if tier == "slow":
+            return self.slow_tier_access
+        raise ValueError(f"unknown memory tier: {tier!r}")
 
 
 #: The default model used by every experiment unless overridden.

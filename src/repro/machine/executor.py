@@ -13,7 +13,7 @@ These are the entry points examples and experiment harnesses use:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.carat.pipeline import (
     CaratBinary,
@@ -78,8 +78,14 @@ def run_carat(
     heap_size: int = DEFAULT_HEAP,
     stack_size: int = DEFAULT_STACK,
     name: str = "program",
+    setup: Optional[Callable[[Interpreter], None]] = None,
 ) -> RunResult:
-    """Compile (if needed), load, and run a program under CARAT."""
+    """Compile (if needed), load, and run a program under CARAT.
+
+    ``setup`` (if given) is called with the freshly built interpreter
+    before execution starts — the hook the policy engine uses to attach
+    its heat probe and tick hook (see :mod:`repro.policy`).
+    """
     binary = _as_binary(program, options, name)
     kernel = kernel or Kernel()
     process = kernel.load_carat(
@@ -89,6 +95,8 @@ def run_carat(
         guard_mechanism=guard_mechanism,
     )
     interpreter = Interpreter(process, kernel)
+    if setup is not None:
+        setup(interpreter)
     exit_code = interpreter.run(entry, max_steps=max_steps)
     return RunResult(
         exit_code, interpreter.output, interpreter.stats, process, kernel,

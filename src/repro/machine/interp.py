@@ -103,6 +103,15 @@ class InterpStats:
     guard_cycles: int = 0
     tracking_cycles: int = 0
     page_fault_cycles: int = 0
+    #: Tiered-memory accounting (CARAT mode on a tiered kernel only).
+    fast_tier_accesses: int = 0
+    slow_tier_accesses: int = 0
+    tier_cycles: int = 0
+
+    def hot_tier_share(self) -> float:
+        """Fraction of tier-accounted accesses served by the fast tier."""
+        total = self.fast_tier_accesses + self.slow_tier_accesses
+        return self.fast_tier_accesses / total if total else 0.0
 
     def mpki(self, misses: int) -> float:
         return 1000.0 * misses / self.instructions if self.instructions else 0.0
@@ -174,6 +183,15 @@ class Interpreter:
         self.tick_hook: Optional[Callable[["Interpreter"], None]] = None
         self.tick_interval = 10_000
         self._next_tick = self.tick_interval
+        #: Access telemetry probe: called as (address, size, access) for
+        #: every load/store when installed (the policy engine's heat
+        #: tracker).  ``None`` keeps the hot path unchanged.
+        self.access_probe: Optional[Callable[[int, int, str], None]] = None
+        #: Fast/slow tier boundary for tier-cost accounting.  Addresses
+        #: are physical only in CARAT mode, so tier charging is CARAT-only.
+        self._tier_boundary: Optional[int] = (
+            kernel.memory.fast_size if self.is_carat else None
+        )
 
     @property
     def stack_base(self) -> int:
@@ -213,6 +231,24 @@ class Interpreter:
                 f"instructions in @{self.frames[-1].function.name}"
             )
         return self.exit_code
+
+    def resync_stack_pointer(self) -> None:
+        """Re-derive ``sp`` from the process layout.  Needed after page
+        moves performed between interpreter construction and the first
+        instruction (e.g. pre-run fragmentation scatter) — there are no
+        live registers to patch yet, only this cached pointer."""
+        if self.frames:
+            raise InterpError("cannot resync sp while frames are live")
+        self.sp = self.stack_top - _STACK_RED_ZONE
+
+    def set_tick_interval(self, interval: int) -> None:
+        """Change the safepoint-callback cadence, rearming the pending
+        tick (assigning ``tick_interval`` directly leaves the already
+        scheduled tick at the old distance)."""
+        self.tick_interval = interval
+        self._next_tick = min(
+            self._next_tick, self.stats.instructions + interval
+        )
 
     def run_steps(self, max_steps: int) -> str:
         """Execute ~``max_steps`` instructions; 'done' or 'running'.
@@ -288,6 +324,23 @@ class Interpreter:
                 f"@{frame.function.name}"
             )
         raise InterpError(f"cannot evaluate operand {value!r}")
+
+    # ------------------------------------------------------------------
+    # Tiered-memory accounting
+    # ------------------------------------------------------------------
+
+    def _charge_tier(self, address: int) -> None:
+        """Charge the access-latency premium of the tier serving a
+        physical address (CARAT mode on a tiered kernel)."""
+        if address < self._tier_boundary:
+            self.stats.fast_tier_accesses += 1
+            extra = self.costs.fast_tier_access
+        else:
+            self.stats.slow_tier_accesses += 1
+            extra = self.costs.slow_tier_access
+        if extra:
+            self.stats.cycles += extra
+            self.stats.tier_cycles += extra
 
     # ------------------------------------------------------------------
     # Memory with translation / fault handling
@@ -384,12 +437,20 @@ class Interpreter:
             address = int(self._eval(frame, inst.pointer))
             self.stats.cycles += self.costs.memory_access
             self.stats.loads += 1
+            if self._tier_boundary is not None:
+                self._charge_tier(address)
+            if self.access_probe is not None:
+                self.access_probe(address, size_of(inst.type), "read")
             frame.values[id(inst)] = self._load_typed(address, inst.type)
         elif isinstance(inst, StoreInst):
             address = int(self._eval(frame, inst.pointer))
             value = self._eval(frame, inst.value)
             self.stats.cycles += self.costs.memory_access
             self.stats.stores += 1
+            if self._tier_boundary is not None:
+                self._charge_tier(address)
+            if self.access_probe is not None:
+                self.access_probe(address, size_of(inst.value.type), "write")
             self._store_typed(address, inst.value.type, value)
         elif isinstance(inst, GEPInst):
             frame.values[id(inst)] = self._exec_gep(frame, inst)

@@ -1,0 +1,197 @@
+"""The compaction daemon: budgeted defragmentation via CARAT page moves.
+
+Linux's memory compactor migrates *movable* pages toward one end of a
+zone so free space coalesces at the other end; under hardware paging
+that migration costs page-table surgery and TLB shootdowns per page, and
+pinned/unmovable pages (anything the kernel ever handed out a physical
+address for) stall it.  Under CARAT every page of a tracked process is
+movable — relocation is the Figure 8 patch-and-copy protocol — so the
+same pack-to-one-end policy becomes cheap and universal.
+
+The daemon packs *downward*: each step takes the highest-addressed
+movable chunk (clipped to ``max_chunk_pages``, then expanded by the
+runtime's move negotiation so allocations move whole) and relocates it
+into the lowest free hole that lies entirely below it.  Free space
+therefore consolidates at the top of memory (per tier, on a tiered
+kernel) and the external-fragmentation index falls.  Work is bounded by
+the epoch's cycle budget; a move is only issued when its upper-bound
+cost estimate still fits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.kernel.pagetable import PAGE_SIZE
+from repro.policy.fragmentation import assess_fragmentation
+from repro.policy.moves import EpochBudget, estimate_move_cycles, perform_move
+
+#: Safety valve: moves per epoch even if the budget would allow more.
+MAX_MOVES_PER_EPOCH = 64
+
+
+def scatter_capsule(kernel, process, chunk_pages: int = 4, interpreter=None) -> int:
+    """Fragmentation adversary for experiments and demos: spray the
+    process's capsule across physical memory in ``chunk_pages``-sized
+    pieces, evenly spaced, so no large free run survives.
+
+    A freshly loaded capsule is contiguous and heap frees never release
+    frames, so a scenario that *needs* compaction has to be manufactured;
+    this stands in for the long-lived mixed allocation/free traffic that
+    fragments a real kernel's physical memory.  Returns the number of
+    scatter moves performed.  Must run before the process starts
+    executing (it moves pages with no live registers to patch); pass the
+    ``interpreter`` if one is already constructed so its cached stack
+    pointer gets resynced to the moved stack.
+    """
+    frames = kernel.frames
+    total = frames.total_frames
+    lo = min(region.base for region in process.regions)
+    hi = max(region.end for region in process.regions)
+    capsule_pages = (hi - lo) // PAGE_SIZE
+    chunks = max(1, (capsule_pages + chunk_pages - 1) // chunk_pages)
+    stride = (total - frames.reserved_low) // (chunks + 1)
+    moves = 0
+    chunk_hi = hi
+    k = 0
+    while chunk_hi > lo:
+        chunk_lo = max(lo, chunk_hi - chunk_pages * PAGE_SIZE)
+        plan = process.runtime.patcher.plan_move(chunk_lo, chunk_hi)
+        cursor = total - (k + 1) * stride
+        k += 1
+        if cursor * PAGE_SIZE <= plan.hi:
+            break  # ran out of headroom above the remaining capsule
+        if not frames.alloc_at(cursor, plan.page_count):
+            break
+        kernel.request_page_move(
+            process,
+            plan.lo,
+            plan.page_count,
+            destination=cursor * PAGE_SIZE,
+            reason="scatter",
+        )
+        moves += 1
+        chunk_hi = plan.lo  # the original range is free again; keep going
+    if interpreter is not None:
+        interpreter.resync_stack_pointer()
+    return moves
+
+
+class CompactionDaemon:
+    """Plans and executes defragmentation for one CARAT process."""
+
+    def __init__(
+        self,
+        kernel,
+        process,
+        target_fragmentation: float = 0.15,
+        max_chunk_pages: int = 16,
+        heat=None,
+    ) -> None:
+        if process.runtime is None or process.regions is None:
+            raise ValueError("compaction requires a CARAT process")
+        self.kernel = kernel
+        self.process = process
+        self.target_fragmentation = target_fragmentation
+        self.max_chunk_pages = max_chunk_pages
+        #: Optional HeatTracker whose scores follow the moved pages (the
+        #: PolicyEngine wires its own tracker in here on construction).
+        self.heat = heat
+        self.moves_performed = 0
+
+    # -- movable space ----------------------------------------------------------
+
+    def movable_extents(
+        self, tier: Optional[str] = None
+    ) -> List[Tuple[int, int]]:
+        """Maximal contiguous byte ranges covered by the process's region
+        set (every CARAT page is movable), ascending, optionally clipped
+        to one tier's address range."""
+        lo_bound, hi_bound = 0, self.kernel.memory.size
+        if tier is not None:
+            frame_lo, frame_hi = self.kernel.frames.tier_bounds(tier)
+            lo_bound, hi_bound = frame_lo * PAGE_SIZE, frame_hi * PAGE_SIZE
+        extents: List[Tuple[int, int]] = []
+        for region in sorted(self.process.regions, key=lambda r: r.base):
+            base = max(region.base, lo_bound)
+            end = min(region.end, hi_bound)
+            if base >= end:
+                continue
+            if extents and extents[-1][1] == base:
+                extents[-1] = (extents[-1][0], end)
+            else:
+                extents.append((base, end))
+        return extents
+
+    # -- one epoch of packing ----------------------------------------------------
+
+    def run_epoch(self, budget: EpochBudget, interpreter=None, stats=None) -> int:
+        """Pack each tier until fragmentation reaches the target, the
+        budget runs out, or no productive move remains.  Returns the
+        number of moves performed."""
+        tiers: List[Optional[str]] = (
+            ["fast", "slow"] if self.kernel.frames.tiered else [None]
+        )
+        moves = 0
+        for tier in tiers:
+            moves += self._pack_tier(tier, budget, interpreter, stats)
+        return moves
+
+    def _pack_tier(
+        self, tier: Optional[str], budget: EpochBudget, interpreter, stats
+    ) -> int:
+        kernel = self.kernel
+        frames = kernel.frames
+        runtime = self.process.runtime
+        moves = 0
+        while moves < MAX_MOVES_PER_EPOCH:
+            report = assess_fragmentation(frames, tier)
+            if report.external_fragmentation <= self.target_fragmentation:
+                break
+            step = self._plan_step(tier)
+            if step is None:
+                break  # nothing productive left to move in this tier
+            plan, hole_frame = step
+            estimate = estimate_move_cycles(kernel, runtime, plan, interpreter)
+            if not budget.can_afford(estimate):
+                budget.skipped += 1
+                break
+            claimed = frames.alloc_at(hole_frame, plan.page_count)
+            assert claimed, "compaction destination vanished mid-plan"
+            _, _, cycles = perform_move(
+                kernel,
+                self.process,
+                interpreter,
+                plan.lo,
+                plan.page_count,
+                hole_frame * PAGE_SIZE,
+                "policy-compaction",
+                heat=self.heat,
+            )
+            budget.charge(cycles)
+            moves += 1
+            self.moves_performed += 1
+            if stats is not None:
+                stats.compaction_moves += 1
+        return moves
+
+    def _plan_step(self, tier: Optional[str]):
+        """The next packing move for a tier: the highest movable chunk
+        that fits in a free hole entirely below it.  Returns
+        (negotiated plan, destination start frame) or ``None``."""
+        frames = self.kernel.frames
+        patcher = self.process.runtime.patcher
+        holes = frames.free_runs(tier)
+        if not holes:
+            return None
+        for extent_lo, extent_hi in reversed(self.movable_extents(tier)):
+            chunk_hi = extent_hi
+            chunk_lo = max(extent_lo, chunk_hi - self.max_chunk_pages * PAGE_SIZE)
+            plan = patcher.plan_move(chunk_lo, chunk_hi)
+            for hole_start, hole_length in holes:
+                if (
+                    hole_length >= plan.page_count
+                    and (hole_start + plan.page_count) * PAGE_SIZE <= plan.lo
+                ):
+                    return plan, hole_start
+        return None

@@ -1,0 +1,80 @@
+"""Scoring physical-memory fragmentation (the compaction daemon's input).
+
+Works over :class:`repro.kernel.physmem.FrameAllocator`'s bitmap
+introspection (``free_runs`` / ``largest_free_run``).  The headline
+metric is the *external fragmentation index*
+
+    EFI = 1 - largest_free_run / free_frames
+
+— 0 when all free space is one contiguous run (any fitting request
+succeeds), approaching 1 when free space is shattered into slivers that
+can satisfy only tiny contiguous requests.  This is the standard
+"external fragmentation" formulation (cf. Zagieboylo et al.'s compaction
+study in PAPERS.md); CARAT's cheap page moves are exactly the tool that
+drives it back down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class FragmentationReport:
+    """One snapshot of the frame allocator's free-space structure."""
+
+    total_frames: int
+    allocated_frames: int
+    free_frames: int
+    largest_free_run: int
+    free_run_count: int
+    #: Histogram of free-run lengths, bucketed by the largest power of
+    #: two <= length (bucket 8 counts runs of 8..15 frames, etc.).
+    run_histogram: Dict[int, int] = field(default_factory=dict)
+    external_fragmentation: float = 0.0
+
+    def describe(self) -> str:
+        buckets = " ".join(
+            f"{bucket}:{count}"
+            for bucket, count in sorted(self.run_histogram.items())
+        )
+        return (
+            f"frames {self.allocated_frames}/{self.total_frames} allocated, "
+            f"{self.free_frames} free in {self.free_run_count} run(s), "
+            f"largest run {self.largest_free_run}, "
+            f"EFI {self.external_fragmentation:.3f} [{buckets}]"
+        )
+
+
+def _bucket(length: int) -> int:
+    return 1 << (length.bit_length() - 1)
+
+
+def assess_fragmentation(
+    frames, tier: Optional[str] = None
+) -> FragmentationReport:
+    """Score a :class:`FrameAllocator`'s current bitmap.
+
+    With ``tier`` set on a tiered allocator, only that tier's frame
+    range is scored (the compaction daemon packs each tier separately so
+    it never fights the tiering balancer's placement decisions).
+    """
+    runs: List[Tuple[int, int]] = frames.free_runs(tier)
+    free = sum(length for _, length in runs)
+    largest = max((length for _, length in runs), default=0)
+    histogram: Dict[int, int] = {}
+    for _, length in runs:
+        bucket = _bucket(length)
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    lo, hi = frames.tier_bounds(tier)
+    span = hi - lo
+    return FragmentationReport(
+        total_frames=span,
+        allocated_frames=span - free,
+        free_frames=free,
+        largest_free_run=largest,
+        free_run_count=len(runs),
+        run_histogram=histogram,
+        external_fragmentation=(1.0 - largest / free) if free else 0.0,
+    )

@@ -1,0 +1,118 @@
+"""Shared machinery for policy-initiated page moves: cycle budgets, cost
+estimation, and the move-execution wrapper both daemons use.
+
+The budget discipline: a policy may only issue a move when a
+conservative *upper-bound* cost estimate still fits the epoch's
+remaining cycle budget.  Because the estimate bounds the real cost from
+above (every component of :class:`~repro.runtime.patching.MoveCost` is
+estimated at its maximum), an epoch can never overspend — the benchmark
+asserts exactly this through :class:`~repro.policy.engine.PolicyStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.runtime.patching import MoveCost, MovePlan
+
+
+class EpochBudget:
+    """Cycles one epoch may spend on policy moves."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+        #: Moves a policy wanted but could not afford this epoch.
+        self.skipped = 0
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.limit - self.spent)
+
+    def can_afford(self, estimate: int) -> bool:
+        return self.spent + estimate <= self.limit
+
+    def charge(self, cycles: int) -> None:
+        self.spent += cycles
+
+
+def snapshot_slot_count(interpreter) -> int:
+    """Upper bound on patchable register slots a world stop would dump."""
+    if interpreter is None or not interpreter.frames:
+        return 0
+    return sum(
+        len(snapshot.pointer_slots)
+        for snapshot in interpreter.register_snapshots()
+    )
+
+
+def estimate_move_cycles(
+    kernel,
+    runtime,
+    plan: MovePlan,
+    interpreter=None,
+    thread_count: int = 1,
+) -> int:
+    """Upper-bound the total cycles :meth:`Kernel.request_page_move`
+    would charge for executing ``plan``.
+
+    Escapes are flushed first so the per-allocation escape sets are
+    complete (the move itself flushes anyway); the patch estimate then
+    counts *every* recorded escape even though only in-range ones get
+    patched, and the register estimate counts every pointer slot.
+    """
+    costs = kernel.costs
+    runtime.flush_escapes()
+    escapes = sum(
+        len(runtime.escapes.escapes_of(allocation))
+        for allocation in plan.allocations
+    )
+    expand = (
+        plan.expand_lookups * costs.expand_lookup
+        + len(plan.allocations) * costs.expand_lookup // 4
+    )
+    patch = escapes * costs.patch_escape + len(plan.allocations) * 4
+    registers = snapshot_slot_count(interpreter) * costs.patch_register
+    move = int(costs.move_alloc_fixed + costs.move_per_byte * plan.length)
+    stop = (
+        0
+        if runtime.is_stopped
+        else costs.world_stop_per_thread * max(1, thread_count)
+    )
+    return stop + expand + patch + registers + move
+
+
+def perform_move(
+    kernel,
+    process,
+    interpreter,
+    lo: int,
+    page_count: int,
+    destination: int,
+    reason: str,
+    heat=None,
+) -> Tuple[MovePlan, MoveCost, int]:
+    """Execute one policy move through the Figure 8 protocol, patching
+    the interpreter's live registers and charging the move's cycles to
+    the program (the program pays for kernel services, as in the
+    Figure 9 experiment).  ``heat`` (a
+    :class:`~repro.policy.heat.HeatTracker`) gets its per-page scores
+    rekeyed to the destination so the moved bytes stay hot."""
+    snapshots = None
+    if interpreter is not None and interpreter.frames:
+        snapshots = interpreter.register_snapshots()
+    plan, cost, cycles = kernel.request_page_move(
+        process,
+        lo,
+        page_count,
+        register_snapshots=snapshots,
+        destination=destination,
+        reason=reason,
+    )
+    if snapshots is not None:
+        interpreter.apply_snapshots(snapshots)
+    if interpreter is not None:
+        interpreter.stats.cycles += cycles
+    if heat is not None:
+        heat.rebase_range(plan.lo, plan.hi, destination - plan.lo)
+    return plan, cost, cycles

@@ -55,6 +55,28 @@ def test_bench_command(capsys):
     assert "baseline" in out and "carat" in out and "traditional" in out
 
 
+def test_bench_without_name_lists_targets(capsys):
+    assert main(["bench"]) == 0
+    out = capsys.readouterr().out
+    assert "hpccg" in out and "xz" in out and "behavior" in out
+
+
+def test_policy_command(capsys):
+    assert main(["policy", "ep", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "policy" in out
+    assert "frag before" in out and "frag after" in out
+    assert "tiering" in out  # tiered by default (--fast-kb 1024)
+
+
+def test_policy_command_compaction_only(capsys):
+    code = main(["policy", "ep", "--fast-kb", "0", "--scatter", "--no-tiering"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "compaction" in out
+    assert "tiering" not in out
+
+
 def test_workloads_listing(capsys):
     assert main(["workloads"]) == 0
     out = capsys.readouterr().out
