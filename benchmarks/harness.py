@@ -87,7 +87,7 @@ class RunSummary:
         "demand_page_allocs", "static_footprint_pages", "initial_pages",
         "guards_executed", "guard_cycles", "guard_faults",
         "tracking_events", "tracking_cycles", "escapes_recorded",
-        "escape_histogram", "peak_tracking_bytes",
+        "escapes_rewritten", "escape_histogram", "peak_tracking_bytes",
         "globals_size", "heap_peak_bytes", "stack_size",
     )
 
@@ -115,12 +115,13 @@ class RunSummary:
             self.tracking_events = runtime.stats.tracking_events
             self.tracking_cycles = runtime.stats.tracking_cycles
             self.escapes_recorded = runtime.escapes.stats.recorded
+            self.escapes_rewritten = runtime.escapes.stats.rewritten
             self.escape_histogram = runtime.escape_histogram()
             self.peak_tracking_bytes = runtime.peak_tracking_bytes
         else:
             self.guards_executed = self.guard_cycles = self.guard_faults = 0
             self.tracking_events = self.tracking_cycles = 0
-            self.escapes_recorded = 0
+            self.escapes_recorded = self.escapes_rewritten = 0
             self.escape_histogram = {}
             self.peak_tracking_bytes = 0
         self.globals_size = process.layout.globals_size

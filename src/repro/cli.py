@@ -11,7 +11,13 @@ Commands:
 * ``policy NAME``   — run one workload under CARAT with the memory-policy
   engine attached (heat-tracked compaction + tiered placement) and print
   the :class:`~repro.policy.engine.PolicyStats` summary;
+* ``sanitize [NAME]`` — audit workload runs under the cross-layer
+  invariant checker (:mod:`repro.sanitizer`) and report violations;
 * ``workloads``     — list the benchmark suite.
+
+``run``, ``bench``, and ``policy`` additionally accept ``--sanitize`` to
+execute under invariant checking: the first error-severity violation
+aborts the run at the operation that corrupted state.
 """
 
 from __future__ import annotations
@@ -59,6 +65,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--max-steps", type=int, default=50_000_000)
     run.add_argument("--stats", action="store_true", help="print cycle accounting")
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the cross-layer invariant checker",
+    )
 
     bench = sub.add_parser("bench", help="run one suite workload in all modes")
     bench.add_argument(
@@ -68,6 +79,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--scale", choices=["tiny", "small", "medium"], default="tiny"
+    )
+    bench.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every configuration under the invariant checker",
     )
 
     policy = sub.add_parser(
@@ -112,6 +128,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scatter",
         action="store_true",
         help="pre-fragment physical memory before running (compaction demo)",
+    )
+    policy.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the cross-layer invariant checker",
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="audit workload runs under the cross-layer invariant checker",
+    )
+    sanitize.add_argument(
+        "name",
+        nargs="?",
+        help="workload name (omit to audit the whole suite)",
+    )
+    sanitize.add_argument(
+        "--scale", choices=["tiny", "small", "medium"], default="tiny"
+    )
+    sanitize.add_argument(
+        "--mode",
+        choices=["carat", "traditional", "both"],
+        default="both",
+        help="execution model(s) to audit (default: both)",
+    )
+    sanitize.add_argument(
+        "--tick-interval",
+        type=int,
+        default=10_000,
+        help="instructions between safepoint checkpoints (default 10000)",
     )
 
     sub.add_parser("workloads", help="list the benchmark suite")
@@ -160,14 +206,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     name = Path(args.file).stem
     if args.mode == "carat":
         result = run_carat(
-            source, guard_mechanism=args.guard, max_steps=args.max_steps, name=name
+            source,
+            guard_mechanism=args.guard,
+            max_steps=args.max_steps,
+            name=name,
+            sanitize=args.sanitize,
         )
     elif args.mode == "baseline":
-        result = run_carat_baseline(source, max_steps=args.max_steps, name=name)
+        result = run_carat_baseline(
+            source, max_steps=args.max_steps, name=name, sanitize=args.sanitize
+        )
     else:
-        result = run_traditional(source, max_steps=args.max_steps, name=name)
+        result = run_traditional(
+            source, max_steps=args.max_steps, name=name, sanitize=args.sanitize
+        )
     for line in result.output:
         print(line)
+    if args.sanitize and result.sanitizer is not None:
+        print(f"-- sanitizer    : {result.sanitizer.describe()}", file=sys.stderr)
     if args.stats:
         print(f"-- exit code    : {result.exit_code}", file=sys.stderr)
         print(f"-- instructions : {result.instructions}", file=sys.stderr)
@@ -177,6 +233,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(
                 f"-- guards       : {rt.stats.guards_executed} executed, "
                 f"{rt.stats.guard_faults} faults",
+                file=sys.stderr,
+            )
+            print(
+                f"-- escapes      : {rt.escapes.stats.recorded} recorded, "
+                f"{rt.escapes.stats.rewritten} rewritten",
                 file=sys.stderr,
             )
         if result.process.mmu is not None:
@@ -198,9 +259,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.name is None:
         return _cmd_workloads(args)
     workload = get_workload(args.name, args.scale)
-    base = run_carat_baseline(workload.source, name=workload.name)
-    carat = run_carat(workload.source, name=workload.name)
-    trad = run_traditional(workload.source, name=workload.name)
+    base = run_carat_baseline(
+        workload.source, name=workload.name, sanitize=args.sanitize
+    )
+    carat = run_carat(workload.source, name=workload.name, sanitize=args.sanitize)
+    trad = run_traditional(
+        workload.source, name=workload.name, sanitize=args.sanitize
+    )
     assert base.output == carat.output == trad.output
     print(f"workload    : {workload.name} ({workload.suite}, {args.scale})")
     print(f"behavior    : {workload.behavior}")
@@ -209,6 +274,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"{'baseline':12s} {base.cycles:12d} {1.0:12.3f}")
     print(f"{'carat':12s} {carat.cycles:12d} {carat.cycles / base.cycles:12.3f}")
     print(f"{'traditional':12s} {trad.cycles:12d} {trad.cycles / base.cycles:12.3f}")
+    if args.sanitize:
+        for label, result in (("baseline", base), ("carat", carat), ("traditional", trad)):
+            print(f"sanitize    : {label}: {result.sanitizer.describe()}")
     return 0
 
 
@@ -271,6 +339,7 @@ def _cmd_policy(args: argparse.Namespace) -> int:
         heap_size=512 * 1024,
         stack_size=128 * 1024,
         setup=setup,
+        sanitize=args.sanitize,
     )
     assert engine is not None and frag_before is not None
     frag_after = assess_fragmentation(kernel.frames)
@@ -286,7 +355,51 @@ def _cmd_policy(args: argparse.Namespace) -> int:
             f"{result.stats.slow_tier_accesses} slow accesses "
             f"({result.stats.hot_tier_share():.1%} overall hot-tier share)"
         )
+    if args.sanitize and result.sanitizer is not None:
+        print(f"sanitizer   : {result.sanitizer.describe()}")
     return result.exit_code
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.machine.executor import run_carat, run_traditional
+    from repro.sanitizer import Sanitizer
+    from repro.workloads import all_workloads, get_workload
+
+    if args.name is None:
+        workloads = all_workloads(args.scale)
+    else:
+        workloads = [get_workload(args.name, args.scale)]
+    modes = ["carat", "traditional"] if args.mode == "both" else [args.mode]
+    runners = {"carat": run_carat, "traditional": run_traditional}
+
+    failures = 0
+    print(f"{'workload':14s} {'mode':12s} {'checks':>7s} {'errors':>7s} "
+          f"{'warnings':>9s} verdict")
+    for workload in workloads:
+        for mode in modes:
+            sanitizer = Sanitizer(raise_on_violation=False)
+            extra = {}
+            if mode == "carat":
+                extra["setup"] = lambda i: i.set_tick_interval(args.tick_interval)
+            result = runners[mode](
+                workload.source,
+                name=workload.name,
+                sanitizer=sanitizer,
+                **extra,
+            )
+            report = sanitizer.report
+            verdict = "clean" if sanitizer.ok else "VIOLATIONS"
+            if not sanitizer.ok or result.exit_code != 0:
+                failures += 1
+            print(
+                f"{workload.name:14s} {mode:12s} {sanitizer.checks_run:7d} "
+                f"{len(report.errors):7d} {len(report.warnings):9d} {verdict}"
+            )
+            for violation in report.violations:
+                print(f"    {violation.describe()}")
+    if failures:
+        print(f"{failures} audited run(s) failed")
+    return 1 if failures else 0
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
@@ -305,6 +418,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "bench": _cmd_bench,
         "policy": _cmd_policy,
+        "sanitize": _cmd_sanitize,
         "workloads": _cmd_workloads,
     }
     return handlers[args.command](args)

@@ -13,7 +13,7 @@ Alignment is 16 bytes, like glibc.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 
@@ -175,6 +175,10 @@ class HeapAllocator:
 
     def live_allocations(self) -> Dict[int, int]:
         return dict(self._allocated)
+
+    def free_blocks(self) -> List[Tuple[int, int]]:
+        """Snapshot of the free list as (address, size) pairs, ascending."""
+        return [(block.address, block.size) for block in self._free]
 
     def check_invariants(self) -> None:
         # Note: after rebase_range the heap may manage addresses outside

@@ -110,10 +110,17 @@ class Kernel:
         #: Attached memory-policy engine (see :mod:`repro.policy`); driven
         #: from :meth:`advance_clock`.
         self.policy = None
+        #: Attached invariant sanitizer (see :mod:`repro.sanitizer`);
+        #: notified after every change request and process load.
+        self.sanitizer = None
 
     def _trace(self, step: int, message: str) -> None:
         if self.trace_protocol:
             self.protocol_trace.append(f"step {step:2d}: {message}")
+
+    def _sanitize(self, label: str) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_change_request(self, label)
 
     # ------------------------------------------------------------------
     # Loading
@@ -186,6 +193,9 @@ class Kernel:
         )
         self._next_pid += 1
         self.processes[process.pid] = process
+        if self.sanitizer is not None:
+            self.sanitizer.on_process_loaded(process)
+        self._sanitize("load-carat")
         return process
 
     def load_traditional(
@@ -244,6 +254,9 @@ class Kernel:
         globals_map, _ = layout_globals(module, layout.globals_base)
         process.globals_map = globals_map
         write_globals(binary, globals_map, lambda a, b: self._write_virtual(process, a, b))
+        if self.sanitizer is not None:
+            self.sanitizer.on_process_loaded(process)
+        self._sanitize("load-traditional")
         return process
 
     def _map_range(self, process: Process, vbase: int, size: int, flags: int) -> None:
@@ -299,6 +312,7 @@ class Kernel:
         self.notifier.page_alloc(process.pid, fault.vpn, self.clock_cycles)
         cycles = FAULT_TRAP_CYCLES
         self.stats.fault_cycles += cycles
+        self._sanitize("page-fault")
         return cycles
 
     def _segment_of(self, process: Process, vaddr: int) -> Optional[str]:
@@ -327,6 +341,7 @@ class Kernel:
         self.notifier.invalidate_range(process.pid, vpn, vpn + 1, self.clock_cycles)
         cycles = SHOOTDOWN_CYCLES + int(self.costs.move_per_byte * PAGE_SIZE)
         self.stats.move_cycles += cycles
+        self._sanitize("traditional-move")
         return cycles
 
     # ------------------------------------------------------------------
@@ -438,6 +453,7 @@ class Kernel:
         self._trace(12, "completion indicated; threads resume")
         total_cycles = stop_cycles + cost.total
         self.stats.move_cycles += total_cycles
+        self._sanitize("page-move")
         return plan, cost, total_cycles
 
     def request_allocation_move(
@@ -478,6 +494,7 @@ class Kernel:
         runtime.resume()
         total = stop_cycles + cost.total
         self.stats.move_cycles += total
+        self._sanitize("allocation-move")
         return cost, total
 
     def expand_stack(self, process: Process, extra_bytes: int) -> int:
@@ -512,6 +529,7 @@ class Kernel:
             stack_entry.size += extra
         else:
             runtime.on_alloc(new_base, extra, "stack")
+        self._sanitize("stack-expand")
         return layout.stack_base
 
     def request_protection_change(
@@ -532,6 +550,7 @@ class Kernel:
         regions.set_range_perms(base, base + length, perms)
         runtime.resume()
         self.stats.carat_protection_changes += 1
+        self._sanitize("protection-change")
         return stop_cycles + self.costs.alloc_table_update
 
     # ------------------------------------------------------------------
@@ -546,6 +565,11 @@ class Kernel:
         """Install a memory-policy engine (see :mod:`repro.policy`); its
         epochs fire from :meth:`advance_clock`."""
         self.policy = engine
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Install an invariant sanitizer (see :mod:`repro.sanitizer`);
+        it is notified after every change request and process load."""
+        self.sanitizer = sanitizer
 
     def advance_clock(self, cycles: int) -> None:
         self.clock_cycles += cycles

@@ -100,6 +100,11 @@ class TLB:
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
 
+    def entries(self) -> List[Tuple[int, PTE]]:
+        """Snapshot of every cached (vpn, pte) pair, for invariant
+        checking — consistency against the page table it caches."""
+        return [entry for entries in self._sets for entry in entries]
+
 
 def intel_l1_dtlb() -> TLB:
     """The 64-entry L1 DTLB of the paper's Haswell-class testbed."""

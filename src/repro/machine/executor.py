@@ -8,6 +8,13 @@ These are the entry points examples and experiment harnesses use:
   every overhead figure);
 * :func:`run_traditional` — the paging model with TLBs and pagewalks
   (Figure 2's measurement configuration).
+
+All three accept ``sanitize=True`` to run under the cross-layer
+invariant checker (:mod:`repro.sanitizer`): checkpoints fire after every
+kernel change request, at interpreter safepoints, and at end of run, and
+the first error-severity violation raises
+:class:`~repro.sanitizer.hooks.SanitizerError` at the operation that
+caused it.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from repro.carat.pipeline import (
 from repro.kernel.kernel import DEFAULT_HEAP, DEFAULT_STACK, Kernel
 from repro.kernel.process import Process
 from repro.machine.interp import Interpreter, InterpStats
+from repro.sanitizer import Sanitizer
 
 
 @dataclass
@@ -37,6 +45,8 @@ class RunResult:
     kernel: Kernel
     interpreter: Interpreter
     binary: CaratBinary
+    #: The sanitizer that audited the run (``None`` unless requested).
+    sanitizer: Optional[Sanitizer] = None
 
     @property
     def cycles(self) -> int:
@@ -68,6 +78,16 @@ def _as_binary(
     return compile_carat(program, options, module_name=name)
 
 
+def _make_sanitizer(
+    sanitize: bool, sanitizer: Optional[Sanitizer], kernel: Kernel
+) -> Optional[Sanitizer]:
+    if sanitizer is None and not sanitize:
+        return None
+    active = sanitizer if sanitizer is not None else Sanitizer()
+    active.attach_kernel(kernel)
+    return active
+
+
 def run_carat(
     program: Union[str, CaratBinary],
     kernel: Optional[Kernel] = None,
@@ -79,15 +99,22 @@ def run_carat(
     stack_size: int = DEFAULT_STACK,
     name: str = "program",
     setup: Optional[Callable[[Interpreter], None]] = None,
+    sanitize: bool = False,
+    sanitizer: Optional[Sanitizer] = None,
 ) -> RunResult:
     """Compile (if needed), load, and run a program under CARAT.
 
     ``setup`` (if given) is called with the freshly built interpreter
     before execution starts — the hook the policy engine uses to attach
     its heat probe and tick hook (see :mod:`repro.policy`).
+
+    ``sanitize=True`` audits the run with a fresh
+    :class:`~repro.sanitizer.hooks.Sanitizer`; pass ``sanitizer=`` to
+    supply a configured one instead (implies auditing).
     """
     binary = _as_binary(program, options, name)
     kernel = kernel or Kernel()
+    active = _make_sanitizer(sanitize, sanitizer, kernel)
     process = kernel.load_carat(
         binary,
         heap_size=heap_size,
@@ -95,12 +122,16 @@ def run_carat(
         guard_mechanism=guard_mechanism,
     )
     interpreter = Interpreter(process, kernel)
+    if active is not None:
+        active.attach_interpreter(interpreter)
     if setup is not None:
         setup(interpreter)
     exit_code = interpreter.run(entry, max_steps=max_steps)
+    if active is not None:
+        active.finish(kernel)
     return RunResult(
         exit_code, interpreter.output, interpreter.stats, process, kernel,
-        interpreter, binary,
+        interpreter, binary, sanitizer=active,
     )
 
 
@@ -112,6 +143,7 @@ def run_carat_baseline(
     heap_size: int = DEFAULT_HEAP,
     stack_size: int = DEFAULT_STACK,
     name: str = "program",
+    sanitize: bool = False,
 ) -> RunResult:
     """The uninstrumented program on physical addressing."""
     binary = (
@@ -127,6 +159,7 @@ def run_carat_baseline(
         heap_size=heap_size,
         stack_size=stack_size,
         name=name,
+        sanitize=sanitize,
     )
 
 
@@ -138,6 +171,8 @@ def run_traditional(
     heap_size: int = DEFAULT_HEAP,
     stack_size: int = DEFAULT_STACK,
     name: str = "program",
+    sanitize: bool = False,
+    sanitizer: Optional[Sanitizer] = None,
 ) -> RunResult:
     """The paging model: uninstrumented binary, MMU on every data access."""
     binary = (
@@ -146,12 +181,17 @@ def run_traditional(
         else compile_baseline(program, module_name=name)
     )
     kernel = kernel or Kernel()
+    active = _make_sanitizer(sanitize, sanitizer, kernel)
     process = kernel.load_traditional(
         binary, heap_size=heap_size, stack_size=stack_size
     )
     interpreter = Interpreter(process, kernel)
+    if active is not None:
+        active.attach_interpreter(interpreter)
     exit_code = interpreter.run(entry, max_steps=max_steps)
+    if active is not None:
+        active.finish(kernel)
     return RunResult(
         exit_code, interpreter.output, interpreter.stats, process, kernel,
-        interpreter, binary,
+        interpreter, binary, sanitizer=active,
     )

@@ -33,6 +33,9 @@ class EscapeStats:
     resolved: int = 0
     stale_dropped: int = 0
     flushes: int = 0
+    #: Escape *locations* shifted because the cells holding them moved
+    #: (Figure-5/ablation accounting for :meth:`rewrite_range`).
+    rewritten: int = 0
 
 
 class AllocationToEscapeMap:
@@ -103,6 +106,15 @@ class AllocationToEscapeMap:
     def tracked_allocations(self) -> int:
         return len(self._escapes)
 
+    def resolved_items(self) -> List[Tuple[int, Set[int]]]:
+        """Snapshot of the resolved map: (allocation base, escape
+        locations) pairs.  For invariant checkers and debugging."""
+        return [(base, set(locs)) for base, locs in self._escapes.items()]
+
+    def pending_locations(self) -> List[int]:
+        """Snapshot of the unresolved (batched) escape locations."""
+        return list(self._pending)
+
     def memory_footprint_bytes(self) -> int:
         """Approximate footprint of the tracking structures (Figure 6):
         one 8-byte cell pointer per escape plus per-set overhead, plus the
@@ -122,6 +134,19 @@ class AllocationToEscapeMap:
         if locations is not None:
             existing = self._escapes.setdefault(new_address, set())
             existing.update(locations)
+
+    def rekey_all(self, moves: Iterable[Tuple[int, int]]) -> None:
+        """Batched :meth:`rekey` for a group move.  All old keys are
+        detached before any new key is installed, so a move whose
+        destination base equals another allocation's not-yet-rekeyed base
+        cannot merge the two escape sets."""
+        detached: List[Tuple[int, Optional[Set[int]]]] = [
+            (new_address, self._escapes.pop(old_address, None))
+            for old_address, new_address in moves
+        ]
+        for new_address, locations in detached:
+            if locations is not None:
+                self._escapes.setdefault(new_address, set()).update(locations)
 
     def drop_allocation(self, address: int) -> None:
         self._escapes.pop(address, None)
@@ -145,4 +170,5 @@ class AllocationToEscapeMap:
             if lo <= loc < hi:
                 self._pending[i] = loc + delta
                 rewritten += 1
+        self.stats.rewritten += rewritten
         return rewritten

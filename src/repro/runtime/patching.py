@@ -240,12 +240,19 @@ class Patcher:
             self.costs.move_alloc_fixed + self.costs.move_per_byte * plan.length
         )
 
-        # Rebase tracking structures (steps 11-12).
-        location_moves: Dict[int, int] = {}
-        for allocation in plan.allocations:
+        # Rebase tracking structures (steps 11-12).  When the destination
+        # range overlaps the source, one allocation's new base can equal
+        # another's not-yet-rebased base: rebase in delta-directed order so
+        # the colliding key is always vacated first, and rekey the escape
+        # map as one batch (detach every old key, then install new ones).
+        rekeys: List[Tuple[int, int]] = []
+        for allocation in sorted(
+            plan.allocations, key=lambda a: a.address, reverse=delta > 0
+        ):
             old_address = allocation.address
             self.table.rebase(allocation, old_address + delta)
-            self.escapes.rekey(old_address, allocation.address)
+            rekeys.append((old_address, allocation.address))
+        self.escapes.rekey_all(rekeys)
         # Escape cells that themselves lived in the moved range now sit at
         # new addresses; rewrite their recorded locations.
         self.escapes.rewrite_range(plan.lo, plan.hi, delta)

@@ -87,14 +87,23 @@ class RegionSet:
 
     # -- mutation (kernel-driven) ----------------------------------------------
 
+    @staticmethod
+    def _validate(regions: List[Region]) -> List[Region]:
+        """Admission check shared by every bulk/incremental install:
+        positive lengths and pairwise disjointness.  Returns the regions
+        sorted by base; raises ``ValueError`` without side effects."""
+        ordered = sorted(regions, key=lambda r: r.base)
+        previous: Optional[Region] = None
+        for region in ordered:
+            if region.length <= 0:
+                raise ValueError(f"region length must be positive: {region!r}")
+            if previous is not None and region.base < previous.end:
+                raise ValueError(f"{region!r} overlaps {previous!r}")
+            previous = region
+        return ordered
+
     def add(self, region: Region) -> None:
-        if region.length <= 0:
-            raise ValueError(f"region length must be positive: {region!r}")
-        for existing in self._regions:
-            if existing.base < region.end and region.base < existing.end:
-                raise ValueError(f"{region!r} overlaps {existing!r}")
-        self._regions.append(region)
-        self._regions.sort(key=lambda r: r.base)
+        self._regions = self._validate(self._regions + [region])
         self.version += 1
 
     def remove(self, base: int) -> Region:
@@ -114,7 +123,10 @@ class RegionSet:
         raise KeyError(f"no region based at {base:#x}")
 
     def replace_all(self, regions: List[Region]) -> None:
-        self._regions = sorted(regions, key=lambda r: r.base)
+        """Install a whole new region set atomically.  The replacement is
+        validated exactly like :meth:`add` admissions; on failure the
+        current set (and version) are left untouched."""
+        self._regions = self._validate(list(regions))
         self.version += 1
 
     def remove_range(self, lo: int, hi: int) -> int:

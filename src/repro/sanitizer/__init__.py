@@ -1,0 +1,42 @@
+"""Cross-layer memory-state sanitizer.
+
+CARAT's safety argument is a set of software invariants spanning every
+layer of the system — region set, Allocation Table, escape map, page
+tables, TLBs, frame allocator, heap.  This package checks them end to
+end: :class:`InvariantChecker` evaluates composable rules over a whole
+kernel, :class:`Sanitizer` drives it from the kernel/interpreter hook
+points, :class:`ShadowedEscapeMap` keeps redundant escape metadata so
+even single-structure corruption is observable, and
+:class:`FaultInjector` deliberately breaks each invariant so the
+meta-tests can prove every fault class is detected.
+"""
+
+from repro.sanitizer.checker import (
+    CheckContext,
+    InvariantChecker,
+    region_geometry_problems,
+)
+from repro.sanitizer.faults import FaultInjector
+from repro.sanitizer.hooks import Sanitizer, SanitizerError
+from repro.sanitizer.shadow import ShadowedEscapeMap, install_escape_shadow
+from repro.sanitizer.violations import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    SanitizerReport,
+    Violation,
+)
+
+__all__ = [
+    "CheckContext",
+    "FaultInjector",
+    "InvariantChecker",
+    "SanitizerReport",
+    "Sanitizer",
+    "SanitizerError",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "ShadowedEscapeMap",
+    "Violation",
+    "install_escape_shadow",
+    "region_geometry_problems",
+]

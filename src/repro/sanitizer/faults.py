@@ -1,0 +1,131 @@
+"""Deliberate state corruption, to prove the checker has teeth.
+
+Each :class:`FaultInjector` method breaks exactly one cross-layer
+invariant the way a real bug would — bypassing the code paths that keep
+the structures consistent — and the meta-tests assert the corresponding
+:class:`~repro.sanitizer.checker.InvariantChecker` rule flags it.  A
+sanitizer that passes clean runs but misses injected faults is
+measuring nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.kernel.pagetable import PAGE_SIZE, PTE
+from repro.runtime.patching import RegisterSnapshot
+from repro.runtime.regions import Region
+from repro.sanitizer.shadow import ShadowedEscapeMap
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Corrupts one kernel's state, one invariant at a time."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        #: Human-readable log of the faults injected, in order.
+        self.injected: List[str] = []
+
+    # -- region set -------------------------------------------------------
+
+    def overlap_regions(self, process) -> Region:
+        """Append a region overlapping an existing one, bypassing the
+        validation ``add``/``replace_all`` perform (the pre-fix
+        ``replace_all`` bug).  Detected by ``region-geometry``."""
+        regions = process.regions
+        victim = regions.regions[0]
+        rogue = Region(
+            victim.base + max(8, victim.length // 2),
+            victim.length,
+            victim.perms,
+        )
+        regions._regions.append(rogue)
+        regions._regions.sort(key=lambda r: r.base)
+        regions.version += 1
+        self.injected.append(f"overlap-regions: {rogue!r} over {victim!r}")
+        return rogue
+
+    # -- escape map -------------------------------------------------------
+
+    def drop_escape(self, process) -> Tuple[int, int]:
+        """Silently forget one resolved escape record, the way a missed
+        ``record()`` call would.  The drop goes to the *primary* map only,
+        so it is detectable by ``escape-shadow`` (which is the point: no
+        other structure knows the record existed)."""
+        runtime = process.runtime
+        runtime.flush_escapes()
+        escapes = runtime.escapes
+        primary = (
+            escapes._primary
+            if isinstance(escapes, ShadowedEscapeMap)
+            else escapes
+        )
+        for base, locations in sorted(primary.resolved_items()):
+            if locations:
+                location = min(locations)
+                primary._escapes[base].discard(location)
+                self.injected.append(
+                    f"drop-escape: cell {location:#x} of allocation {base:#x}"
+                )
+                return base, location
+        raise ValueError("no resolved escape record to drop")
+
+    # -- registers --------------------------------------------------------
+
+    def skip_register_patch(
+        self,
+        process,
+        allocation=None,
+        snapshot: Optional[RegisterSnapshot] = None,
+    ) -> RegisterSnapshot:
+        """Move the page under a live pointer register without patching
+        the register (the snapshot is withheld from the move).  The
+        returned snapshot still aims at the old location; feeding it to a
+        check is detected by ``register-coverage``."""
+        runtime = process.runtime
+        if allocation is None:
+            allocation = next(
+                a for a in runtime.table if a.kind == "heap"
+            )
+        if snapshot is None:
+            # Aim inside the allocation (not at its base): a base pointer
+            # at a page boundary is indistinguishable from a legitimate
+            # one-past-end pointer into the preceding region, which the
+            # coverage rule must tolerate.
+            interior = allocation.address + allocation.size // 2
+            snapshot = RegisterSnapshot(99, {"rax": interior}, {"rax"})
+        page = allocation.address & ~(PAGE_SIZE - 1)
+        self.kernel.request_page_move(process, page, 1)
+        held = ", ".join(
+            f"{snapshot.slots[name]:#x}" for name in sorted(snapshot.pointer_slots)
+        )
+        self.injected.append(
+            f"skip-register-patch: moved page {page:#x}, register still "
+            f"holds {held}"
+        )
+        return snapshot
+
+    # -- TLB --------------------------------------------------------------
+
+    def stale_tlb(self, process) -> int:
+        """Plant a DTLB entry whose frame disagrees with the page table
+        (a missed shootdown).  Detected by ``tlb``."""
+        vpn, pte = next(iter(process.page_table.entries()))
+        bogus = PTE(pfn=pte.pfn + 1, flags=pte.flags)
+        process.mmu.dtlb.insert(vpn, bogus)
+        self.injected.append(
+            f"stale-tlb: vpn {vpn:#x} cached with frame {bogus.pfn} "
+            f"(page table says {pte.pfn})"
+        )
+        return vpn
+
+    # -- frames -----------------------------------------------------------
+
+    def leak_frame(self) -> int:
+        """Allocate a frame and forget it — no page table maps it, no
+        region covers it.  Detected by ``frame-ownership``."""
+        frame = self.kernel.frames.alloc()
+        self.injected.append(f"leak-frame: frame {frame}")
+        return frame

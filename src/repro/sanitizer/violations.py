@@ -1,0 +1,86 @@
+"""Structured findings for the cross-layer invariant checker.
+
+A :class:`Violation` is one broken invariant, attributed to the rule that
+caught it, the process it belongs to (when one does), and the address or
+frame it is about.  A :class:`SanitizerReport` collects the violations of
+one checkpoint (or of a whole run, when reports are merged).
+
+``error`` severity means the memory state is provably inconsistent —
+something the Figure 8 protocol promises can never happen.  ``warning``
+severity flags states that are legal under CARAT's stale-tolerant design
+(e.g. an escape cell whose pointer was overwritten) but worth surfacing,
+because a real corruption can hide behind the same signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken (or suspicious) invariant."""
+
+    rule: str
+    message: str
+    severity: str = SEVERITY_ERROR
+    pid: Optional[int] = None
+    #: The address/frame/vpn the finding is about, when one applies.
+    subject: Optional[int] = None
+
+    def describe(self) -> str:
+        who = f" pid={self.pid}" if self.pid is not None else ""
+        what = f" @{self.subject:#x}" if self.subject is not None else ""
+        return f"[{self.severity}] {self.rule}{who}{what}: {self.message}"
+
+
+@dataclass
+class SanitizerReport:
+    """The findings of one checkpoint (or an accumulated session)."""
+
+    label: str = "check"
+    checks_run: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    def add(
+        self,
+        rule: str,
+        message: str,
+        severity: str = SEVERITY_ERROR,
+        pid: Optional[int] = None,
+        subject: Optional[int] = None,
+    ) -> None:
+        self.violations.append(Violation(rule, message, severity, pid, subject))
+
+    @property
+    def errors(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[Violation]:
+        return [v for v in self.violations if v.severity == SEVERITY_WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity violation was found."""
+        return not self.errors
+
+    def by_rule(self, rule: str) -> List[Violation]:
+        return [v for v in self.violations if v.rule == rule]
+
+    def merge(self, other: "SanitizerReport") -> None:
+        self.checks_run += other.checks_run
+        self.violations.extend(other.violations)
+
+    def describe(self) -> str:
+        head = (
+            f"{self.label}: {self.checks_run} rule check(s), "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        if not self.violations:
+            return head
+        return "\n".join([head] + [f"  {v.describe()}" for v in self.violations])

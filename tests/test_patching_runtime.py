@@ -138,6 +138,42 @@ class TestExecuteMove:
         assert snap.patch(0x10000, 0x11000, 0x1000) == 0
         assert snap.slots["i"] == 0x10000
 
+    # Regression: when the destination range overlaps the source (a short
+    # downward compaction slide), the old one-at-a-time rebase could land
+    # one allocation's new base on another's not-yet-rebased base, and the
+    # rbtree insert would silently replace that node — the later rebase
+    # then popped the wrong allocation and merged the two escape sets.
+    def test_overlapping_move_keeps_allocations_distinct(self, patcher, memory):
+        a = patcher.table.add(0x10000, 64)
+        b = patcher.table.add(0x11000, 64)
+        memory.write_u64(0x20000, 0x10010)  # pointer into A
+        memory.write_u64(0x20008, 0x11010)  # pointer into B
+        patcher.escapes.record(0x20000)
+        patcher.escapes.record(0x20008)
+        patcher.escapes.flush(patcher.table, memory.read_u64)
+
+        plan = patcher.plan_move(0x10000, 0x12000)
+        patcher.execute_move(plan, 0x11000)  # slide up one page: overlap
+
+        assert a.address == 0x11000
+        assert b.address == 0x12000
+        patcher.table.check_invariants()
+        # Escape sets stayed per-allocation (not merged).
+        assert patcher.escapes.escapes_of(a) == {0x20000}
+        assert patcher.escapes.escapes_of(b) == {0x20008}
+        # And the cells were patched against the right deltas.
+        assert memory.read_u64(0x20000) == 0x11010
+        assert memory.read_u64(0x20008) == 0x12010
+
+    def test_overlapping_move_downward(self, patcher, memory):
+        a = patcher.table.add(0x10000, 64)
+        b = patcher.table.add(0x11000, 64)
+        plan = patcher.plan_move(0x10000, 0x12000)
+        patcher.execute_move(plan, 0x0F000)  # slide down one page
+        assert a.address == 0x0F000
+        assert b.address == 0x10000
+        patcher.table.check_invariants()
+
     def test_unaligned_destination_rejected(self, patcher):
         patcher.table.add(0x10000, 8)
         plan = patcher.plan_move(0x10000, 0x11000)

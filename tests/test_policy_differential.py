@@ -37,6 +37,7 @@ def _plain_run(workload):
         name=workload.name,
         heap_size=512 * 1024,
         stack_size=128 * 1024,
+        sanitize=True,
     )
 
 
@@ -72,6 +73,7 @@ def _policy_run(workload):
         heap_size=512 * 1024,
         stack_size=128 * 1024,
         setup=setup,
+        sanitize=True,
     )
     return result, engine
 
@@ -95,3 +97,8 @@ def test_policy_engine_preserves_semantics(name):
 
     # And the instrumented program did the same amount of program work.
     assert moved.instructions == plain.instructions
+
+    # Both runs executed under the cross-layer invariant checker: every
+    # policy move was audited at the change request that made it.
+    assert plain.sanitizer.ok
+    assert moved.sanitizer.ok and moved.sanitizer.checks_run > 0

@@ -14,7 +14,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.machine import run_carat, run_carat_baseline
-from repro.runtime.regions import PERM_RW, Region, RegionSet
+from repro.runtime.regions import (
+    PERM_READ,
+    PERM_RW,
+    PERM_RWX,
+    PERM_WRITE,
+    Region,
+    RegionSet,
+)
+from repro.sanitizer import region_geometry_problems
 
 I64_MASK = (1 << 64) - 1
 
@@ -187,6 +195,116 @@ class TestRegionSetModel:
         rs.coalesce()
         after = [rs.check(p * 0x1000, 8, "write") for p in range(30)]
         assert before == after
+
+
+class TestRegionSetInvariants:
+    """Sorted/disjoint geometry plus a unit-granular permission oracle,
+    under arbitrary sequences of every mutating operation (including the
+    once-unvalidated ``replace_all``)."""
+
+    UNIT = 0x100
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["add", "remove", "replace_all", "remove_range",
+                     "set_range_perms", "coalesce"]
+                ),
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=1, max_value=6),
+                st.sampled_from([PERM_READ, PERM_RW, PERM_RWX]),
+            ),
+            max_size=30,
+        ),
+        st.lists(st.integers(min_value=-1, max_value=26 * 0x100), max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_geometry_and_find_oracle(self, operations, probes):
+        rs = RegionSet()
+        oracle = {}  # unit index -> perms
+        for op, start, length, perms in operations:
+            lo, hi = start * self.UNIT, (start + length) * self.UNIT
+            units = range(start, start + length)
+            if op == "add":
+                if any(u in oracle for u in units):
+                    with pytest.raises(ValueError):
+                        rs.add(Region(lo, hi - lo, perms))
+                else:
+                    rs.add(Region(lo, hi - lo, perms))
+                    oracle.update({u: perms for u in units})
+            elif op == "remove":
+                victim = next((r for r in rs.regions if r.base == lo), None)
+                if victim is None:
+                    with pytest.raises(KeyError):
+                        rs.remove(lo)
+                else:
+                    rs.remove(lo)
+                    for u in range(victim.base // self.UNIT,
+                                   victim.end // self.UNIT):
+                        oracle.pop(u, None)
+            elif op == "replace_all":
+                # Rebuild from the oracle plus one candidate region; the
+                # candidate overlaps iff any of its units are taken.
+                replacement = [
+                    Region(s * self.UNIT, (e - s) * self.UNIT, oracle[s])
+                    for s, e in _runs(oracle)
+                ] + [Region(lo, hi - lo, perms)]
+                if any(u in oracle for u in units):
+                    before = rs.regions
+                    with pytest.raises(ValueError):
+                        rs.replace_all(replacement)
+                    assert rs.regions == before  # failed install: no change
+                else:
+                    rs.replace_all(replacement)
+                    oracle.update({u: perms for u in units})
+            elif op == "remove_range":
+                rs.remove_range(lo, hi)
+                for u in units:
+                    oracle.pop(u, None)
+            elif op == "set_range_perms":
+                if all(u in oracle for u in units):
+                    rs.set_range_perms(lo, hi, perms)
+                    oracle.update({u: perms for u in units})
+                else:
+                    with pytest.raises(ValueError):
+                        rs.set_range_perms(lo, hi, perms)
+            else:
+                rs.coalesce()
+
+            # Invariant: sorted, disjoint, positive lengths — the same
+            # predicate the sanitizer's region-geometry rule enforces.
+            assert region_geometry_problems(rs.regions) == []
+
+        # find() agrees with a linear scan, for probes in and around the
+        # occupied range (including the -1 miss).
+        for probe in probes + [r.base for r in rs.regions]:
+            linear = next(
+                (r for r in rs.regions if r.base <= probe < r.end), None
+            )
+            assert rs.find(probe) is linear
+        # And the oracle agrees unit-by-unit on coverage + write perms.
+        for u in range(0, 27):
+            address = u * self.UNIT
+            expect = oracle.get(u)
+            assert rs.check(address, 8, "read") == (
+                expect is not None and bool(expect & PERM_READ)
+            )
+            assert rs.check(address, 8, "write") == (
+                expect is not None and bool(expect & PERM_WRITE)
+            )
+
+
+def _runs(oracle):
+    """Group the oracle's unit indices into maximal adjacent runs with
+    identical perms -> (start, end) pairs."""
+    runs = []
+    for u in sorted(oracle):
+        if runs and runs[-1][1] == u and oracle[runs[-1][0]] == oracle[u]:
+            runs[-1][1] = u + 1
+        else:
+            runs.append([u, u + 1])
+    return [(s, e) for s, e in runs]
 
 
 class TestGlobalInitializerRoundtrip:

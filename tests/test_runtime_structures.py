@@ -176,6 +176,10 @@ class TestEscapeMap:
         rewritten = m.rewrite_range(0x1000, 0x2000, 0x7000)
         assert rewritten == 1
         assert m.escapes_of(a) == {0x8020}
+        # The counter feeds the stats report (and the bench harness).
+        assert m.stats.rewritten == 1
+        m.rewrite_range(0x8000, 0x9000, -0x1000)
+        assert m.stats.rewritten == 2
 
     def test_memory_footprint_grows_with_escapes(self):
         t = AllocationTable()
@@ -229,6 +233,28 @@ class TestRegions:
         assert merged == 1
         assert len(rs) == 1
         assert rs.regions[0].length == 0x2000
+
+    # Regression: replace_all used to install the list verbatim, skipping
+    # the overlap/length validation that add() performs.
+    def test_replace_all_rejects_overlap(self):
+        rs = RegionSet([Region(0x0000, 0x1000)])
+        before = rs.regions
+        v0 = rs.version
+        with pytest.raises(ValueError):
+            rs.replace_all([Region(0x1000, 0x1000), Region(0x1800, 0x1000)])
+        # Failed replacement leaves the set (and version) untouched.
+        assert rs.regions == before
+        assert rs.version == v0
+
+    def test_replace_all_rejects_nonpositive_length(self):
+        rs = RegionSet()
+        with pytest.raises(ValueError):
+            rs.replace_all([Region(0x1000, 0)])
+
+    def test_replace_all_sorts_valid_input(self):
+        rs = RegionSet()
+        rs.replace_all([Region(0x2000, 0x1000), Region(0x0000, 0x1000)])
+        assert [r.base for r in rs] == [0x0000, 0x2000]
 
     def test_coalesce_respects_perms(self):
         rs = RegionSet(
