@@ -7,10 +7,10 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import SCALE, RunCache  # noqa: E402
+from harness import ENGINE, SCALE, RunCache  # noqa: E402
 
 
 @pytest.fixture(scope="session")
 def runs():
     """One cache of compiled binaries and runs for the whole session."""
-    return RunCache(SCALE)
+    return RunCache(SCALE, engine=ENGINE)

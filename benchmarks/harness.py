@@ -23,6 +23,7 @@ Configurations (Section 3 / 4.4):
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from pathlib import Path
@@ -40,6 +41,11 @@ from repro.workloads import get_workload, workload_names
 #: Scale tier for the whole benchmark run; override with
 #: ``CARAT_BENCH_SCALE=small pytest benchmarks/``.
 SCALE = os.environ.get("CARAT_BENCH_SCALE", "tiny")
+
+#: Execution engine for the whole benchmark run; override with
+#: ``CARAT_BENCH_ENGINE=fast pytest benchmarks/`` to regenerate every
+#: figure at a multiple of the speed (identical numbers by contract).
+ENGINE = os.environ.get("CARAT_BENCH_ENGINE", "reference")
 
 #: The suite, in the order the paper's figures list it.
 SUITE = [
@@ -130,8 +136,13 @@ class RunSummary:
 
 
 class RunCache:
-    def __init__(self, scale: str = SCALE) -> None:
+    def __init__(self, scale: str = SCALE, engine: str = "reference") -> None:
         self.scale = scale
+        #: Execution engine every cached run uses.  The engines are
+        #: observably identical (the differential tests enforce it), so a
+        #: figure regenerated under ``fast`` reports the same numbers —
+        #: only the wall-clock changes.
+        self.engine = engine
         self._binaries: Dict[Tuple[str, str], CaratBinary] = {}
         self._runs: Dict[Tuple[str, str], RunSummary] = {}
 
@@ -152,10 +163,13 @@ class RunCache:
             return cached
         binary = self.binary(workload, config)
         if config == "traditional":
-            result = run_traditional(binary, name=workload)
+            result = run_traditional(binary, name=workload, engine=self.engine)
         else:
             result = run_carat(
-                binary, guard_mechanism=_guard_mechanism(config), name=workload
+                binary,
+                guard_mechanism=_guard_mechanism(config),
+                name=workload,
+                engine=self.engine,
             )
         summary = RunSummary(result)
         self._runs[key] = summary
@@ -212,6 +226,16 @@ def emit_table(
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     print("\n" + text)
     return text
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist one experiment's machine-readable results as
+    ``benchmarks/results/<name>.json`` (pretty-printed, keys kept in
+    insertion order so diffs stay reviewable)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 def _fmt(value: object) -> str:

@@ -18,6 +18,13 @@ Commands:
 ``run``, ``bench``, and ``policy`` additionally accept ``--sanitize`` to
 execute under invariant checking: the first error-severity violation
 aborts the run at the operation that corrupted state.
+
+``run``, ``bench``, and ``policy`` also accept ``--engine
+{reference,fast}``: the readable reference interpreter (default) or the
+pre-compiled fast engine (:mod:`repro.machine.fastexec`), which produces
+bit-identical results and semantically identical stats at a multiple of
+the wall-clock speed.  Under ``run --stats --engine fast`` the dispatch-
+and guard-cache counters are reported too.
 """
 
 from __future__ import annotations
@@ -64,6 +71,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="guard mechanism for carat mode",
     )
     run.add_argument("--max-steps", type=int, default=50_000_000)
+    run.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default="reference",
+        help="execution engine: readable reference interpreter or the "
+        "pre-compiled fast engine (identical observable behavior)",
+    )
     run.add_argument("--stats", action="store_true", help="print cycle accounting")
     run.add_argument(
         "--sanitize",
@@ -81,6 +95,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", choices=["tiny", "small", "medium"], default="tiny"
     )
     bench.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default="reference",
+        help="execution engine for every configuration",
+    )
+    bench.add_argument(
         "--sanitize",
         action="store_true",
         help="run every configuration under the invariant checker",
@@ -93,6 +113,12 @@ def _build_parser() -> argparse.ArgumentParser:
     policy.add_argument("name", help="workload name (see `repro workloads`)")
     policy.add_argument(
         "--scale", choices=["tiny", "small", "medium"], default="tiny"
+    )
+    policy.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default="reference",
+        help="execution engine (the policy hooks work under both)",
     )
     policy.add_argument(
         "--fast-kb",
@@ -211,14 +237,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
             name=name,
             sanitize=args.sanitize,
+            engine=args.engine,
         )
     elif args.mode == "baseline":
         result = run_carat_baseline(
-            source, max_steps=args.max_steps, name=name, sanitize=args.sanitize
+            source,
+            max_steps=args.max_steps,
+            name=name,
+            sanitize=args.sanitize,
+            engine=args.engine,
         )
     else:
         result = run_traditional(
-            source, max_steps=args.max_steps, name=name, sanitize=args.sanitize
+            source,
+            max_steps=args.max_steps,
+            name=name,
+            sanitize=args.sanitize,
+            engine=args.engine,
         )
     for line in result.output:
         print(line)
@@ -228,6 +263,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"-- exit code    : {result.exit_code}", file=sys.stderr)
         print(f"-- instructions : {result.instructions}", file=sys.stderr)
         print(f"-- cycles       : {result.cycles}", file=sys.stderr)
+        if args.engine == "fast":
+            stats = result.stats
+            print(
+                f"-- dispatch     : {stats.compiled_blocks} compiled blocks, "
+                f"{stats.dispatch_cache_hits} cache hits, "
+                f"{stats.dispatch_cache_misses} cache misses",
+                file=sys.stderr,
+            )
         if result.process.runtime is not None:
             rt = result.process.runtime
             print(
@@ -235,6 +278,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{rt.stats.guard_faults} faults",
                 file=sys.stderr,
             )
+            if args.engine == "fast":
+                print(
+                    f"-- guard cache  : {rt.stats.region_cache_hits} hits, "
+                    f"{rt.stats.region_cache_misses} misses, "
+                    f"{rt.stats.region_cache_invalidations} invalidations "
+                    f"({rt.stats.region_cache_hit_rate():.1%} hit rate)",
+                    file=sys.stderr,
+                )
             print(
                 f"-- escapes      : {rt.escapes.stats.recorded} recorded, "
                 f"{rt.escapes.stats.rewritten} rewritten",
@@ -260,11 +311,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_workloads(args)
     workload = get_workload(args.name, args.scale)
     base = run_carat_baseline(
-        workload.source, name=workload.name, sanitize=args.sanitize
+        workload.source, name=workload.name, sanitize=args.sanitize,
+        engine=args.engine,
     )
-    carat = run_carat(workload.source, name=workload.name, sanitize=args.sanitize)
+    carat = run_carat(
+        workload.source, name=workload.name, sanitize=args.sanitize,
+        engine=args.engine,
+    )
     trad = run_traditional(
-        workload.source, name=workload.name, sanitize=args.sanitize
+        workload.source, name=workload.name, sanitize=args.sanitize,
+        engine=args.engine,
     )
     assert base.output == carat.output == trad.output
     print(f"workload    : {workload.name} ({workload.suite}, {args.scale})")
@@ -340,6 +396,7 @@ def _cmd_policy(args: argparse.Namespace) -> int:
         stack_size=128 * 1024,
         setup=setup,
         sanitize=args.sanitize,
+        engine=args.engine,
     )
     assert engine is not None and frag_before is not None
     frag_after = assess_fragmentation(kernel.frames)

@@ -1,7 +1,8 @@
 """The machine: interpreter, cost model, and execution helpers.
 
 * :mod:`repro.machine.costs` — the calibrated cycle cost model
-* :mod:`repro.machine.interp` — the IR interpreter (both modes)
+* :mod:`repro.machine.interp` — the reference IR interpreter (both modes)
+* :mod:`repro.machine.fastexec` — the pre-compiled fast execution engine
 * :mod:`repro.machine.executor` — compile/load/run one-liners
 
 The executor/interpreter names are loaded lazily (PEP 562) because the
@@ -18,7 +19,9 @@ __all__ = [
     "run_carat",
     "run_carat_baseline",
     "run_traditional",
+    "ENGINES",
     "ExitProgram",
+    "FastInterpreter",
     "Interpreter",
     "InterpStats",
     "ThreadGroup",
@@ -30,7 +33,9 @@ _LAZY = {
     "run_carat": "repro.machine.executor",
     "run_carat_baseline": "repro.machine.executor",
     "run_traditional": "repro.machine.executor",
+    "ENGINES": "repro.machine.executor",
     "ExitProgram": "repro.machine.interp",
+    "FastInterpreter": "repro.machine.fastexec",
     "Interpreter": "repro.machine.interp",
     "InterpStats": "repro.machine.interp",
     "ThreadGroup": "repro.machine.threads",

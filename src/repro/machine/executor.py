@@ -30,8 +30,23 @@ from repro.carat.pipeline import (
 )
 from repro.kernel.kernel import DEFAULT_HEAP, DEFAULT_STACK, Kernel
 from repro.kernel.process import Process
+from repro.machine.fastexec import FastInterpreter
 from repro.machine.interp import Interpreter, InterpStats
 from repro.sanitizer import Sanitizer
+
+#: Selectable execution engines: the readable reference interpreter and
+#: the pre-compiled fast engine (identical observable behavior; see
+#: :mod:`repro.machine.fastexec`).
+ENGINES = {"reference": Interpreter, "fast": FastInterpreter}
+
+
+def _interpreter_class(engine: str) -> type:
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r} (choose from {sorted(ENGINES)})"
+        ) from None
 
 
 @dataclass
@@ -101,6 +116,7 @@ def run_carat(
     setup: Optional[Callable[[Interpreter], None]] = None,
     sanitize: bool = False,
     sanitizer: Optional[Sanitizer] = None,
+    engine: str = "reference",
 ) -> RunResult:
     """Compile (if needed), load, and run a program under CARAT.
 
@@ -121,7 +137,7 @@ def run_carat(
         stack_size=stack_size,
         guard_mechanism=guard_mechanism,
     )
-    interpreter = Interpreter(process, kernel)
+    interpreter = _interpreter_class(engine)(process, kernel)
     if active is not None:
         active.attach_interpreter(interpreter)
     if setup is not None:
@@ -144,6 +160,7 @@ def run_carat_baseline(
     stack_size: int = DEFAULT_STACK,
     name: str = "program",
     sanitize: bool = False,
+    engine: str = "reference",
 ) -> RunResult:
     """The uninstrumented program on physical addressing."""
     binary = (
@@ -160,6 +177,7 @@ def run_carat_baseline(
         stack_size=stack_size,
         name=name,
         sanitize=sanitize,
+        engine=engine,
     )
 
 
@@ -173,6 +191,7 @@ def run_traditional(
     name: str = "program",
     sanitize: bool = False,
     sanitizer: Optional[Sanitizer] = None,
+    engine: str = "reference",
 ) -> RunResult:
     """The paging model: uninstrumented binary, MMU on every data access."""
     binary = (
@@ -185,7 +204,7 @@ def run_traditional(
     process = kernel.load_traditional(
         binary, heap_size=heap_size, stack_size=stack_size
     )
-    interpreter = Interpreter(process, kernel)
+    interpreter = _interpreter_class(engine)(process, kernel)
     if active is not None:
         active.attach_interpreter(interpreter)
     exit_code = interpreter.run(entry, max_steps=max_steps)

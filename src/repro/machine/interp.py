@@ -107,6 +107,14 @@ class InterpStats:
     fast_tier_accesses: int = 0
     slow_tier_accesses: int = 0
     tier_cycles: int = 0
+    #: Fast-engine dispatch-cache accounting (always zero under the
+    #: reference engine): basic blocks available in compiled form, and
+    #: per-function reuse of the module's compiled-code cache.  These are
+    #: wall-clock bookkeeping, not modeled cycles — they never feed the
+    #: cost model.
+    compiled_blocks: int = 0
+    dispatch_cache_hits: int = 0
+    dispatch_cache_misses: int = 0
 
     def hot_tier_share(self) -> float:
         """Fraction of tier-accounted accesses served by the fast tier."""

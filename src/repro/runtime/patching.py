@@ -28,6 +28,7 @@ from repro.errors import KernelError
 from repro.machine.costs import DEFAULT_COSTS, CostModel
 from repro.runtime.allocation_table import Allocation, AllocationTable
 from repro.runtime.escape_map import AllocationToEscapeMap
+from repro.runtime.regions import RegionSet
 
 PAGE_SIZE = 4096
 
@@ -155,11 +156,17 @@ class Patcher:
         escapes: AllocationToEscapeMap,
         memory: MemoryInterface,
         costs: CostModel = DEFAULT_COSTS,
+        regions: Optional[RegionSet] = None,
     ) -> None:
         self.table = table
         self.escapes = escapes
         self.memory = memory
         self.costs = costs
+        #: Region landing zone to generation-invalidate on moves.  A move
+        #: changes what addresses mean *before* the kernel reinstalls the
+        #: region array, so any guard cache keyed on the generation must
+        #: be killed here, not only at the later region mutation.
+        self.regions = regions
 
     # -- step 4-6: negotiation ---------------------------------------------------
 
@@ -256,6 +263,8 @@ class Patcher:
         # Escape cells that themselves lived in the moved range now sit at
         # new addresses; rewrite their recorded locations.
         self.escapes.rewrite_range(plan.lo, plan.hi, delta)
+        if self.regions is not None:
+            self.regions.bump_generation()
         return cost
 
     # -- allocation granularity (Section 6) ------------------------------------------
@@ -304,6 +313,8 @@ class Patcher:
         self.table.rebase(allocation, destination)
         self.escapes.rekey(old_address, destination)
         self.escapes.rewrite_range(lo, hi, delta)
+        # No generation bump: an allocation-granularity move shuffles bytes
+        # *within* registered regions, so cached region geometry stays valid.
         return cost
 
     # -- convenience -----------------------------------------------------------------

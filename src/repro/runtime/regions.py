@@ -66,7 +66,13 @@ class RegionSet:
     """The address-ordered region array the kernel shares with the runtime.
 
     A version counter ticks on every change; the interpreter uses it to
-    notice region updates between guard evaluations.
+    notice region updates between guard evaluations.  The same counter is
+    the *generation* that epoch-invalidated guard caches key on: any
+    cached ``Region`` is valid only while the generation it was filled
+    under is still current, so a mutation (or a page move, which bumps
+    the generation through :meth:`bump_generation` even before the
+    kernel reinstalls the region array) makes a stale hit impossible by
+    construction.
     """
 
     def __init__(self, regions: Optional[List[Region]] = None) -> None:
@@ -74,6 +80,20 @@ class RegionSet:
         self.version = 0
         for region in regions or []:
             self.add(region)
+
+    @property
+    def generation(self) -> int:
+        """Alias of :attr:`version` under its cache-invalidation role."""
+        return self.version
+
+    def bump_generation(self) -> None:
+        """Force-invalidate every cache keyed on this set's generation.
+
+        Called by agents that change what addresses *mean* without going
+        through a region mutation — most importantly
+        :meth:`~repro.runtime.patching.Patcher.execute_move`, which moves
+        bytes before the kernel reinstalls the region array."""
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._regions)
@@ -216,10 +236,12 @@ class RegionSet:
         """
         if size <= 0:
             return True
+        # One probe: ``find`` already established base <= address < end,
+        # so only the range's upper bound and the permission bit remain.
         region = self.find(address)
         return (
             region is not None
-            and region.covers(address, size)
+            and address + size <= region.end
             and region.allows(access)
         )
 
@@ -246,6 +268,25 @@ class GuardMechanism:
     ) -> GuardOutcome:
         raise NotImplementedError
 
+    def check_known(
+        self,
+        regions: RegionSet,
+        region: Region,
+        address: int,
+        size: int,
+        access: str,
+    ) -> GuardOutcome:
+        """Evaluate a guard whose containing region is already known.
+
+        Precondition: ``region`` is the member of ``regions`` with
+        ``region.base <= address < region.end`` under the *current*
+        generation (what :meth:`RegionSet.find` would return).  Must be
+        indistinguishable from :meth:`check` — same verdict, same cycle
+        charge, same predictor-state transitions — it merely skips the
+        redundant search.  The default conservatively re-runs ``check``.
+        """
+        return self.check(regions, address, size, access)
+
 
 class BinarySearchGuard(GuardMechanism):
     """Probe the ordered region array by binary search; cost is one probe
@@ -271,6 +312,23 @@ class BinarySearchGuard(GuardMechanism):
             region is not None
             and region.covers(address, size)
             and region.allows(access)
+        )
+        return GuardOutcome(allowed, cycles, region)
+
+    def check_known(
+        self,
+        regions: RegionSet,
+        region: Region,
+        address: int,
+        size: int,
+        access: str,
+    ) -> GuardOutcome:
+        n = len(regions)
+        allowed = address + size <= region.end and region.allows(access)
+        if n == 1:
+            return GuardOutcome(allowed, self.costs.range_guard_single, region)
+        cycles = self.costs.binary_search_probe * max(
+            1, math.ceil(math.log2(n + 1))
         )
         return GuardOutcome(allowed, cycles, region)
 
@@ -309,6 +367,23 @@ class IfTreeGuard(GuardMechanism):
         )
         return GuardOutcome(allowed, cycles, region)
 
+    def check_known(
+        self,
+        regions: RegionSet,
+        region: Region,
+        address: int,
+        size: int,
+        access: str,
+    ) -> GuardOutcome:
+        leaf = region.base
+        predictable = self.stride_hint or leaf == self._last_leaf
+        self._last_leaf = leaf
+        cycles = self.costs.guard_cost(
+            "if_tree", len(regions), strided=predictable
+        )
+        allowed = address + size <= region.end and region.allows(access)
+        return GuardOutcome(allowed, cycles, region)
+
 
 class MPXGuard(GuardMechanism):
     """Bounds-register check: single cycle against the hottest region, a
@@ -342,6 +417,32 @@ class MPXGuard(GuardMechanism):
             and region.covers(address, size)
             and region.allows(access)
         )
+        if allowed:
+            self._bound = region
+        return GuardOutcome(allowed, cycles, region)
+
+    def check_known(
+        self,
+        regions: RegionSet,
+        region: Region,
+        address: int,
+        size: int,
+        access: str,
+    ) -> GuardOutcome:
+        if self._bound_version != regions.version:
+            self._bound = None
+            self._bound_version = regions.version
+        bound = self._bound
+        if (
+            bound is not None
+            and bound.covers(address, size)
+            and bound.allows(access)
+        ):
+            # Regions are disjoint and both contain ``address``, so the
+            # loaded bounds register necessarily holds ``region`` itself.
+            return GuardOutcome(True, self.costs.mpx_guard, bound)
+        cycles = self.costs.guard_cost("mpx", len(regions))
+        allowed = address + size <= region.end and region.allows(access)
         if allowed:
             self._bound = region
         return GuardOutcome(allowed, cycles, region)

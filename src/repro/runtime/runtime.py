@@ -30,7 +30,13 @@ from repro.runtime.patching import (
     Patcher,
     RegisterSnapshot,
 )
-from repro.runtime.regions import GuardMechanism, RegionSet, make_guard
+from repro.runtime.regions import (
+    GuardMechanism,
+    GuardOutcome,
+    Region,
+    RegionSet,
+    make_guard,
+)
 
 
 @dataclass
@@ -45,6 +51,38 @@ class RuntimeStats:
     world_stops: int = 0
     moves_serviced: int = 0
     move_cost_accum: MoveCost = field(default_factory=MoveCost)
+    #: Epoch-invalidated region cache telemetry (fast engine only; the
+    #: reference engine leaves these at zero).  Cycle accounting is not
+    #: affected by the cache — these count saved *searches*, not cycles.
+    region_cache_hits: int = 0
+    region_cache_misses: int = 0
+    region_cache_invalidations: int = 0
+
+    def region_cache_hit_rate(self) -> float:
+        total = self.region_cache_hits + self.region_cache_misses
+        return self.region_cache_hits / total if total else 0.0
+
+
+class GuardSiteCell:
+    """One guard site's memoized last-hit region.
+
+    Valid only while ``regions`` is the same landing zone *object* and
+    ``gen`` matches its current generation — identity protects against
+    cross-run reuse of compiled code, the generation against any kernel
+    mutation or page move in between.
+    """
+
+    __slots__ = ("regions", "region", "gen")
+
+    def __init__(self) -> None:
+        self.regions: Optional[RegionSet] = None
+        self.region: Optional[Region] = None
+        self.gen = -1
+
+    def fill(self, regions: RegionSet, region: Region, gen: int) -> None:
+        self.regions = regions
+        self.region = region
+        self.gen = gen
 
 
 class CaratRuntime:
@@ -68,9 +106,16 @@ class CaratRuntime:
         self.guard: GuardMechanism = make_guard(guard_mechanism, costs)
         self.table = AllocationTable()
         self.escapes = AllocationToEscapeMap(batch_limit=escape_batch_limit)
-        self.patcher = Patcher(self.table, self.escapes, memory, costs)
+        self.patcher = Patcher(
+            self.table, self.escapes, memory, costs, regions=self.regions
+        )
         self.stats = RuntimeStats()
         self._stopped = False
+        #: Epoch-invalidated region cache (the fast engine's part (b)).
+        #: Off by default: the reference engine keeps the pristine
+        #: guard-per-access behaviour that the figures are calibrated on.
+        self.region_cache_enabled = False
+        self._last_hit_cell = GuardSiteCell()
         #: escapes-at-free-time -> allocation count, accumulated over the
         #: whole run (Figure 5 reports lifetime histograms, so freed
         #: allocations must keep contributing).
@@ -136,10 +181,70 @@ class CaratRuntime:
     # Guards (carat.guard.*)
     # ------------------------------------------------------------------
 
-    def guard_access(self, address: int, size: int, access: str) -> int:
+    def enable_region_cache(self) -> None:
+        """Turn on the epoch-invalidated guard fast path (the fast engine
+        calls this when it binds to the process)."""
+        self.region_cache_enabled = True
+
+    def _check_cached(
+        self,
+        address: int,
+        size: int,
+        access: str,
+        cell: Optional[GuardSiteCell],
+    ) -> GuardOutcome:
+        """One guard evaluation through the region cache.
+
+        Probes the per-site cell first, then the runtime-wide last-hit
+        cell; a valid probe needs only ``base <= address < end`` — the
+        mechanism's :meth:`check_known` settles size/permission and
+        charges exactly what the uncached path would.  Any generation
+        mismatch (region mutation or page move since the fill) demotes
+        the probe to the full search, so stale hits cannot happen.
+        """
+        regions = self.regions
+        guard = self.guard
+        if not self.region_cache_enabled:
+            return guard.check(regions, address, size, access)
+        gen = regions.version
+        stats = self.stats
+        last = self._last_hit_cell
+        stale = False
+        for probe in (cell, last) if cell is not None else (last,):
+            region = probe.region
+            if region is None or probe.regions is not regions:
+                continue
+            if probe.gen != gen:
+                stale = True
+                continue
+            if region.base <= address < region.end:
+                stats.region_cache_hits += 1
+                if probe is cell:
+                    last.fill(regions, region, gen)
+                elif cell is not None:
+                    cell.fill(regions, region, gen)
+                return guard.check_known(regions, region, address, size, access)
+        if stale:
+            stats.region_cache_invalidations += 1
+        stats.region_cache_misses += 1
+        outcome = guard.check(regions, address, size, access)
+        if outcome.allowed and outcome.region is not None:
+            last.fill(regions, outcome.region, gen)
+            if cell is not None:
+                cell.fill(regions, outcome.region, gen)
+        return outcome
+
+    def guard_access(
+        self,
+        address: int,
+        size: int,
+        access: str,
+        cell: Optional[GuardSiteCell] = None,
+    ) -> int:
         """Validate a data access; returns cycles charged, raises
-        :class:`ProtectionFault` when disallowed."""
-        outcome = self.guard.check(self.regions, address, size, access)
+        :class:`ProtectionFault` when disallowed.  ``cell`` is the call
+        site's memoization cell when the compiled engine can name sites."""
+        outcome = self._check_cached(address, size, access, cell)
         self.stats.guards_executed += 1
         self.stats.guard_cycles += outcome.cycles
         if not outcome.allowed:
@@ -147,7 +252,13 @@ class CaratRuntime:
             raise ProtectionFault(address, size, access)
         return outcome.cycles
 
-    def guard_range(self, address: int, length: int, access: str = "read") -> int:
+    def guard_range(
+        self,
+        address: int,
+        length: int,
+        access: str = "read",
+        cell: Optional[GuardSiteCell] = None,
+    ) -> int:
         """Merged (Opt-2) guard: the whole byte range must be permitted for
         ``access``.  Zero-length ranges always pass — emitted for loops
         whose trip count may be zero."""
@@ -155,18 +266,23 @@ class CaratRuntime:
         if length <= 0:
             self.stats.guard_cycles += self.costs.instruction
             return self.costs.instruction
-        outcome = self.guard.check(self.regions, address, length, access)
+        outcome = self._check_cached(address, length, access, cell)
         self.stats.guard_cycles += outcome.cycles
         if not outcome.allowed:
             self.stats.guard_faults += 1
             raise ProtectionFault(address, length, "range")
         return outcome.cycles
 
-    def guard_call(self, stack_pointer: int, frame_size: int) -> int:
+    def guard_call(
+        self,
+        stack_pointer: int,
+        frame_size: int,
+        cell: Optional[GuardSiteCell] = None,
+    ) -> int:
         """Call guard: the callee's worst-case frame [sp-frame, sp) must be
         inside a writable region (the stack grows down)."""
         base = stack_pointer - frame_size
-        outcome = self.guard.check(self.regions, base, frame_size, "write")
+        outcome = self._check_cached(base, frame_size, "write", cell)
         self.stats.guards_executed += 1
         self.stats.guard_cycles += outcome.cycles
         if not outcome.allowed:

@@ -1,0 +1,339 @@
+"""Differential tests: the fast engine is observably the reference engine.
+
+The fast execution engine (:mod:`repro.machine.fastexec`) trades
+per-tick interpretation for pre-compiled dispatch plus an
+epoch-invalidated guard cache.  Its contract is that nothing observable
+changes: bit-identical program output, exit codes, and memory image, and
+semantically identical stats (the dispatch/region-cache counters are the
+only additions).  These tests check the contract three ways —
+property-based random programs, targeted cache-invalidation scenarios,
+and end-to-end runs under an aggressive page-moving policy engine.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carat.pipeline import CompileOptions, compile_carat
+from repro.errors import ProtectionFault
+from repro.kernel.kernel import Kernel
+from repro.kernel.physmem import PhysicalMemory
+from repro.machine.executor import run_carat, run_traditional
+from repro.machine.fastexec import compile_module
+from repro.runtime import (
+    PERM_RW,
+    CaratRuntime,
+    Region,
+    RegionSet,
+)
+from repro.runtime.runtime import GuardSiteCell
+from repro.workloads import get_workload
+
+MB = 1024 * 1024
+
+#: The stats fields that must match exactly between engines (everything
+#: the cost model and the figures consume).  The dispatch-cache and
+#: region-cache counters are deliberately absent: they describe the
+#: engine, not the program.
+SEMANTIC_FIELDS = [
+    "cycles",
+    "instructions",
+    "loads",
+    "stores",
+    "calls",
+    "translation_cycles",
+    "guard_cycles",
+    "tracking_cycles",
+    "page_fault_cycles",
+    "fast_tier_accesses",
+    "slow_tier_accesses",
+    "tier_cycles",
+]
+
+RUNTIME_FIELDS = [
+    "guards_executed",
+    "guard_cycles",
+    "guard_faults",
+    "tracking_events",
+    "tracking_cycles",
+]
+
+
+def _snapshot(result):
+    """Everything observable about a run, as a comparable value."""
+    semantic = {f: getattr(result.stats, f) for f in SEMANTIC_FIELDS}
+    runtime = None
+    if result.process.runtime is not None:
+        runtime = {
+            f: getattr(result.process.runtime.stats, f) for f in RUNTIME_FIELDS
+        }
+    return (
+        result.exit_code,
+        tuple(result.output),
+        semantic,
+        runtime,
+        bytes(result.kernel.memory._data),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random programs behave identically under both engines.
+# ---------------------------------------------------------------------------
+
+_STMT_TEMPLATES = [
+    "for (j = 0; j < N; j++) {{ a[j] = a[j] {op} {c}; }}",
+    "acc = helper(acc % 100000);",
+    "if (acc % 2 == 0) {{ acc = acc + {c}; }} else {{ acc = acc - {c}; }}",
+    "f = f * 1.25 + (double)(acc % 7); acc = acc + (long)f % 1000;",
+    "a[{c} % N] = acc % 1000;",
+    "acc = acc * 3 + a[{c} % N];",
+]
+
+
+@st.composite
+def mini_c_programs(draw):
+    n = draw(st.integers(min_value=4, max_value=24))
+    seed = draw(st.integers(min_value=-1000, max_value=1000))
+    statements = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(_STMT_TEMPLATES),
+                st.sampled_from(["+", "-", "*"]),
+                st.integers(min_value=1, max_value=97),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    body = "\n  ".join(
+        template.format(op=op, c=c) for template, op, c in statements
+    )
+    return f"""
+long N = {n};
+long acc;
+long helper(long x) {{ return x * 7 + 3; }}
+void main() {{
+  long *a = (long*)malloc(N * 8);
+  double f = 1.5;
+  long i;
+  long j;
+  acc = {seed};
+  for (i = 0; i < N; i++) {{ a[i] = i * 5 + 2; }}
+  {body}
+  for (i = 0; i < N; i++) {{ acc = acc + a[i]; }}
+  print_long(acc % 1000000007);
+  free(a);
+}}
+"""
+
+
+class TestPropertyDifferential:
+    @given(mini_c_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_random_programs_identical_under_carat(self, source):
+        binary = compile_carat(source, CompileOptions(), module_name="fuzz")
+        reference = _snapshot(run_carat(binary, engine="reference"))
+        fast = _snapshot(run_carat(binary, engine="fast"))
+        assert reference == fast
+
+    @given(mini_c_programs())
+    @settings(max_examples=8, deadline=None)
+    def test_random_programs_identical_under_traditional(self, source):
+        binary = compile_carat(
+            source,
+            CompileOptions(guards=False, tracking=False),
+            module_name="fuzz",
+        )
+        reference = _snapshot(run_traditional(binary, engine="reference"))
+        fast = _snapshot(run_traditional(binary, engine="fast"))
+        assert reference == fast
+
+
+# ---------------------------------------------------------------------------
+# Targeted: the guard cache and its invalidation rules.
+# ---------------------------------------------------------------------------
+
+
+class TestGuardCacheInvalidation:
+    def _runtime(self):
+        regions = RegionSet(
+            [Region(0x1000, 0x1000, PERM_RW), Region(0x4000, 0x2000, PERM_RW)]
+        )
+        runtime = CaratRuntime(PhysicalMemory(MB), regions)
+        runtime.enable_region_cache()
+        return runtime, regions
+
+    def test_repeat_hits_after_one_miss(self):
+        runtime, _ = self._runtime()
+        cell = GuardSiteCell()
+        for _ in range(5):
+            runtime.guard_access(0x1800, 8, "read", cell)
+        assert runtime.stats.region_cache_misses == 1
+        assert runtime.stats.region_cache_hits == 4
+        assert runtime.stats.guards_executed == 5
+
+    def test_region_mutation_invalidates(self):
+        runtime, regions = self._runtime()
+        cell = GuardSiteCell()
+        runtime.guard_access(0x1800, 8, "read", cell)
+        runtime.guard_access(0x1800, 8, "read", cell)
+        assert runtime.stats.region_cache_hits == 1
+        regions.add(Region(0x8000, 0x1000, PERM_RW))
+        runtime.guard_access(0x1800, 8, "read", cell)
+        # The mutation must demote the probe to a full search, never a
+        # stale hit.
+        assert runtime.stats.region_cache_invalidations == 1
+        assert runtime.stats.region_cache_misses == 2
+
+    def test_removed_region_faults_despite_cache(self):
+        runtime, regions = self._runtime()
+        cell = GuardSiteCell()
+        runtime.guard_access(0x4100, 8, "write", cell)
+        runtime.guard_access(0x4100, 8, "write", cell)
+        regions.remove(0x4000)
+        # A stale hit would let this through; the generation bump means
+        # it must re-search and fault.
+        with pytest.raises(ProtectionFault):
+            runtime.guard_access(0x4100, 8, "write", cell)
+        assert runtime.stats.guard_faults == 1
+
+    def test_execute_move_bumps_generation(self):
+        runtime, regions = self._runtime()
+        cell = GuardSiteCell()
+        runtime.on_alloc(0x4100, 64)
+        runtime.guard_access(0x4100, 8, "read", cell)
+        generation = regions.version
+        plan = runtime.patcher.plan_move(0x4000, 0x5000)
+        runtime.patcher.execute_move(plan, 0x9000)
+        assert regions.version > generation
+        runtime.guard_access(0x4100, 8, "read", cell)
+        assert runtime.stats.region_cache_invalidations == 1
+
+    def test_cell_from_other_region_set_is_ignored(self):
+        runtime, _ = self._runtime()
+        other = RegionSet([Region(0x1000, 0x1000, PERM_RW)])
+        cell = GuardSiteCell()
+        cell.fill(other, other.find(0x1800), other.version)
+        runtime.guard_access(0x1800, 8, "read", cell)
+        # Identity mismatch: a different landing zone can never hit, even
+        # with matching geometry and generation.
+        assert runtime.stats.region_cache_hits == 0
+        assert runtime.stats.region_cache_misses == 1
+
+    def test_disabled_cache_counts_nothing(self):
+        regions = RegionSet([Region(0x1000, 0x1000, PERM_RW)])
+        runtime = CaratRuntime(PhysicalMemory(MB), regions)
+        cell = GuardSiteCell()
+        runtime.guard_access(0x1800, 8, "read", cell)
+        runtime.guard_access(0x1800, 8, "read", cell)
+        assert runtime.stats.region_cache_hits == 0
+        assert runtime.stats.region_cache_misses == 0
+
+
+# ---------------------------------------------------------------------------
+# Targeted: the dispatch cache.
+# ---------------------------------------------------------------------------
+
+
+class TestDispatchCache:
+    def test_compiled_code_reused_across_runs(self):
+        workload = get_workload("ep", "tiny")
+        binary = compile_carat(
+            workload.source, CompileOptions(), module_name="ep"
+        )
+        first = run_carat(binary, engine="fast")
+        second = run_carat(binary, engine="fast")
+        assert first.stats.compiled_blocks > 0
+        assert first.stats.dispatch_cache_misses > 0
+        assert first.stats.dispatch_cache_hits == 0
+        assert second.stats.dispatch_cache_hits > 0
+        assert second.stats.dispatch_cache_misses == 0
+        assert second.stats.compiled_blocks == first.stats.compiled_blocks
+
+    def test_module_code_identity(self):
+        workload = get_workload("ep", "tiny")
+        binary = compile_carat(
+            workload.source, CompileOptions(), module_name="ep"
+        )
+        code, was_cached = compile_module(binary.module)
+        assert not was_cached
+        again, was_cached = compile_module(binary.module)
+        assert was_cached
+        assert again is code
+
+    def test_reference_engine_keeps_counters_zero(self):
+        workload = get_workload("ep", "tiny")
+        result = run_carat(workload.source, name="ep")
+        assert result.stats.compiled_blocks == 0
+        assert result.stats.dispatch_cache_hits == 0
+        assert result.stats.dispatch_cache_misses == 0
+
+    def test_unknown_engine_rejected(self):
+        workload = get_workload("ep", "tiny")
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_carat(workload.source, name="ep", engine="warp")
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: mid-run page moves under both engines.
+# ---------------------------------------------------------------------------
+
+
+def _policy_run(workload, engine):
+    """An aggressive policy config (small epochs, scatter, tiering) so the
+    run performs unsolicited page moves *while* the guard cache is live."""
+    from repro.policy import (
+        CompactionDaemon,
+        HeatTracker,
+        PolicyEngine,
+        TieringBalancer,
+        scatter_capsule,
+    )
+
+    kernel = Kernel(memory_size=16 * MB, fast_memory=1 * MB)
+    policy = None
+
+    def setup(interpreter):
+        nonlocal policy
+        interpreter.set_tick_interval(1_000)
+        process = interpreter.process
+        scatter_capsule(kernel, process, interpreter=interpreter)
+        heat = HeatTracker()
+        policy = PolicyEngine(
+            kernel,
+            process,
+            epoch_cycles=5_000,
+            budget_cycles=500_000,
+            heat=heat,
+            compaction=CompactionDaemon(kernel, process, target_fragmentation=0.05),
+            tiering=TieringBalancer(kernel, process, heat, max_allocation_pages=40),
+        )
+        policy.attach(interpreter)
+
+    result = run_carat(
+        workload.source,
+        kernel=kernel,
+        name=workload.name,
+        heap_size=512 * 1024,
+        stack_size=128 * 1024,
+        setup=setup,
+        engine=engine,
+    )
+    return result, policy
+
+
+class TestMidRunMoveParity:
+    @pytest.mark.parametrize("name", ["canneal", "mcf"])
+    def test_policy_moves_identical_under_both_engines(self, name):
+        workload = get_workload(name, "tiny")
+        reference, ref_policy = _policy_run(workload, "reference")
+        fast, fast_policy = _policy_run(workload, "fast")
+        assert _snapshot(reference) == _snapshot(fast)
+        # The runs must actually have moved pages, and the moves must have
+        # invalidated live guard-cache entries (else the test proves
+        # nothing).
+        assert ref_policy.stats.total_moves > 0
+        assert fast_policy.stats.total_moves == ref_policy.stats.total_moves
+        rt_stats = fast.process.runtime.stats
+        assert rt_stats.region_cache_hits > 0
+        assert rt_stats.region_cache_invalidations > 0
