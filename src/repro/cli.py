@@ -84,6 +84,29 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under the cross-layer invariant checker",
     )
+    run.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="kill the move protocol at chosen steps (carat mode): "
+        "comma-separated STEP:KIND[:MOVE][:persist] entries, e.g. "
+        "'copy-data:crash', 'patch-escapes:torn:0', "
+        "'region-install:hang:2:persist', or 'random:N' drawn from "
+        "--fault-seed; failed moves roll back, retry with backoff, and "
+        "degrade when exhausted",
+    )
+    run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1234,
+        help="seed for 'random:N' fault schedules (default: 1234)",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per move before it degrades (default: 3)",
+    )
 
     bench = sub.add_parser("bench", help="run one suite workload in all modes")
     bench.add_argument(
@@ -160,6 +183,26 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under the cross-layer invariant checker",
     )
+    policy.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="kill the move protocol at chosen steps; same spec syntax "
+        "as `run --inject-faults` (policy moves roll back, retry, and "
+        "degrade — quarantined ranges pin and the engine cools down)",
+    )
+    policy.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1234,
+        help="seed for 'random:N' fault schedules (default: 1234)",
+    )
+    policy.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per move before it degrades (default: 3)",
+    )
 
     sanitize = sub.add_parser(
         "sanitize",
@@ -230,9 +273,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     source = _read_source(args.file)
     name = Path(args.file).stem
+    faulting = args.inject_faults or args.max_retries is not None
+    if faulting and args.mode != "carat":
+        print("--inject-faults/--max-retries require --mode carat", file=sys.stderr)
+        return 2
     if args.mode == "carat":
+        kernel = None
+        if faulting:
+            import random
+
+            from repro.kernel.kernel import Kernel
+            from repro.resilience import DegradationManager, RetryPolicy
+            from repro.sanitizer import ProtocolFaultInjector, parse_fault_points
+
+            kernel = Kernel()
+            if args.max_retries is not None:
+                kernel.retry_policy = RetryPolicy(max_attempts=args.max_retries)
+            if args.inject_faults:
+                rng = random.Random(args.fault_seed)
+                kernel.attach_fault_injector(
+                    ProtocolFaultInjector(
+                        parse_fault_points(args.inject_faults, rng), rng
+                    )
+                )
+            kernel.attach_degradation(DegradationManager())
         result = run_carat(
             source,
+            kernel=kernel,
             guard_mechanism=args.guard,
             max_steps=args.max_steps,
             name=name,
@@ -291,6 +358,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{rt.escapes.stats.rewritten} rewritten",
                 file=sys.stderr,
             )
+            ks = result.kernel.stats
+            print(
+                f"-- moves        : {ks.moves_attempted} attempted, "
+                f"{ks.moves_committed} committed, "
+                f"{ks.moves_rolled_back} rolled back, "
+                f"{ks.move_retries} retried, "
+                f"{ks.moves_degraded} degraded "
+                f"({ks.backoff_cycles} backoff cycles)",
+                file=sys.stderr,
+            )
+            degradation = result.kernel.degradation
+            if degradation is not None and degradation.failures:
+                print(
+                    f"-- degradation  : {degradation.describe()}",
+                    file=sys.stderr,
+                )
+            injector = result.kernel.fault_injector
+            if injector is not None and injector.fired:
+                print(
+                    f"-- faults fired : {', '.join(injector.fired)}",
+                    file=sys.stderr,
+                )
         if result.process.mmu is not None:
             print(
                 f"-- dtlb         : {result.dtlb_mpki():.3f} misses/1K insts",
@@ -355,6 +444,22 @@ def _cmd_policy(args: argparse.Namespace) -> int:
         memory_size=args.memory_kb * 1024,
         fast_memory=fast if fast else None,
     )
+    if args.max_retries is not None:
+        from repro.resilience import RetryPolicy
+
+        kernel.retry_policy = RetryPolicy(max_attempts=args.max_retries)
+    if args.inject_faults:
+        import random
+
+        from repro.sanitizer import ProtocolFaultInjector, parse_fault_points
+
+        rng = random.Random(args.fault_seed)
+        kernel.attach_fault_injector(
+            ProtocolFaultInjector(parse_fault_points(args.inject_faults, rng), rng)
+        )
+    from repro.resilience import DegradationManager
+
+    kernel.attach_degradation(DegradationManager())
     engine: Optional[PolicyEngine] = None
     frag_before = None
 
@@ -412,6 +517,16 @@ def _cmd_policy(args: argparse.Namespace) -> int:
             f"{result.stats.slow_tier_accesses} slow accesses "
             f"({result.stats.hot_tier_share():.1%} overall hot-tier share)"
         )
+    ks = kernel.stats
+    print(
+        f"moves       : {ks.moves_attempted} attempted, "
+        f"{ks.moves_committed} committed, {ks.moves_rolled_back} rolled "
+        f"back, {ks.move_retries} retried, {ks.moves_degraded} degraded"
+    )
+    if kernel.degradation is not None and kernel.degradation.failures:
+        print(f"degradation : {kernel.degradation.describe()}")
+    if kernel.fault_injector is not None and kernel.fault_injector.fired:
+        print(f"faults fired: {', '.join(kernel.fault_injector.fired)}")
     if args.sanitize and result.sanitizer is not None:
         print(f"sanitizer   : {result.sanitizer.describe()}")
     return result.exit_code

@@ -86,3 +86,43 @@ class SigningError(ReproError):
 
 class OutOfMemoryError(KernelError):
     """The physical frame allocator is exhausted."""
+
+
+class MoveError(KernelError):
+    """A move/protection change request failed in a *structured* way.
+
+    Raised by the transactional upcall path (:mod:`repro.resilience`)
+    after the attempt has been rolled back — never with half-applied
+    state behind it — and by :class:`~repro.runtime.patching.Patcher`
+    validation (e.g. an unbacked destination range) before any state is
+    touched.  Carries enough context for callers (the policy engine, the
+    CLI, tests) to account for the failure without string matching.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        step: str = "unknown",
+        attempts: int = 0,
+        lo: int = 0,
+        hi: int = 0,
+        cycles_wasted: int = 0,
+    ) -> None:
+        super().__init__(message)
+        #: Figure-8 protocol step (see ``repro.resilience.journal``) at
+        #: which the last attempt failed; ``"admission"`` when the move
+        #: was refused up front (pinned/quarantined range).
+        self.step = step
+        self.attempts = attempts
+        self.lo = lo
+        self.hi = hi
+        self.cycles_wasted = cycles_wasted
+        #: The structured :class:`~repro.resilience.degrade.MoveFailure`
+        #: recorded for this error, when a DegradationManager is attached.
+        self.failure = None
+
+
+class RollbackError(KernelError):
+    """A move transaction's *rollback* failed — the one unrecoverable
+    condition in the resilience layer (state may be inconsistent; the
+    sanitizer is the authority on how bad it is)."""

@@ -160,6 +160,34 @@ class HeapAllocator:
         self._free = coalesced
         return rebased
 
+    # -- transactional state capture ---------------------------------------------
+
+    def snapshot_state(self):
+        """Opaque copy of the allocator's complete metadata, for the
+        transactional move path: a failed move restores it verbatim with
+        :meth:`restore_state`.  A snapshot/restore pair is used instead
+        of an inverse ``rebase_range`` because the inverse window could
+        also catch blocks that legitimately lived in the destination
+        range before the move."""
+        return (
+            [(block.address, block.size) for block in self._free],
+            dict(self._allocated),
+            self.total_allocs,
+            self.total_frees,
+            self.live_bytes,
+            self.peak_bytes,
+        )
+
+    def restore_state(self, state) -> None:
+        """Reinstall a :meth:`snapshot_state` capture (rollback path)."""
+        free, allocated, allocs, frees, live, peak = state
+        self._free = [_FreeBlock(address, size) for address, size in free]
+        self._allocated = dict(allocated)
+        self.total_allocs = allocs
+        self.total_frees = frees
+        self.live_bytes = live
+        self.peak_bytes = peak
+
     # -- introspection ----------------------------------------------------------
 
     def free_bytes(self) -> int:

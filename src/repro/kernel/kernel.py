@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.carat.pipeline import CaratBinary
 from repro.carat.signing import DEFAULT_TOOLCHAIN
-from repro.errors import KernelError, SegmentationFault
+from repro.errors import KernelError, MoveError, SegmentationFault
 from repro.kernel.heap import HeapAllocator
 from repro.kernel.loader import (
     code_segment_size,
@@ -51,6 +51,13 @@ from repro.kernel.process import (
     Process,
 )
 from repro.machine.costs import DEFAULT_COSTS, CostModel
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.transaction import (
+    drive_transaction,
+    execute_allocation_move,
+    execute_page_move,
+    execute_protection_change,
+)
 from repro.runtime.patching import MoveCost, MovePlan, RegisterSnapshot
 from repro.runtime.regions import PERM_RW, PERM_RWX, Region, RegionSet
 from repro.runtime.runtime import CaratRuntime
@@ -74,6 +81,14 @@ class KernelStats:
     carat_protection_changes: int = 0
     fault_cycles: int = 0
     move_cycles: int = 0
+    #: Transactional move protocol counters (``run --stats`` reports
+    #: them; the fault campaign asserts over them).
+    moves_attempted: int = 0
+    moves_committed: int = 0
+    moves_rolled_back: int = 0
+    moves_degraded: int = 0
+    move_retries: int = 0
+    backoff_cycles: int = 0
 
 
 class Kernel:
@@ -113,6 +128,18 @@ class Kernel:
         #: Attached invariant sanitizer (see :mod:`repro.sanitizer`);
         #: notified after every change request and process load.
         self.sanitizer = None
+        #: Retry/backoff/watchdog configuration for the transactional
+        #: move protocol (see :mod:`repro.resilience`).
+        self.retry_policy = RetryPolicy()
+        #: Attached step-targeted fault injector
+        #: (:class:`~repro.sanitizer.faults.ProtocolFaultInjector`);
+        #: ``None`` means no faults ever fire.
+        self.fault_injector = None
+        #: Attached :class:`~repro.resilience.degrade.DegradationManager`;
+        #: when present, exhausted moves degrade (quarantine + pin)
+        #: instead of propagating, and admission refuses quarantined
+        #: ranges up front.
+        self.degradation = None
 
     def _trace(self, step: int, message: str) -> None:
         if self.trace_protocol:
@@ -163,6 +190,9 @@ class Kernel:
         runtime = CaratRuntime(
             self.memory, regions, guard_mechanism=guard_mechanism, costs=self.costs
         )
+        # The patcher validates move destinations against the kernel's
+        # frame allocator (refusing unbacked ranges with a MoveError).
+        runtime.patcher.frames = self.frames
 
         globals_map, _ = layout_globals(module, layout.globals_base)
         write_globals(binary, globals_map, self.memory.write_bytes)
@@ -365,96 +395,52 @@ class Kernel:
         ``reason`` labels the MMU-notifier event so trace consumers
         (Table 2 accounting, the policy benchmarks) can attribute the
         move to its initiator — e.g. ``policy-compaction``,
-        ``policy-promote``, ``policy-demote``."""
+        ``policy-promote``, ``policy-demote``.
+
+        The request runs as a transaction (see :mod:`repro.resilience`):
+        any fault rolls every step back, transient faults retry with
+        backoff, and exhaustion raises a structured
+        :class:`~repro.errors.MoveError` with the machine verified back
+        in its pre-move state."""
         runtime = process.runtime
         regions = process.regions
         if runtime is None or regions is None:
             raise KernelError("not a CARAT process")
         lo = page_address & ~(PAGE_SIZE - 1)
         hi = lo + page_count_ * PAGE_SIZE
-        self._trace(1, f"request page move [{lo:#x}, {hi:#x})")
-
-        # Steps 2-3: signal all threads; they dump registers and barrier.
-        # (A ThreadGroup may have stopped the world already — do not pay
-        # or perform the stop twice.)
-        initiated_stop = not runtime.is_stopped
-        stop_cycles = runtime.world_stop(thread_count) if initiated_stop else 0
-        self._trace(2, f"signal {thread_count} thread(s)")
-        self._trace(3, "threads dump registers and enter signal handlers")
-        self._trace(4, "barrier; negotiate move with the kernel module")
-
-        # Step 4: negotiate — the runtime may expand the page set.
-        plan = runtime.patcher.plan_move(lo, hi)
-        self._trace(
-            5,
-            f"negotiated source range [{plan.lo:#x}, {plan.hi:#x})"
-            + (" (expanded)" if plan.expanded else ""),
+        self._check_admission(process, "page-move", lo, hi)
+        return drive_transaction(
+            self,
+            process,
+            runtime,
+            "page-move",
+            lambda txn: execute_page_move(
+                txn,
+                self,
+                process,
+                lo,
+                hi,
+                register_snapshots,
+                destination,
+                thread_count,
+                reason,
+            ),
+            lo,
+            hi,
         )
 
-        # Kernel allocates the destination (or uses the caller's).
-        if destination is None:
-            destination = self.frames.alloc_address(plan.length // PAGE_SIZE)
-        self._trace(
-            6, f"{len(plan.allocations)} affected allocation(s) determined"
-        )
-
-        # Steps 5-11: the runtime patches and moves.
-        _, cost = runtime.service_move_request(
-            plan.lo, plan.hi, destination, register_snapshots
-        )
-        self._trace(7, "patches computed for every escape")
-        self._trace(8, "escapes patched to post-move addresses")
-        self._trace(
-            9,
-            f"register snapshots patched "
-            f"({len(register_snapshots or [])} thread frame(s))",
-        )
-        self._trace(10, f"data moved to [{destination:#x}, "
-                        f"{destination + plan.length:#x})")
-        self._trace(11, "barrier before resume")
-
-        # Region update: the moved range loses permission, the destination
-        # gains it; adjacent same-permission regions re-coalesce.
-        source_region = regions.find(plan.lo)
-        perms = source_region.perms if source_region is not None else PERM_RWX
-        regions.remove_range(plan.lo, plan.hi)
-        regions.add(Region(destination, plan.length, perms))
-        regions.coalesce()
-
-        # Kernel-side metadata follows the move: the heap allocator's
-        # address set (its metadata would be patched escapes in the real
-        # system) and the globals symbol map.
-        delta = destination - plan.lo
-        if process.heap is not None:
-            process.heap.rebase_range(plan.lo, plan.hi, delta)
-        for symbol, address in list(process.globals_map.items()):
-            if plan.lo <= address < plan.hi:
-                process.globals_map[symbol] = address + delta
-        # Layout bookkeeping follows too: a segment whose base sat inside
-        # the moved range (the stack moves whole — it is one allocation)
-        # now starts at the relocated address.  Without this, stack moves
-        # would break the interpreter's stack-limit checks.
-        layout = process.layout
-        for attr in ("stack_base", "globals_base", "code_base", "heap_base"):
-            segment_base = getattr(layout, attr)
-            if plan.lo <= segment_base < plan.hi:
-                setattr(layout, attr, segment_base + delta)
-
-        # The old frames return to the kernel.
-        self.frames.free_address(plan.lo, plan.length // PAGE_SIZE)
-
-        process.pages_moved += plan.page_count
-        self.stats.carat_moves += 1
-        self.notifier.pte_change(
-            process.pid, plan.lo >> PAGE_SHIFT, self.clock_cycles, reason
-        )
-        if initiated_stop:
-            runtime.resume()
-        self._trace(12, "completion indicated; threads resume")
-        total_cycles = stop_cycles + cost.total
-        self.stats.move_cycles += total_cycles
-        self._sanitize("page-move")
-        return plan, cost, total_cycles
+    def _check_admission(self, process, operation: str, lo: int, hi: int) -> None:
+        """Degraded-mode admission: a range the DegradationManager has
+        quarantined (its pages are pinned) is refused before any work —
+        no world stop, no attempt counted."""
+        if self.degradation is not None and not self.degradation.allows(lo, hi):
+            raise MoveError(
+                f"{operation} of [{lo:#x}, {hi:#x}) refused: range is "
+                f"quarantined (pinned after repeated move failures)",
+                step="admission",
+                lo=lo,
+                hi=hi,
+            )
 
     def request_allocation_move(
         self,
@@ -475,27 +461,26 @@ class Kernel:
         runtime = process.runtime
         if runtime is None:
             raise KernelError("not a CARAT process")
-        stop_cycles = runtime.world_stop(thread_count)
-        if destination is None:
-            if process.heap is None:
-                raise KernelError("no heap to place the allocation in")
-            destination = process.heap.malloc(allocation.size)
-            # The old bytes return to the heap's free space.
-            old_address = allocation.address
-        else:
-            old_address = allocation.address
-        cost = runtime.patcher.move_allocation(
-            allocation, destination, register_snapshots
+        self._check_admission(
+            process, "allocation-move", allocation.address, allocation.end
         )
-        if process.heap is not None and process.heap.size_of(old_address) is not None:
-            process.heap.free(old_address)
-        runtime.stats.moves_serviced += 1
-        runtime.stats.move_cost_accum = runtime.stats.move_cost_accum + cost
-        runtime.resume()
-        total = stop_cycles + cost.total
-        self.stats.move_cycles += total
-        self._sanitize("allocation-move")
-        return cost, total
+        return drive_transaction(
+            self,
+            process,
+            runtime,
+            "allocation-move",
+            lambda txn: execute_allocation_move(
+                txn,
+                self,
+                process,
+                allocation,
+                register_snapshots,
+                destination,
+                thread_count,
+            ),
+            allocation.address,
+            allocation.end,
+        )
 
     def expand_stack(self, process: Process, extra_bytes: int) -> int:
         """Seamless stack expansion (Section 2.2): a failed call guard
@@ -546,12 +531,21 @@ class Kernel:
         regions = process.regions
         if runtime is None or regions is None:
             raise KernelError("not a CARAT process")
-        stop_cycles = runtime.world_stop(thread_count)
-        regions.set_range_perms(base, base + length, perms)
-        runtime.resume()
-        self.stats.carat_protection_changes += 1
-        self._sanitize("protection-change")
-        return stop_cycles + self.costs.alloc_table_update
+        # Protection changes never charged stats.move_cycles; the
+        # transactional path keeps that accounting.
+        (total,) = drive_transaction(
+            self,
+            process,
+            runtime,
+            "protection-change",
+            lambda txn: execute_protection_change(
+                txn, self, process, base, length, perms, thread_count
+            ),
+            base,
+            base + length,
+            charge_move_cycles=False,
+        )
+        return total
 
     # ------------------------------------------------------------------
     # Misc
@@ -570,6 +564,19 @@ class Kernel:
         """Install an invariant sanitizer (see :mod:`repro.sanitizer`);
         it is notified after every change request and process load."""
         self.sanitizer = sanitizer
+
+    def attach_fault_injector(self, injector) -> None:
+        """Install a step-targeted protocol fault injector
+        (:class:`~repro.sanitizer.faults.ProtocolFaultInjector`); every
+        change request's step boundaries and mid-step progress points
+        consult it."""
+        self.fault_injector = injector
+
+    def attach_degradation(self, manager) -> None:
+        """Install a :class:`~repro.resilience.degrade.DegradationManager`:
+        exhausted moves then quarantine their range (pinning its pages)
+        and record a structured failure instead of propagating raw."""
+        self.degradation = manager
 
     def advance_clock(self, cycles: int) -> None:
         self.clock_cycles += cycles

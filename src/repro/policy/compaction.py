@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.errors import MoveError
 from repro.kernel.pagetable import PAGE_SIZE
 from repro.policy.fragmentation import assess_fragmentation
 from repro.policy.moves import EpochBudget, estimate_move_cycles, perform_move
@@ -63,13 +64,21 @@ def scatter_capsule(kernel, process, chunk_pages: int = 4, interpreter=None) -> 
             break  # ran out of headroom above the remaining capsule
         if not frames.alloc_at(cursor, plan.page_count):
             break
-        kernel.request_page_move(
-            process,
-            plan.lo,
-            plan.page_count,
-            destination=cursor * PAGE_SIZE,
-            reason="scatter",
-        )
+        try:
+            kernel.request_page_move(
+                process,
+                plan.lo,
+                plan.page_count,
+                destination=cursor * PAGE_SIZE,
+                reason="scatter",
+            )
+        except MoveError:
+            # Rollback released the claimed destination; with degradation
+            # attached the failure is recorded and scatter just stops
+            # short (a partially scattered capsule is still a valid one).
+            if kernel.degradation is None:
+                raise
+            break
         moves += 1
         chunk_hi = plan.lo  # the original range is free again; keep going
     if interpreter is not None:
@@ -158,7 +167,7 @@ class CompactionDaemon:
                 break
             claimed = frames.alloc_at(hole_frame, plan.page_count)
             assert claimed, "compaction destination vanished mid-plan"
-            _, _, cycles = perform_move(
+            result = perform_move(
                 kernel,
                 self.process,
                 interpreter,
@@ -168,6 +177,14 @@ class CompactionDaemon:
                 "policy-compaction",
                 heat=self.heat,
             )
+            if result is None:
+                # Degraded: the move failed and its range is quarantined.
+                # Rollback restored every structure and released the hole
+                # we claimed (the transaction adopts the destination);
+                # stop packing this tier for the epoch (the engine is in
+                # cooldown now anyway).
+                break
+            _, _, cycles = result
             budget.charge(cycles)
             moves += 1
             self.moves_performed += 1
@@ -184,10 +201,13 @@ class CompactionDaemon:
         holes = frames.free_runs(tier)
         if not holes:
             return None
+        degradation = self.kernel.degradation
         for extent_lo, extent_hi in reversed(self.movable_extents(tier)):
             chunk_hi = extent_hi
             chunk_lo = max(extent_lo, chunk_hi - self.max_chunk_pages * PAGE_SIZE)
             plan = patcher.plan_move(chunk_lo, chunk_hi)
+            if degradation is not None and not degradation.allows(plan.lo, plan.hi):
+                continue  # pinned (quarantined) range: try the next extent
             for hole_start, hole_length in holes:
                 if (
                     hole_length >= plan.page_count

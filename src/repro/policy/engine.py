@@ -42,6 +42,9 @@ class PolicyStats:
     moves_skipped_budget: int = 0
     move_cycles: int = 0
     budget_overruns: int = 0
+    #: Epochs spent idle because the DegradationManager held the engine
+    #: in post-failure cooldown (heat still decays; no moves are planned).
+    degraded_epochs: int = 0
     #: Per-epoch cycle spend, post-epoch fragmentation (EFI over the
     #: whole allocator), and the share of *that epoch's* accesses that
     #: hit the fast tier (the convergence signal for tiering).
@@ -69,9 +72,12 @@ class PolicyStats:
         hot = (
             f"{self.hot_share_history[-1]:.1%}" if self.hot_share_history else "n/a"
         )
+        degraded = (
+            f", {self.degraded_epochs} degraded" if self.degraded_epochs else ""
+        )
         return (
-            f"{self.epochs} epoch(s): {self.compaction_moves} compaction, "
-            f"{self.promotions} promote, {self.demotions} demote "
+            f"{self.epochs} epoch(s){degraded}: {self.compaction_moves} "
+            f"compaction, {self.promotions} promote, {self.demotions} demote "
             f"({self.moves_skipped_budget} skipped on budget); "
             f"{self.move_cycles} move cycles, budgets "
             f"{'respected' if self.budgets_respected else 'OVERRUN'}; "
@@ -170,10 +176,17 @@ class PolicyEngine:
             stats.epochs += 1
             self.heat.end_epoch()
             budget = EpochBudget(self.budget_cycles)
-            if self.compaction is not None:
-                self.compaction.run_epoch(budget, self.interpreter, stats)
-            if self.tiering is not None:
-                self.tiering.run_epoch(budget, self.interpreter, stats)
+            # Degraded mode: after a move failure the DegradationManager
+            # holds the engine in cooldown — heat still decays and the
+            # after-state is still recorded, but no moves are planned.
+            degradation = getattr(self.kernel, "degradation", None)
+            if degradation is not None and degradation.consume_cooldown_epoch():
+                stats.degraded_epochs += 1
+            else:
+                if self.compaction is not None:
+                    self.compaction.run_epoch(budget, self.interpreter, stats)
+                if self.tiering is not None:
+                    self.tiering.run_epoch(budget, self.interpreter, stats)
             stats.move_cycles += budget.spent
             stats.moves_skipped_budget += budget.skipped
             stats.epoch_move_cycles.append(budget.spent)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.errors import MoveError
 from repro.runtime.patching import MoveCost, MovePlan
 
 
@@ -91,24 +92,40 @@ def perform_move(
     destination: int,
     reason: str,
     heat=None,
-) -> Tuple[MovePlan, MoveCost, int]:
+) -> Optional[Tuple[MovePlan, MoveCost, int]]:
     """Execute one policy move through the Figure 8 protocol, patching
     the interpreter's live registers and charging the move's cycles to
     the program (the program pays for kernel services, as in the
     Figure 9 experiment).  ``heat`` (a
     :class:`~repro.policy.heat.HeatTracker`) gets its per-page scores
-    rekeyed to the destination so the moved bytes stay hot."""
+    rekeyed to the destination so the moved bytes stay hot.
+
+    With a :class:`~repro.resilience.degrade.DegradationManager`
+    attached to the kernel, an exhausted move returns ``None`` (the
+    failure is already recorded and the range quarantined; the rollback
+    restored every structure *and released the destination range* — the
+    transaction adopts a caller-claimed destination, so callers must not
+    free it again).  Without one, the
+    :class:`~repro.errors.MoveError` propagates.  Either way the program
+    pays for the wasted attempts."""
     snapshots = None
     if interpreter is not None and interpreter.frames:
         snapshots = interpreter.register_snapshots()
-    plan, cost, cycles = kernel.request_page_move(
-        process,
-        lo,
-        page_count,
-        register_snapshots=snapshots,
-        destination=destination,
-        reason=reason,
-    )
+    try:
+        plan, cost, cycles = kernel.request_page_move(
+            process,
+            lo,
+            page_count,
+            register_snapshots=snapshots,
+            destination=destination,
+            reason=reason,
+        )
+    except MoveError as exc:
+        if interpreter is not None and exc.cycles_wasted:
+            interpreter.stats.cycles += exc.cycles_wasted
+        if kernel.degradation is None:
+            raise
+        return None
     if snapshots is not None:
         interpreter.apply_snapshots(snapshots)
     if interpreter is not None:

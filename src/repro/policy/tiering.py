@@ -101,6 +101,9 @@ class TieringBalancer:
             plan = self._plan_for(allocation)
             if plan.page_count > self.max_allocation_pages:
                 continue  # too big to migrate profitably
+            degradation = self.kernel.degradation
+            if degradation is not None and not degradation.allows(plan.lo, plan.hi):
+                continue  # pinned (quarantined) after repeated failures
             # Moves happen at plan (page-range) granularity, so heat
             # comparisons must too: a cold allocation sharing a page
             # with a hot one is NOT a cheap thing to move.
@@ -157,7 +160,7 @@ class TieringBalancer:
                 frames.free_address(destination, plan.page_count)
                 budget.skipped += 1
                 return None
-            _, _, cycles = perform_move(
+            result = perform_move(
                 kernel,
                 self.process,
                 interpreter,
@@ -167,6 +170,11 @@ class TieringBalancer:
                 "policy-promote",
                 heat=self.heat,
             )
+            if result is None:
+                # Degraded: the range is quarantined and rollback already
+                # released the fast-tier destination; stop the epoch.
+                return None if moves == 0 else moves
+            _, _, cycles = result
             budget.charge(cycles)
             self.promotions += 1
             if stats is not None:
@@ -189,12 +197,15 @@ class TieringBalancer:
         frames = kernel.frames
         runtime = self.process.runtime
         best = None
+        degradation = kernel.degradation
         for index, (victim, _) in enumerate(residents):
             if kernel.memory.tier_of(victim.address) != "fast":
                 continue  # already moved (dragged by an earlier plan)
             plan = self._plan_for(victim)
             if plan.page_count > self.max_allocation_pages:
                 continue
+            if degradation is not None and not degradation.allows(plan.lo, plan.hi):
+                continue  # pinned (quarantined) after repeated failures
             plan_score = self._range_heat(plan.lo, plan.hi)
             if plan_score >= incoming_score:
                 continue  # would carry out something at least as hot
@@ -212,7 +223,7 @@ class TieringBalancer:
         except OutOfMemoryError:
             return None  # slow tier full too; give up this epoch
         residents.pop(index)
-        _, _, cycles = perform_move(
+        result = perform_move(
             kernel,
             self.process,
             interpreter,
@@ -222,6 +233,12 @@ class TieringBalancer:
             "policy-demote",
             heat=self.heat,
         )
+        if result is None:
+            # Degraded: the victim stays put (its range is quarantined)
+            # and rollback already gave back the slow-tier range; stop
+            # trying this epoch.
+            return None
+        _, _, cycles = result
         budget.charge(cycles)
         self.demotions += 1
         if stats is not None:

@@ -1,0 +1,83 @@
+"""Crash-consistent execution of the kernel↔runtime upcall protocol.
+
+CARAT's value proposition rests on Figure 8's move/protection protocol
+executing atomically; this package makes that a property instead of a
+hope.  :class:`MoveJournal` records every step's mutations as undoable
+entries, :class:`MoveTransaction` brackets one attempt (fault hooks,
+watchdog, verified rollback), :class:`RetryPolicy` re-drives transient
+failures with exponential backoff in simulated cycles, and
+:class:`DegradationManager` keeps the policy engine alive when a range
+turns out to be un-movable — quarantined pages, pinned ranges, and
+structured :class:`MoveFailure` records instead of corrupt state.
+"""
+
+from repro.resilience.degrade import DegradationManager, MoveFailure
+from repro.resilience.journal import (
+    ALLOCATION_MOVE_STEPS,
+    PAGE_MOVE_STEPS,
+    PROTECTION_STEPS,
+    STEP_COPY_DATA,
+    STEP_ESCAPE_FLUSH,
+    STEP_KERNEL_METADATA,
+    STEP_NEGOTIATE,
+    STEP_PATCH_ESCAPES,
+    STEP_PATCH_REGISTERS,
+    STEP_REBASE_TRACKING,
+    STEP_REGION_INSTALL,
+    STEP_REGION_PERMS,
+    STEP_RELEASE_FRAMES,
+    STEP_RELEASE_OLD,
+    STEP_RESERVE,
+    STEP_RESUME,
+    STEP_WORLD_STOP,
+    TORN_CAPABLE_STEPS,
+    JournalEntry,
+    MoveJournal,
+)
+from repro.resilience.retry import (
+    InjectedFault,
+    InjectedHang,
+    RetryPolicy,
+    StepTimeout,
+)
+from repro.resilience.transaction import (
+    MoveTransaction,
+    drive_transaction,
+    execute_allocation_move,
+    execute_page_move,
+    execute_protection_change,
+)
+
+__all__ = [
+    "ALLOCATION_MOVE_STEPS",
+    "DegradationManager",
+    "InjectedFault",
+    "InjectedHang",
+    "JournalEntry",
+    "MoveFailure",
+    "MoveJournal",
+    "MoveTransaction",
+    "PAGE_MOVE_STEPS",
+    "PROTECTION_STEPS",
+    "RetryPolicy",
+    "STEP_COPY_DATA",
+    "STEP_ESCAPE_FLUSH",
+    "STEP_KERNEL_METADATA",
+    "STEP_NEGOTIATE",
+    "STEP_PATCH_ESCAPES",
+    "STEP_PATCH_REGISTERS",
+    "STEP_REBASE_TRACKING",
+    "STEP_REGION_INSTALL",
+    "STEP_REGION_PERMS",
+    "STEP_RELEASE_FRAMES",
+    "STEP_RELEASE_OLD",
+    "STEP_RESERVE",
+    "STEP_RESUME",
+    "STEP_WORLD_STOP",
+    "StepTimeout",
+    "TORN_CAPABLE_STEPS",
+    "drive_transaction",
+    "execute_allocation_move",
+    "execute_page_move",
+    "execute_protection_change",
+]

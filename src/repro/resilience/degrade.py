@@ -1,0 +1,107 @@
+"""Graceful degradation: keep running when moves keep failing.
+
+When a move exhausts its retries the kernel must not wedge the policy
+engine or corrupt state — it records a structured :class:`MoveFailure`,
+quarantines the un-movable range (its pages become *pinned*: further
+move requests are refused at admission, and the policy daemons skip
+plans that touch it), and puts the policy engine into a short cooldown
+so it stops hammering a struggling protocol.  The program itself never
+notices: CARAT moves are transparent, so a move that never happens only
+costs the *policy* its placement, not the program its correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class MoveFailure:
+    """One exhausted move request, as structured data (never a bare
+    string): who, where, which protocol step, and what it cost."""
+
+    pid: int
+    operation: str  # "page-move" | "allocation-move" | "protection-change"
+    lo: int
+    hi: int
+    step: str
+    error: str
+    attempts: int
+    cycles_wasted: int
+    clock_cycles: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.operation} [{self.lo:#x}, {self.hi:#x}) pid={self.pid} "
+            f"failed at step {self.step!r} after {self.attempts} attempt(s) "
+            f"({self.cycles_wasted} cycles wasted): {self.error}"
+        )
+
+
+@dataclass
+class DegradationManager:
+    """Tracks failed moves and the ranges they poisoned.
+
+    Attach to a kernel via :meth:`Kernel.attach_degradation`.  The
+    kernel records every exhausted move here instead of leaving callers
+    to crash; the policy engine consults :meth:`allows` before planning
+    and :meth:`in_cooldown` before each epoch.
+    """
+
+    #: Epochs the policy engine idles after each recorded failure.
+    cooldown_epochs: int = 2
+    failures: List[MoveFailure] = field(default_factory=list)
+    #: Quarantined (pinned) byte ranges — refused at move admission.
+    quarantined: List[Tuple[int, int]] = field(default_factory=list)
+    _cooldown_left: int = 0
+
+    def record_failure(self, failure: MoveFailure) -> None:
+        self.failures.append(failure)
+        if failure.hi > failure.lo and not self.is_quarantined(
+            failure.lo, failure.hi
+        ):
+            self.quarantined.append((failure.lo, failure.hi))
+        self._cooldown_left = max(self._cooldown_left, self.cooldown_epochs)
+
+    # -- admission -------------------------------------------------------
+
+    def allows(self, lo: int, hi: int) -> bool:
+        """May the kernel attempt a move of ``[lo, hi)``?  False once the
+        range overlaps a quarantined (pinned) one."""
+        return not self.is_quarantined(lo, hi)
+
+    def is_quarantined(self, lo: int, hi: int) -> bool:
+        return any(lo < q_hi and q_lo < hi for q_lo, q_hi in self.quarantined)
+
+    def pinned_pages(self, page_size: int = 4096) -> int:
+        """Pages covered by quarantined ranges (page-rounded per range)."""
+        return sum(
+            (hi - lo + page_size - 1) // page_size
+            for lo, hi in self.quarantined
+        )
+
+    # -- policy cooldown -------------------------------------------------
+
+    def in_cooldown(self) -> bool:
+        return self._cooldown_left > 0
+
+    def consume_cooldown_epoch(self) -> bool:
+        """Policy-epoch tick: returns True (and decrements) while the
+        engine should run this epoch in degraded mode."""
+        if self._cooldown_left <= 0:
+            return False
+        self._cooldown_left -= 1
+        return True
+
+    # -- reporting -------------------------------------------------------
+
+    def describe(self) -> str:
+        if not self.failures:
+            return "no move failures"
+        return (
+            f"{len(self.failures)} move failure(s), "
+            f"{len(self.quarantined)} quarantined range(s) "
+            f"({self.pinned_pages()} pinned page(s)); last: "
+            f"{self.failures[-1].describe()}"
+        )

@@ -1,0 +1,89 @@
+"""Retry policy for failed move transactions.
+
+A transient fault (an injected crash, a torn step, a watchdog timeout)
+rolls the attempt back; the :class:`RetryPolicy` decides whether the
+kernel re-drives the move and how many simulated cycles of exponential
+backoff separate the attempts.  Backoff is charged to the requester's
+cycle bill (and to ``KernelStats.backoff_cycles``) — it is *simulated*
+time, so it never calls back into ``Kernel.advance_clock`` where it
+could recursively fire policy epochs mid-move.
+
+The per-step watchdog bounds a stuck runtime: an injected hang stalls
+for ``stall_cycles``; when that meets or exceeds ``step_timeout_cycles``
+the watchdog charges only the timeout window and converts the hang into
+a :class:`StepTimeout`, which is retryable like any transient fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected protocol fault (fail-stop at a step, or a
+    torn mid-step failure).  Transient: the transaction layer rolls back
+    and may retry.  Lives here (not in :mod:`repro.sanitizer.faults`,
+    which re-exports it) so the dependency between the resilience and
+    sanitizer packages stays one-way."""
+
+    def __init__(self, step: str, kind: str) -> None:
+        super().__init__(f"injected {kind} fault at step {step!r}")
+        self.step = step
+        self.kind = kind
+
+
+class InjectedHang(InjectedFault):
+    """A stuck runtime: the step stalls for ``stall_cycles`` of simulated
+    time.  The transaction layer's watchdog either absorbs the stall
+    (charging it) or converts it into a retryable :class:`StepTimeout`."""
+
+    def __init__(self, step: str, stall_cycles: int) -> None:
+        super().__init__(step, "hang")
+        self.stall_cycles = stall_cycles
+
+
+class StepTimeout(ReproError):
+    """The per-step watchdog fired: a protocol step exceeded the retry
+    policy's ``step_timeout_cycles`` without completing."""
+
+    def __init__(self, step: str, timeout_cycles: int) -> None:
+        super().__init__(
+            f"step {step!r} exceeded the {timeout_cycles}-cycle watchdog"
+        )
+        self.step = step
+        self.timeout_cycles = timeout_cycles
+
+
+@dataclass
+class RetryPolicy:
+    """How hard the kernel tries before declaring a move failed."""
+
+    #: Total attempts (first try included).  1 = no retries.
+    max_attempts: int = 3
+    #: Backoff before retry N (1-based) is ``base * factor**(N-1)``,
+    #: capped — exponential in simulated cycles.
+    backoff_base_cycles: int = 2_000
+    backoff_factor: float = 2.0
+    backoff_cap_cycles: int = 1_000_000
+    #: Per-step watchdog; ``None`` disables it (a hang then simply
+    #: charges its full stall and the step completes).
+    step_timeout_cycles: Optional[int] = 200_000
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_cycles < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def should_retry(self, attempts_made: int) -> bool:
+        return attempts_made < self.max_attempts
+
+    def backoff_cycles(self, attempts_made: int) -> int:
+        """Backoff charged between attempt ``attempts_made`` and the next."""
+        raw = self.backoff_base_cycles * self.backoff_factor ** max(
+            0, attempts_made - 1
+        )
+        return int(min(raw, self.backoff_cap_cycles))

@@ -151,6 +151,48 @@ class AllocationToEscapeMap:
     def drop_allocation(self, address: int) -> None:
         self._escapes.pop(address, None)
 
+    def locations_in_range(self, lo: int, hi: int) -> List[int]:
+        """Every recorded location (resolved or pending) in ``[lo, hi)``,
+        deduplicated and ascending — what :meth:`rewrite_range` over the
+        same window would touch.  Read-only; the transactional move path
+        captures this *before* rewriting so rollback can reverse exactly
+        these locations (a window-based inverse would also drag along
+        stale cells that already sat in the destination window)."""
+        found = {
+            loc
+            for locations in self._escapes.values()
+            for loc in locations
+            if lo <= loc < hi
+        }
+        found.update(loc for loc in self._pending if lo <= loc < hi)
+        return sorted(found)
+
+    def rewrite_locations(self, moves: Iterable[Tuple[int, int]]) -> int:
+        """Rewrite exactly the given ``(old, new)`` recorded locations —
+        the precise inverse :meth:`rewrite_range` needs for rollback.
+        Returns the number of occurrences rewritten."""
+        mapping = dict(moves)
+        if not mapping:
+            return 0
+        rewritten = 0
+        for address, locations in list(self._escapes.items()):
+            if not locations & mapping.keys():
+                continue
+            updated = set()
+            for loc in locations:
+                target = mapping.get(loc, loc)
+                if target != loc:
+                    rewritten += 1
+                updated.add(target)
+            self._escapes[address] = updated
+        for i, loc in enumerate(self._pending):
+            target = mapping.get(loc, loc)
+            if target != loc:
+                self._pending[i] = target
+                rewritten += 1
+        self.stats.rewritten += rewritten
+        return rewritten
+
     def rewrite_range(self, lo: int, hi: int, delta: int) -> int:
         """When the cells *holding* escapes themselves move (they lived in a
         moved page), their recorded locations must shift too.  Rewrites

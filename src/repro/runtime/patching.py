@@ -24,13 +24,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Tuple
 
-from repro.errors import KernelError
+from repro.errors import KernelError, MoveError
 from repro.machine.costs import DEFAULT_COSTS, CostModel
+from repro.resilience.journal import (
+    STEP_COPY_DATA,
+    STEP_ESCAPE_FLUSH,
+    STEP_PATCH_ESCAPES,
+    STEP_PATCH_REGISTERS,
+    STEP_REBASE_TRACKING,
+    STEP_RESERVE,
+)
 from repro.runtime.allocation_table import Allocation, AllocationTable
 from repro.runtime.escape_map import AllocationToEscapeMap
 from repro.runtime.regions import RegionSet
 
 PAGE_SIZE = 4096
+
+
+def _no_hook(step: str, progress: Optional[Tuple[int, int]] = None) -> None:
+    """Default fault hook: a move outside a transaction has no fault
+    surface."""
 
 
 def page_down(address: int) -> int:
@@ -49,6 +62,10 @@ class MemoryInterface(Protocol):
     def write_u64(self, address: int, value: int) -> None: ...
 
     def copy(self, src: int, dst: int, length: int) -> None: ...
+
+    def read_bytes(self, address: int, length: int) -> bytes: ...
+
+    def write_bytes(self, address: int, data: bytes) -> None: ...
 
 
 class RegisterSnapshot:
@@ -167,6 +184,38 @@ class Patcher:
         #: region array, so any guard cache keyed on the generation must
         #: be killed here, not only at the later region mutation.
         self.regions = regions
+        #: Optional :class:`~repro.kernel.physmem.FrameAllocator`; when the
+        #: kernel installs it, :meth:`execute_move` refuses an unbacked
+        #: destination up front (see :meth:`_validate_destination`).
+        self.frames = None
+
+    def _validate_destination(self, destination: int, length: int) -> None:
+        """Refuse a destination that is not frame-backed *before* any
+        state is mutated.  Historically a bad destination exploded
+        mid-copy — after the escapes were already swizzled — with a raw
+        low-level error; now it is a structured :class:`MoveError` at the
+        reservation step, with nothing yet to roll back."""
+        size = getattr(self.memory, "size", None)
+        if size is not None and not (0 <= destination and destination + length <= size):
+            raise MoveError(
+                f"destination [{destination:#x}, {destination + length:#x}) "
+                f"is outside physical memory ({size:#x} bytes)",
+                step=STEP_RESERVE,
+                lo=destination,
+                hi=destination + length,
+            )
+        if self.frames is not None:
+            for frame in range(destination // PAGE_SIZE, page_up(destination + length) // PAGE_SIZE):
+                if self.frames.frame_is_free(frame):
+                    raise MoveError(
+                        f"destination frame {frame} "
+                        f"([{destination:#x}, {destination + length:#x})) "
+                        f"is not allocated — refusing to copy into an "
+                        f"unbacked range",
+                        step=STEP_RESERVE,
+                        lo=destination,
+                        hi=destination + length,
+                    )
 
     # -- step 4-6: negotiation ---------------------------------------------------
 
@@ -205,11 +254,22 @@ class Patcher:
         destination: int,
         register_snapshots: Optional[List[RegisterSnapshot]] = None,
         flush_escapes: bool = True,
+        journal=None,
+        fault_hook=None,
     ) -> MoveCost:
         """Patch every escape and register, move the data, rebase the
-        tracking structures.  Returns the cycle cost breakdown."""
+        tracking structures.  Returns the cycle cost breakdown.
+
+        ``journal`` (a :class:`~repro.resilience.journal.MoveJournal`)
+        makes every mutation undoable; ``fault_hook(step, progress)`` is
+        the transaction's fault surface, fired at each step boundary and
+        after every mid-step item (so torn faults can land between two
+        escapes, two register frames, or the two halves of the copy).
+        """
         if destination % PAGE_SIZE:
             raise KernelError("destination must be page-aligned")
+        hook = fault_hook if fault_hook is not None else _no_hook
+        self._validate_destination(destination, plan.length)
         delta = destination - plan.lo
         cost = MoveCost()
         cost.page_expand = plan.expand_lookups * self.costs.expand_lookup + len(
@@ -217,32 +277,64 @@ class Patcher:
         ) * self.costs.expand_lookup // 4
 
         # Escape records are batched; a move forces resolution first.
+        # Resolution is not journaled: it is semantically idempotent (a
+        # rolled-back retry re-flushes to a no-op, and the resolved map is
+        # exactly what a batch-limit flush would have produced anyway).
+        hook(STEP_ESCAPE_FLUSH)
         if flush_escapes:
             self.escapes.flush(self.table, self.memory.read_u64)
 
         # Patch escapes (step 7-8): swizzle every pointer into the source
         # range to its post-move address.
+        hook(STEP_PATCH_ESCAPES)
+        patch_sites = [
+            (allocation, location)
+            for allocation in plan.allocations
+            for location in self.escapes.escapes_of(allocation)
+        ]
         patched_escapes = 0
-        for allocation in plan.allocations:
-            for location in self.escapes.escapes_of(allocation):
-                current = self.memory.read_u64(location)
-                if allocation.address <= current < allocation.end:
-                    self.memory.write_u64(location, current + delta)
-                    patched_escapes += 1
-                # Stale entry (cell was overwritten): skip, drop lazily.
+        for index, (allocation, location) in enumerate(patch_sites):
+            current = self.memory.read_u64(location)
+            if allocation.address <= current < allocation.end:
+                if journal is not None:
+                    journal.log_u64(
+                        STEP_PATCH_ESCAPES, self.memory, location, current
+                    )
+                self.memory.write_u64(location, current + delta)
+                patched_escapes += 1
+            # Stale entry (cell was overwritten): skip, drop lazily.
+            hook(STEP_PATCH_ESCAPES, (index + 1, len(patch_sites)))
         cost.patch_gen_exec = (
             patched_escapes * self.costs.patch_escape
             + len(plan.allocations) * 4  # escape-set lookups
         )
 
         # Patch registers (step 9).
+        hook(STEP_PATCH_REGISTERS)
+        snapshots = register_snapshots or []
         patched_registers = 0
-        for snapshot in register_snapshots or []:
+        for index, snapshot in enumerate(snapshots):
+            if journal is not None:
+                journal.log_registers(STEP_PATCH_REGISTERS, snapshot)
             patched_registers += snapshot.patch(plan.lo, plan.hi, delta)
+            hook(STEP_PATCH_REGISTERS, (index + 1, len(snapshots)))
         cost.register_patch = patched_registers * self.costs.patch_register
 
-        # Move the bytes (step 10).
-        self.memory.copy(plan.lo, destination, plan.length)
+        # Move the bytes (step 10).  Under a journal the copy is split so
+        # a torn fault can land between its halves: the source is read in
+        # full *first* (memmove semantics survive overlapping ranges) and
+        # the destination's prior image is journaled for rollback.
+        hook(STEP_COPY_DATA)
+        if journal is not None:
+            journal.log_image(STEP_COPY_DATA, self.memory, destination, plan.length)
+            image = self.memory.read_bytes(plan.lo, plan.length)
+            half = max(1, plan.length // 2)
+            self.memory.write_bytes(destination, image[:half])
+            hook(STEP_COPY_DATA, (1, 2))
+            self.memory.write_bytes(destination + half, image[half:])
+            hook(STEP_COPY_DATA, (2, 2))
+        else:
+            self.memory.copy(plan.lo, destination, plan.length)
         cost.alloc_and_move = int(
             self.costs.move_alloc_fixed + self.costs.move_per_byte * plan.length
         )
@@ -252,16 +344,49 @@ class Patcher:
         # another's not-yet-rebased base: rebase in delta-directed order so
         # the colliding key is always vacated first, and rekey the escape
         # map as one batch (detach every old key, then install new ones).
+        # The per-allocation undos run newest-first on rollback, which is
+        # the reverse of the delta-directed order — collision-free for the
+        # same reason the forward order is.
+        hook(STEP_REBASE_TRACKING)
         rekeys: List[Tuple[int, int]] = []
-        for allocation in sorted(
+        ordered = sorted(
             plan.allocations, key=lambda a: a.address, reverse=delta > 0
-        ):
+        )
+        for index, allocation in enumerate(ordered):
             old_address = allocation.address
+            if journal is not None:
+                journal.record(
+                    STEP_REBASE_TRACKING,
+                    f"rebase allocation back to {old_address:#x}",
+                    lambda a=allocation, o=old_address: self.table.rebase(a, o),
+                )
             self.table.rebase(allocation, old_address + delta)
             rekeys.append((old_address, allocation.address))
+            hook(STEP_REBASE_TRACKING, (index + 1, len(ordered)))
+        if journal is not None:
+            journal.record(
+                STEP_REBASE_TRACKING,
+                "rekey escape map back to pre-move bases",
+                lambda pairs=[(n, o) for o, n in rekeys]: self.escapes.rekey_all(
+                    pairs
+                ),
+            )
         self.escapes.rekey_all(rekeys)
         # Escape cells that themselves lived in the moved range now sit at
-        # new addresses; rewrite their recorded locations.
+        # new addresses; rewrite their recorded locations.  The undo uses
+        # the *exact* inverse location pairs, not an inverse window — a
+        # window would also drag along stale cells that already sat in the
+        # destination range before the move.
+        if journal is not None:
+            inverse = [
+                (loc + delta, loc)
+                for loc in self.escapes.locations_in_range(plan.lo, plan.hi)
+            ]
+            journal.record(
+                STEP_REBASE_TRACKING,
+                "rewrite escape locations back to the source range",
+                lambda moves=inverse: self.escapes.rewrite_locations(moves),
+            )
         self.escapes.rewrite_range(plan.lo, plan.hi, delta)
         if self.regions is not None:
             self.regions.bump_generation()
@@ -275,44 +400,92 @@ class Patcher:
         destination: int,
         register_snapshots: Optional[List[RegisterSnapshot]] = None,
         flush_escapes: bool = True,
+        journal=None,
+        fault_hook=None,
     ) -> MoveCost:
         """Move one *allocation* (not its pages) — the paper's future-work
         design (Section 6): no page-set negotiation, no expansion, and the
         copy is sized by the allocation, so the entire granularity-
         mismatch cost ("Page Expand" plus most of "Allocation & Movement")
         disappears.  Returns a cost breakdown with ``page_expand == 0``.
+
+        ``journal``/``fault_hook`` work exactly as in :meth:`execute_move`.
         """
         cost = MoveCost()
         delta = destination - allocation.address
         if delta == 0:
             return cost
+        hook = fault_hook if fault_hook is not None else _no_hook
+        hook(STEP_ESCAPE_FLUSH)
         if flush_escapes:
             self.escapes.flush(self.table, self.memory.read_u64)
         lo, hi = allocation.address, allocation.end
 
+        hook(STEP_PATCH_ESCAPES)
+        sites = list(self.escapes.escapes_of(allocation))
         patched = 0
-        for location in self.escapes.escapes_of(allocation):
+        for index, location in enumerate(sites):
             current = self.memory.read_u64(location)
             if lo <= current < hi:
+                if journal is not None:
+                    journal.log_u64(STEP_PATCH_ESCAPES, self.memory, location, current)
                 self.memory.write_u64(location, current + delta)
                 patched += 1
+            hook(STEP_PATCH_ESCAPES, (index + 1, len(sites)))
         cost.patch_gen_exec = patched * self.costs.patch_escape + 4
 
+        hook(STEP_PATCH_REGISTERS)
+        snapshots = register_snapshots or []
         patched_registers = 0
-        for snapshot in register_snapshots or []:
+        for index, snapshot in enumerate(snapshots):
+            if journal is not None:
+                journal.log_registers(STEP_PATCH_REGISTERS, snapshot)
             patched_registers += snapshot.patch(lo, hi, delta)
+            hook(STEP_PATCH_REGISTERS, (index + 1, len(snapshots)))
         cost.register_patch = patched_registers * self.costs.patch_register
 
-        self.memory.copy(lo, destination, allocation.size)
+        hook(STEP_COPY_DATA)
+        if journal is not None:
+            journal.log_image(STEP_COPY_DATA, self.memory, destination, allocation.size)
+            image = self.memory.read_bytes(lo, allocation.size)
+            half = max(1, allocation.size // 2)
+            self.memory.write_bytes(destination, image[:half])
+            hook(STEP_COPY_DATA, (1, 2))
+            self.memory.write_bytes(destination + half, image[half:])
+            hook(STEP_COPY_DATA, (2, 2))
+        else:
+            self.memory.copy(lo, destination, allocation.size)
         cost.alloc_and_move = int(
             self.costs.move_alloc_fixed // 4
             + self.costs.move_per_byte * allocation.size
         )
 
+        hook(STEP_REBASE_TRACKING)
         old_address = allocation.address
+        if journal is not None:
+            journal.record(
+                STEP_REBASE_TRACKING,
+                f"rebase allocation back to {old_address:#x}",
+                lambda a=allocation, o=old_address: self.table.rebase(a, o),
+            )
+            journal.record(
+                STEP_REBASE_TRACKING,
+                f"rekey escape map back to {old_address:#x}",
+                lambda d=destination, o=old_address: self.escapes.rekey(d, o),
+            )
+            inverse = [
+                (loc + delta, loc)
+                for loc in self.escapes.locations_in_range(lo, hi)
+            ]
+            journal.record(
+                STEP_REBASE_TRACKING,
+                "rewrite escape locations back to the old block",
+                lambda moves=inverse: self.escapes.rewrite_locations(moves),
+            )
         self.table.rebase(allocation, destination)
         self.escapes.rekey(old_address, destination)
         self.escapes.rewrite_range(lo, hi, delta)
+        hook(STEP_REBASE_TRACKING, (1, 1))
         # No generation bump: an allocation-granularity move shuffles bytes
         # *within* registered regions, so cached region geometry stays valid.
         return cost

@@ -50,6 +50,8 @@ class RuntimeStats:
     tracking_cycles: int = 0
     world_stops: int = 0
     moves_serviced: int = 0
+    #: Move attempts this runtime rolled back (the transactional path).
+    moves_rolled_back: int = 0
     move_cost_accum: MoveCost = field(default_factory=MoveCost)
     #: Epoch-invalidated region cache telemetry (fast engine only; the
     #: reference engine leaves these at zero).  Cycle accounting is not
@@ -307,6 +309,14 @@ class CaratRuntime:
 
     def resume(self) -> None:
         self._stopped = False
+
+    def on_move_rollback(self) -> None:
+        """A move attempt was rolled back.  Whatever the journal undid,
+        addresses may have changed meaning mid-attempt, so every guard
+        cache keyed on the region generation must be invalidated — the
+        undo restored the *data*, not other agents' memoized lookups."""
+        self.stats.moves_rolled_back += 1
+        self.regions.bump_generation()
 
     @property
     def is_stopped(self) -> bool:

@@ -16,7 +16,16 @@ from repro.sanitizer.checker import (
     InvariantChecker,
     region_geometry_problems,
 )
-from repro.sanitizer.faults import FaultInjector
+from repro.sanitizer.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPoint,
+    InjectedFault,
+    InjectedHang,
+    ProtocolFaultInjector,
+    parse_fault_points,
+    random_fault_schedule,
+)
 from repro.sanitizer.hooks import Sanitizer, SanitizerError
 from repro.sanitizer.shadow import ShadowedEscapeMap, install_escape_shadow
 from repro.sanitizer.violations import (
@@ -28,8 +37,15 @@ from repro.sanitizer.violations import (
 
 __all__ = [
     "CheckContext",
+    "FAULT_KINDS",
     "FaultInjector",
+    "FaultPoint",
+    "InjectedFault",
+    "InjectedHang",
     "InvariantChecker",
+    "ProtocolFaultInjector",
+    "parse_fault_points",
+    "random_fault_schedule",
     "SanitizerReport",
     "Sanitizer",
     "SanitizerError",

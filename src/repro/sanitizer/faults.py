@@ -10,14 +10,29 @@ measuring nothing.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.kernel.pagetable import PAGE_SIZE, PTE
+from repro.resilience.journal import (
+    PAGE_MOVE_STEPS,
+    TORN_CAPABLE_STEPS,
+)
+from repro.resilience.retry import InjectedFault, InjectedHang
 from repro.runtime.patching import RegisterSnapshot
 from repro.runtime.regions import Region
 from repro.sanitizer.shadow import ShadowedEscapeMap
 
-__all__ = ["FaultInjector"]
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPoint",
+    "InjectedFault",
+    "InjectedHang",
+    "ProtocolFaultInjector",
+    "parse_fault_points",
+    "random_fault_schedule",
+]
 
 
 class FaultInjector:
@@ -129,3 +144,166 @@ class FaultInjector:
         frame = self.kernel.frames.alloc()
         self.injected.append(f"leak-frame: frame {frame}")
         return frame
+
+
+# ---------------------------------------------------------------------------
+# Step-targeted protocol fault injection (the resilience campaign)
+# ---------------------------------------------------------------------------
+
+#: The fault classes a :class:`FaultPoint` can inject.
+FAULT_KINDS = ("crash", "hang", "torn")
+
+
+@dataclass
+class FaultPoint:
+    """Fail at Figure 8 step ``step`` on the ``move_index``-th move.
+
+    ``kind`` is one of :data:`FAULT_KINDS`: ``crash`` and ``hang`` fire
+    at step *entry*; ``torn`` fires mid-step, after roughly half the
+    step's items completed (only the steps in
+    :data:`~repro.resilience.journal.TORN_CAPABLE_STEPS` have items).
+    ``move_index`` counts kernel-level change *requests* (retries of one
+    request share its index); ``None`` matches any.  Points are one-shot
+    — consumed when they fire, so the retry succeeds — unless
+    ``persistent``, which re-fires on every retry and exercises the
+    exhaustion/degradation path.
+    """
+
+    step: str
+    kind: str = "crash"
+    move_index: Optional[int] = None
+    persistent: bool = False
+    #: ``hang`` only: how long the stuck step stalls.
+    stall_cycles: int = 1_000_000_000
+    #: ``torn`` only: fire after exactly this many items; ``None`` means
+    #: half the step's items (at least one).
+    torn_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+class ProtocolFaultInjector:
+    """Kills the move protocol at chosen steps, deterministically.
+
+    Attach to a kernel via :meth:`Kernel.attach_fault_injector`.  The
+    transaction layer calls :meth:`begin_move` once per change request
+    and :meth:`on_step` at every step boundary and mid-step progress
+    point.  ``rng`` is a *seeded* ``random.Random`` instance supplied by
+    the caller — this module never touches the ``random`` module's
+    global state — and is only consulted by helpers that build random
+    schedules (:func:`random_fault_schedule`, ``random:N`` CLI specs).
+    """
+
+    def __init__(self, points, rng=None) -> None:
+        self.points: List[FaultPoint] = list(points)
+        self.rng = rng
+        #: Human-readable log of the faults that actually fired.
+        self.fired: List[str] = []
+        self.move_index = -1
+
+    def begin_move(self) -> None:
+        """A new kernel-level change request is starting."""
+        self.move_index += 1
+
+    def on_step(
+        self, step: str, progress: Optional[Tuple[int, int]] = None
+    ) -> None:
+        """Fire any matching fault point.  ``progress`` is ``None`` at a
+        step boundary, or ``(items_done, items_total)`` mid-step."""
+        for point in self.points:
+            if point.step != step:
+                continue
+            if (
+                point.move_index is not None
+                and point.move_index != self.move_index
+            ):
+                continue
+            if point.kind == "torn":
+                if progress is None:
+                    continue
+                done, total = progress
+                if total <= 0:
+                    continue
+                threshold = (
+                    point.torn_after
+                    if point.torn_after is not None
+                    else max(1, total // 2)
+                )
+                if done != threshold:
+                    continue
+            elif progress is not None:
+                continue  # crash/hang fire at step entry only
+            if not point.persistent:
+                self.points.remove(point)
+            self.fired.append(f"{step}:{point.kind}@move{self.move_index}")
+            if point.kind == "hang":
+                raise InjectedHang(step, point.stall_cycles)
+            raise InjectedFault(step, point.kind)
+
+    __call__ = on_step
+
+
+def parse_fault_points(spec: str, rng=None) -> List[FaultPoint]:
+    """Parse a CLI ``--inject-faults`` spec into fault points.
+
+    Comma-separated entries of ``STEP:KIND[:MOVE][:persist]`` — e.g.
+    ``copy-data:crash``, ``patch-escapes:torn:0``,
+    ``region-install:hang:2:persist`` — or ``random:N`` for ``N``
+    rng-drawn points (requires a seeded ``rng``).
+    """
+    points: List[FaultPoint] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if parts[0] == "random":
+            count = int(parts[1]) if len(parts) > 1 else 1
+            if rng is None:
+                raise ValueError("random fault specs need a seeded rng")
+            points.extend(random_fault_schedule(rng, count))
+            continue
+        step = parts[0]
+        kind = parts[1] if len(parts) > 1 else "crash"
+        move_index: Optional[int] = None
+        persistent = False
+        for extra in parts[2:]:
+            if extra == "persist":
+                persistent = True
+            elif extra == "any":
+                move_index = None
+            else:
+                move_index = int(extra)
+        points.append(
+            FaultPoint(
+                step=step,
+                kind=kind,
+                move_index=move_index,
+                persistent=persistent,
+            )
+        )
+    return points
+
+
+def random_fault_schedule(
+    rng, count: int = 1, max_move_index: int = 4
+) -> List[FaultPoint]:
+    """``count`` fault points drawn from a seeded ``random.Random`` —
+    the property-test/CLI source of randomized campaigns."""
+    points: List[FaultPoint] = []
+    for _ in range(count):
+        kind = rng.choice(FAULT_KINDS)
+        step = rng.choice(
+            sorted(TORN_CAPABLE_STEPS) if kind == "torn" else PAGE_MOVE_STEPS
+        )
+        points.append(
+            FaultPoint(
+                step=step,
+                kind=kind,
+                move_index=rng.randrange(max_move_index),
+                persistent=rng.random() < 0.25,
+            )
+        )
+    return points

@@ -64,6 +64,12 @@ class ShadowedEscapeMap:
         self.shadow.rewrite_range(lo, hi, delta)
         return rewritten
 
+    def rewrite_locations(self, moves) -> int:
+        moves = list(moves)
+        rewritten = self._primary.rewrite_locations(moves)
+        self.shadow.rewrite_locations(moves)
+        return rewritten
+
     # -- everything else reads the primary ------------------------------
 
     def __getattr__(self, name: str):

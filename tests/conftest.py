@@ -103,3 +103,35 @@ void main() {
   print_long(total);
 }
 """
+
+
+def machine_fingerprint(kernel, process):
+    """Every piece of machine state a failed move must leave untouched:
+    the byte image, regions, frame allocator, heap metadata, kernel-side
+    maps, the allocation table, and the (flushed) escape map.  The
+    rollback tests assert fingerprint equality across a faulted move."""
+    runtime = process.runtime
+    runtime.flush_escapes()
+    layout = process.layout
+    allocations = sorted(runtime.table, key=lambda a: a.address)
+    return {
+        "memory": bytes(kernel.memory._data),
+        "regions": tuple(
+            (r.base, r.length, r.perms) for r in process.regions
+        ),
+        "frames_free": kernel.frames.free_frames,
+        "free_runs": tuple(kernel.frames.free_runs(None)),
+        "heap": process.heap.snapshot_state() if process.heap else None,
+        "globals": dict(process.globals_map),
+        "layout": (
+            layout.stack_base,
+            layout.globals_base,
+            layout.code_base,
+            layout.heap_base,
+        ),
+        "table": tuple((a.address, a.size) for a in allocations),
+        "escapes": tuple(
+            (a.address, tuple(sorted(runtime.escapes.escapes_of(a))))
+            for a in allocations
+        ),
+    }

@@ -1,0 +1,313 @@
+"""The fault campaign: every Figure 8 step, multiple fault classes.
+
+Each test runs the escape-heavy linked-list program end to end with a
+mid-run move request and a step-targeted fault injected into the
+kernel↔runtime upcall path.  The acceptance bar, per fault:
+
+* a one-shot fault is rolled back and the retry commits — program
+  output is bit-identical to the fault-free run and the sanitizer's
+  recovery-oracle checkpoints stay clean (``sanitize=True`` raises on
+  any violation);
+* a persistent fault exhausts its retries into a structured
+  :class:`~repro.resilience.degrade.MoveFailure` — the range is
+  quarantined, the program still finishes with identical output, and
+  state is never corrupted.
+
+The property test at the bottom drives the reference and fast engines
+through *identical* random fault schedules and asserts the runs are
+observably the same, memory image included.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carat import compile_carat
+from repro.errors import MoveError
+from repro.kernel import Kernel, PAGE_SIZE
+from repro.machine.executor import run_carat
+from repro.resilience import (
+    ALLOCATION_MOVE_STEPS,
+    DegradationManager,
+    PAGE_MOVE_STEPS,
+    PROTECTION_STEPS,
+    RetryPolicy,
+    TORN_CAPABLE_STEPS,
+)
+from repro.sanitizer.faults import (
+    FaultPoint,
+    ProtocolFaultInjector,
+    random_fault_schedule,
+)
+from tests.conftest import LINKED_LIST_SOURCE
+
+EXPECTED_OUTPUT = [str(sum(range(40)))]
+
+#: The page-move campaign matrix: every step sees a crash and a hang
+#: (which the watchdog converts into a retryable timeout); the steps
+#: with mid-step progress also see a torn fault.
+PAGE_MOVE_MATRIX = [
+    (step, kind) for step in PAGE_MOVE_STEPS for kind in ("crash", "hang")
+] + [(step, "torn") for step in sorted(TORN_CAPABLE_STEPS)]
+
+
+@pytest.fixture(scope="module")
+def binary():
+    return compile_carat(LINKED_LIST_SOURCE, module_name="list")
+
+
+def _campaign_run(
+    binary,
+    points,
+    engine="reference",
+    operation="page-move",
+    max_attempts=None,
+    degradation=None,
+):
+    """One end-to-end run: a tick hook requests one move mid-program;
+    ``points`` go to a fresh injector.  Returns (result, kernel,
+    injector, errors-caught-by-the-hook)."""
+    kernel = Kernel()
+    if max_attempts is not None:
+        kernel.retry_policy = RetryPolicy(max_attempts=max_attempts)
+    injector = ProtocolFaultInjector([replace(p) for p in points])
+    kernel.attach_fault_injector(injector)
+    if degradation is not None:
+        kernel.attach_degradation(degradation)
+    caught = []
+    done = []
+
+    def setup(interpreter):
+        interpreter.set_tick_interval(200)
+        previous = interpreter.tick_hook
+
+        def hook(interp):
+            if previous is not None:
+                previous(interp)
+            if done or interp.stats.instructions < 600:
+                return
+            done.append(True)
+            process = interp.process
+            victim = process.runtime.worst_case_allocation()
+            snaps = interp.register_snapshots()
+            try:
+                if operation == "page-move":
+                    kernel.request_page_move(
+                        process,
+                        victim.address & ~(PAGE_SIZE - 1),
+                        register_snapshots=snaps,
+                    )
+                elif operation == "allocation-move":
+                    kernel.request_allocation_move(
+                        process, victim, register_snapshots=snaps
+                    )
+                else:  # protection change: flip the stack RW -> RWX (no-op
+                    # permission-wise is not allowed, so re-grant RWX over RW)
+                    from repro.runtime.regions import PERM_RW, PERM_RWX
+
+                    base = process.layout.stack_base
+                    kernel.request_protection_change(
+                        process, base, PAGE_SIZE, PERM_RW
+                    )
+                    kernel.request_protection_change(
+                        process, base, PAGE_SIZE, PERM_RWX
+                    )
+                interp.apply_snapshots(snaps)
+            except MoveError as exc:
+                caught.append(exc)
+
+        interpreter.tick_hook = hook
+
+    result = run_carat(binary, kernel=kernel, setup=setup, sanitize=True,
+                       engine=engine)
+    assert done, "the campaign hook never fired"
+    return result, kernel, injector, caught
+
+
+# ---------------------------------------------------------------------------
+# One-shot faults: rollback, retry, commit — output identical.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("step,kind", PAGE_MOVE_MATRIX)
+def test_one_shot_page_move_fault_recovers(binary, engine, step, kind):
+    result, kernel, injector, caught = _campaign_run(
+        binary, [FaultPoint(step, kind)], engine=engine
+    )
+    assert injector.fired == [f"{step}:{kind}@move0"]
+    assert caught == []  # the retry committed; the caller never saw it
+    assert result.exit_code == 0
+    assert result.output == EXPECTED_OUTPUT
+    assert kernel.stats.moves_attempted == 2
+    assert kernel.stats.moves_committed == 1
+    assert kernel.stats.moves_rolled_back == 1
+    assert kernel.stats.move_retries == 1
+    assert kernel.stats.backoff_cycles > 0
+
+
+@pytest.mark.parametrize(
+    "step,kind",
+    [(step, kind) for step in ALLOCATION_MOVE_STEPS for kind in ("crash", "hang")],
+)
+def test_one_shot_allocation_move_fault_recovers(binary, step, kind):
+    result, kernel, injector, caught = _campaign_run(
+        binary, [FaultPoint(step, kind)], operation="allocation-move"
+    )
+    assert injector.fired == [f"{step}:{kind}@move0"]
+    assert caught == []
+    assert result.output == EXPECTED_OUTPUT
+    assert kernel.stats.moves_committed == 1
+    assert kernel.stats.moves_rolled_back == 1
+
+
+@pytest.mark.parametrize(
+    "step,kind",
+    [(step, kind) for step in PROTECTION_STEPS for kind in ("crash", "hang")],
+)
+def test_one_shot_protection_change_fault_recovers(binary, step, kind):
+    result, kernel, injector, caught = _campaign_run(
+        binary, [FaultPoint(step, kind)], operation="protection-change"
+    )
+    assert injector.fired[0] == f"{step}:{kind}@move0"
+    assert caught == []
+    assert result.output == EXPECTED_OUTPUT
+    assert kernel.stats.moves_rolled_back == 1
+    assert kernel.stats.carat_protection_changes == 2  # both changes landed
+
+
+# ---------------------------------------------------------------------------
+# Persistent faults: exhaustion, structured failure, graceful degradation.
+# ---------------------------------------------------------------------------
+
+PERSISTENT_STEPS = [
+    "reserve-destination",
+    "patch-escapes",
+    "copy-data",
+    "region-install",
+    "release-frames",
+]
+
+
+@pytest.mark.parametrize("step", PERSISTENT_STEPS)
+def test_persistent_fault_degrades_without_corruption(binary, step):
+    manager = DegradationManager()
+    result, kernel, injector, caught = _campaign_run(
+        binary,
+        [FaultPoint(step, "crash", persistent=True)],
+        max_attempts=3,
+        degradation=manager,
+    )
+    # The program is untouched by the failed move: same output, and the
+    # sanitizer's move-rollback checkpoints (sanitize=True) stayed clean.
+    assert result.exit_code == 0
+    assert result.output == EXPECTED_OUTPUT
+    assert len(caught) == 1
+    error = caught[0]
+    assert error.step == step
+    assert error.attempts == 3
+    assert error.failure is manager.failures[0]
+    assert manager.is_quarantined(error.lo, error.hi)
+    assert kernel.stats.moves_attempted == 3
+    assert kernel.stats.moves_committed == 0
+    assert kernel.stats.moves_rolled_back == 3
+    assert kernel.stats.moves_degraded == 1
+    assert len(injector.fired) == 3
+
+
+def test_persistent_hang_exhausts_through_watchdog(binary):
+    manager = DegradationManager()
+    result, kernel, injector, caught = _campaign_run(
+        binary,
+        [FaultPoint("copy-data", "hang", persistent=True)],
+        max_attempts=2,
+        degradation=manager,
+    )
+    assert result.output == EXPECTED_OUTPUT
+    assert len(caught) == 1
+    assert "watchdog" in caught[0].failure.error
+    assert kernel.stats.moves_degraded == 1
+
+
+def test_quarantined_range_refused_at_admission(binary):
+    manager = DegradationManager()
+    result, kernel, _, caught = _campaign_run(
+        binary,
+        [FaultPoint("copy-data", "crash", persistent=True)],
+        max_attempts=2,
+        degradation=manager,
+    )
+    assert result.output == EXPECTED_OUTPUT
+    (error,) = caught
+    attempted = kernel.stats.moves_attempted
+    with pytest.raises(MoveError) as refused:
+        kernel.request_page_move(result.process, error.lo)
+    assert refused.value.step == "admission"
+    assert kernel.stats.moves_attempted == attempted  # refused pre-attempt
+
+
+# ---------------------------------------------------------------------------
+# Property: both engines are identical under identical fault schedules.
+# ---------------------------------------------------------------------------
+
+
+def _scheduled_run(binary, points, engine):
+    kernel = Kernel()
+    injector = ProtocolFaultInjector([replace(p) for p in points])
+    kernel.attach_fault_injector(injector)
+    kernel.attach_degradation(DegradationManager())
+    moved = []
+
+    def setup(interpreter):
+        interpreter.set_tick_interval(200)
+
+        def hook(interp):
+            if len(moved) >= 4:
+                return
+            if interp.stats.instructions < (len(moved) + 1) * 500:
+                return
+            moved.append(True)
+            process = interp.process
+            victim = process.runtime.worst_case_allocation()
+            snaps = interp.register_snapshots()
+            try:
+                kernel.request_page_move(
+                    process,
+                    victim.address & ~(PAGE_SIZE - 1),
+                    register_snapshots=snaps,
+                )
+                interp.apply_snapshots(snaps)
+            except MoveError:
+                pass
+
+        interpreter.tick_hook = hook
+
+    result = run_carat(binary, kernel=kernel, setup=setup, engine=engine)
+    return (
+        result.exit_code,
+        tuple(result.output),
+        bytes(result.kernel.memory._data),
+        result.stats.instructions,
+        result.stats.cycles,
+        kernel.stats.moves_attempted,
+        kernel.stats.moves_committed,
+        kernel.stats.moves_rolled_back,
+        kernel.stats.moves_degraded,
+        kernel.stats.backoff_cycles,
+        tuple(injector.fired),
+    )
+
+
+class TestFaultScheduleDifferential:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_engines_identical_under_random_fault_schedule(self, seed):
+        binary = compile_carat(LINKED_LIST_SOURCE, module_name="list")
+        points = random_fault_schedule(random.Random(seed), count=3)
+        reference = _scheduled_run(binary, points, "reference")
+        fast = _scheduled_run(binary, points, "fast")
+        assert reference == fast
+        assert reference[1] == tuple(EXPECTED_OUTPUT)
