@@ -30,12 +30,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.carat.pipeline import CaratBinary, CompileOptions, compile_carat
-from repro.machine.executor import (
-    RunResult,
-    run_carat,
-    run_carat_baseline,
-    run_traditional,
-)
+from repro.machine.executor import RunResult
+from repro.machine.session import CaratSession, RunConfig
 from repro.workloads import get_workload, workload_names
 
 #: Scale tier for the whole benchmark run; override with
@@ -156,22 +152,27 @@ class RunCache:
             self._binaries[key] = cached
         return cached
 
+    def run_config(self, workload: str, config: str) -> RunConfig:
+        """The :class:`RunConfig` one (workload, configuration) cell runs
+        under — the same object the CLI builds from flags, round-tripped
+        through ``to_dict``/``from_dict`` so serialized experiment
+        configs and live ones provably agree."""
+        run_config = RunConfig(
+            mode="traditional" if config == "traditional" else "carat",
+            guard_mechanism=_guard_mechanism(config),
+            engine=self.engine,
+            name=workload,
+        )
+        return RunConfig.from_dict(run_config.to_dict())
+
     def run(self, workload: str, config: str) -> RunSummary:
         key = (workload, config)
         cached = self._runs.get(key)
         if cached is not None:
             return cached
         binary = self.binary(workload, config)
-        if config == "traditional":
-            result = run_traditional(binary, name=workload, engine=self.engine)
-        else:
-            result = run_carat(
-                binary,
-                guard_mechanism=_guard_mechanism(config),
-                name=workload,
-                engine=self.engine,
-            )
-        summary = RunSummary(result)
+        session = CaratSession(self.run_config(workload, config))
+        summary = RunSummary(session.run(binary))
         self._runs[key] = summary
         return summary
 

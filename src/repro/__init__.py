@@ -9,11 +9,14 @@ structures.
 
 Quickstart::
 
-    from repro import compile_carat, run_carat, run_traditional
+    from repro import CaratSession, RunConfig
 
-    binary = compile_carat(minic_source)
-    result = run_carat(binary)
+    session = CaratSession(RunConfig(mode="carat", engine="fast"))
+    result = session.run(minic_source)
     print(result.output, result.cycles)
+
+(The legacy ``run_carat``/``run_carat_baseline``/``run_traditional``
+helpers still work as thin shims over the session.)
 
 The packages:
 
@@ -47,6 +50,8 @@ __all__ = [
     "compile_baseline",
     "compile_carat",
     "compile_source",
+    "CaratSession",
+    "RunConfig",
     "run_carat",
     "run_carat_baseline",
     "run_traditional",
@@ -55,11 +60,18 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # Executor helpers are lazy: they pull in the kernel/machine stack.
+    # Executor/session helpers are lazy: they pull in the kernel/machine
+    # stack, which imports back into the compiler packages above.
     if name in ("run_carat", "run_carat_baseline", "run_traditional", "RunResult"):
         from repro.machine import executor
 
         value = getattr(executor, name)
+        globals()[name] = value
+        return value
+    if name in ("CaratSession", "RunConfig"):
+        from repro.machine import session
+
+        value = getattr(session, name)
         globals()[name] = value
         return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -17,6 +17,7 @@ every overhead experiment.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
@@ -28,7 +29,10 @@ from repro.carat.tracking import TrackingStats, inject_tracking
 from repro.frontend.lower import compile_source
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
-from repro.transform.pass_manager import optimize_module
+from repro.transform.pass_manager import (
+    module_instruction_count,
+    optimize_module,
+)
 
 
 @dataclass
@@ -71,41 +75,78 @@ class CaratBinary:
         return self.signature is not None
 
 
+@contextmanager
+def _phase(tracer, name: str, module: Module):
+    """A compiler-phase span carrying the IR instruction-count delta
+    (yields a throwaway dict when no tracer is attached)."""
+    if tracer is None:
+        yield {}
+        return
+    size_before = module_instruction_count(module)
+    with tracer.span(f"phase.{name}", "compiler") as end_args:
+        try:
+            yield end_args
+        finally:
+            end_args["ir_delta"] = (
+                module_instruction_count(module) - size_before
+            )
+
+
 def compile_carat(
     program: Union[str, Module],
     options: Optional[CompileOptions] = None,
     module_name: str = "program",
+    tracer=None,
 ) -> CaratBinary:
-    """Compile Mini-C source (or an already-built module) under CARAT."""
+    """Compile Mini-C source (or an already-built module) under CARAT.
+
+    With a :class:`~repro.telemetry.Tracer`, every phase (and every pass
+    inside the optimization phase) becomes a ``compiler`` span with its
+    IR instruction-count delta.
+    """
     options = options or CompileOptions()
     if isinstance(program, str):
-        module = compile_source(program, module_name)
+        if tracer is not None:
+            with tracer.span("phase.frontend", "compiler") as end_args:
+                module = compile_source(program, module_name)
+                end_args["ir_size"] = module_instruction_count(module)
+        else:
+            module = compile_source(program, module_name)
     else:
         module = program
-    check_restrictions(module)
+    with _phase(tracer, "restrictions", module):
+        check_restrictions(module)
 
     if options.optimize:
-        optimize_module(module, verify=options.verify)
+        with _phase(tracer, "optimize", module):
+            optimize_module(module, verify=options.verify, tracer=tracer)
 
     # Tracking is injected before guards so tracking callbacks themselves
     # are never guarded (they are trusted runtime entry points).
     tracking_stats = TrackingStats()
     if options.tracking:
-        tracking_stats = inject_tracking(module)
+        with _phase(tracer, "inject-tracking", module) as end_args:
+            tracking_stats = inject_tracking(module)
+            end_args["callbacks"] = tracking_stats.total
 
     guard_table = GuardTable()
     guard_stats = GuardOptStats()
     if options.guards:
-        inject_guards(module, guard_table)
+        with _phase(tracer, "inject-guards", module) as end_args:
+            inject_guards(module, guard_table)
+            end_args["guards"] = guard_table.total
         if options.carat_guard_opts:
-            guard_stats = optimize_guards(module, guard_table)
+            with _phase(tracer, "optimize-guards", module) as end_args:
+                guard_stats = optimize_guards(module, guard_table)
+                end_args["remaining"] = guard_stats.remaining
         else:
             guard_stats = GuardOptStats(
                 total=guard_table.total, untouched=guard_table.total
             )
 
     if options.verify:
-        verify_module(module)
+        with _phase(tracer, "verify", module):
+            verify_module(module)
 
     metadata: Dict[str, object] = {
         "module": module.name,
@@ -129,11 +170,12 @@ def compile_carat(
 
 
 def compile_baseline(
-    program: Union[str, Module], module_name: str = "program"
+    program: Union[str, Module], module_name: str = "program", tracer=None
 ) -> CaratBinary:
     """The uninstrumented baseline: general optimizations only."""
     return compile_carat(
         program,
         CompileOptions(guards=False, tracking=False, sign=True),
         module_name,
+        tracer=tracer,
     )

@@ -13,29 +13,74 @@ Commands:
   the :class:`~repro.policy.engine.PolicyStats` summary;
 * ``sanitize [NAME]`` — audit workload runs under the cross-layer
   invariant checker (:mod:`repro.sanitizer`) and report violations;
+* ``trace NAME``    — record a structured event trace of one run, export
+  it as JSONL + Chrome ``trace_event`` JSON, and validate it against the
+  schema (the CI trace-smoke job drives this);
+* ``profile NAME``  — run with the cycle-attributed profiler and print
+  the bucket/function/allocation-site breakdown (buckets sum exactly to
+  ``InterpStats.cycles``);
 * ``workloads``     — list the benchmark suite.
 
-``run``, ``bench``, and ``policy`` additionally accept ``--sanitize`` to
-execute under invariant checking: the first error-severity violation
-aborts the run at the operation that corrupted state.
-
-``run``, ``bench``, and ``policy`` also accept ``--engine
-{reference,fast}``: the readable reference interpreter (default) or the
-pre-compiled fast engine (:mod:`repro.machine.fastexec`), which produces
-bit-identical results and semantically identical stats at a multiple of
-the wall-clock speed.  Under ``run --stats --engine fast`` the dispatch-
-and guard-cache counters are reported too.
+Every subcommand is a thin veneer over
+:class:`~repro.machine.session.CaratSession`: flags map 1:1 onto
+:class:`~repro.machine.session.RunConfig` fields via
+``RunConfig.from_args``, so the CLI, the benchmark harness, and library
+callers all drive the same run path.  ``run`` additionally accepts
+``--trace``/``--profile``/``--trace-out`` to attach telemetry to any
+execution.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.carat.pipeline import CompileOptions, compile_baseline, compile_carat
+from repro.carat.pipeline import CompileOptions, compile_carat
 from repro.ir.printer import print_module
+
+
+def _add_engine_flag(parser, help_suffix: str = "") -> None:
+    parser.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default="reference",
+        help="execution engine: readable reference interpreter or the "
+        "pre-compiled fast engine (identical observable behavior)"
+        + help_suffix,
+    )
+
+
+def _add_telemetry_flags(parser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record structured trace events (compiler passes, guard "
+        "faults, Figure-8 steps, policy epochs, move outcomes)",
+    )
+    parser.add_argument(
+        "--trace-detail",
+        choices=["normal", "fine"],
+        default="normal",
+        dest="trace_detail",
+        help="trace granularity; 'fine' adds one instant per guard check "
+        "and tracking callback (small programs only)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PREFIX",
+        dest="trace_out",
+        help="write the trace to PREFIX.jsonl and PREFIX.chrome.json "
+        "(implies --trace)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the cycle-attributed profiler and print the bucket "
+        "breakdown (buckets sum exactly to the cycle total)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,13 +116,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="guard mechanism for carat mode",
     )
     run.add_argument("--max-steps", type=int, default=50_000_000)
-    run.add_argument(
-        "--engine",
-        choices=["reference", "fast"],
-        default="reference",
-        help="execution engine: readable reference interpreter or the "
-        "pre-compiled fast engine (identical observable behavior)",
-    )
+    _add_engine_flag(run)
     run.add_argument("--stats", action="store_true", help="print cycle accounting")
     run.add_argument(
         "--sanitize",
@@ -107,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="attempts per move before it degrades (default: 3)",
     )
+    _add_telemetry_flags(run)
 
     bench = sub.add_parser("bench", help="run one suite workload in all modes")
     bench.add_argument(
@@ -117,12 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--scale", choices=["tiny", "small", "medium"], default="tiny"
     )
-    bench.add_argument(
-        "--engine",
-        choices=["reference", "fast"],
-        default="reference",
-        help="execution engine for every configuration",
-    )
+    _add_engine_flag(bench, " for every configuration")
     bench.add_argument(
         "--sanitize",
         action="store_true",
@@ -137,12 +172,7 @@ def _build_parser() -> argparse.ArgumentParser:
     policy.add_argument(
         "--scale", choices=["tiny", "small", "medium"], default="tiny"
     )
-    policy.add_argument(
-        "--engine",
-        choices=["reference", "fast"],
-        default="reference",
-        help="execution engine (the policy hooks work under both)",
-    )
+    _add_engine_flag(policy, " (the policy hooks work under both)")
     policy.add_argument(
         "--fast-kb",
         type=int,
@@ -229,6 +259,66 @@ def _build_parser() -> argparse.ArgumentParser:
         help="instructions between safepoint checkpoints (default 10000)",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="record, export, and validate a structured trace of one run",
+    )
+    trace.add_argument(
+        "name", help="workload name (see `repro workloads`) or a Mini-C file"
+    )
+    trace.add_argument(
+        "--scale", choices=["tiny", "small", "medium"], default="tiny"
+    )
+    trace.add_argument(
+        "--mode",
+        choices=["carat", "baseline", "traditional"],
+        default="carat",
+        help="execution model (default: carat)",
+    )
+    _add_engine_flag(trace)
+    trace.add_argument(
+        "--detail",
+        choices=["normal", "fine"],
+        default="normal",
+        dest="trace_detail",
+        help="trace granularity ('fine' adds per-guard-check instants)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace",
+        metavar="PREFIX",
+        help="output prefix: writes PREFIX.jsonl and PREFIX.chrome.json "
+        "(default: trace)",
+    )
+    trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="also attach the cycle profiler and print its breakdown",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run with the cycle-attributed profiler and print the breakdown",
+    )
+    profile.add_argument(
+        "name", help="workload name (see `repro workloads`) or a Mini-C file"
+    )
+    profile.add_argument(
+        "--scale", choices=["tiny", "small", "medium"], default="tiny"
+    )
+    profile.add_argument(
+        "--mode",
+        choices=["carat", "baseline", "traditional"],
+        default="carat",
+        help="execution model (default: carat)",
+    )
+    _add_engine_flag(profile)
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full carat.profile.v1 document as JSON",
+    )
+
     sub.add_parser("workloads", help="list the benchmark suite")
     return parser
 
@@ -238,6 +328,17 @@ def _read_source(path: str) -> str:
     if not file.exists():
         raise SystemExit(f"repro: no such file: {path}")
     return file.read_text()
+
+
+def _resolve_program(args: argparse.Namespace):
+    """``NAME`` is a Mini-C file path if one exists, else a suite
+    workload resolved at ``--scale``.  Returns (source, display name)."""
+    if Path(args.name).exists():
+        return _read_source(args.name), Path(args.name).stem
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.name, args.scale)
+    return workload.source, workload.name
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -265,63 +366,15 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.machine.executor import (
-        run_carat,
-        run_carat_baseline,
-        run_traditional,
-    )
+    from repro.machine.session import CaratSession, RunConfig
 
     source = _read_source(args.file)
     name = Path(args.file).stem
-    faulting = args.inject_faults or args.max_retries is not None
-    if faulting and args.mode != "carat":
+    config = RunConfig.from_args(args, name=name)
+    if config.faulting and config.mode != "carat":
         print("--inject-faults/--max-retries require --mode carat", file=sys.stderr)
         return 2
-    if args.mode == "carat":
-        kernel = None
-        if faulting:
-            import random
-
-            from repro.kernel.kernel import Kernel
-            from repro.resilience import DegradationManager, RetryPolicy
-            from repro.sanitizer import ProtocolFaultInjector, parse_fault_points
-
-            kernel = Kernel()
-            if args.max_retries is not None:
-                kernel.retry_policy = RetryPolicy(max_attempts=args.max_retries)
-            if args.inject_faults:
-                rng = random.Random(args.fault_seed)
-                kernel.attach_fault_injector(
-                    ProtocolFaultInjector(
-                        parse_fault_points(args.inject_faults, rng), rng
-                    )
-                )
-            kernel.attach_degradation(DegradationManager())
-        result = run_carat(
-            source,
-            kernel=kernel,
-            guard_mechanism=args.guard,
-            max_steps=args.max_steps,
-            name=name,
-            sanitize=args.sanitize,
-            engine=args.engine,
-        )
-    elif args.mode == "baseline":
-        result = run_carat_baseline(
-            source,
-            max_steps=args.max_steps,
-            name=name,
-            sanitize=args.sanitize,
-            engine=args.engine,
-        )
-    else:
-        result = run_traditional(
-            source,
-            max_steps=args.max_steps,
-            name=name,
-            sanitize=args.sanitize,
-            engine=args.engine,
-        )
+    result = CaratSession(config).run(source)
     for line in result.output:
         print(line)
     if args.sanitize and result.sanitizer is not None:
@@ -385,32 +438,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"-- dtlb         : {result.dtlb_mpki():.3f} misses/1K insts",
                 file=sys.stderr,
             )
+    if result.tracer is not None:
+        summary = result.tracer.summary()
+        print(
+            f"-- trace        : {summary['total']} events"
+            + (f" -> {config.trace_out}.jsonl" if config.trace_out else ""),
+            file=sys.stderr,
+        )
+    if result.profile is not None:
+        result.profile.assert_reconciles(result.stats)
+        print("-- profile --", file=sys.stderr)
+        print(result.profile.report(), file=sys.stderr)
     return result.exit_code
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.machine.executor import (
-        run_carat,
-        run_carat_baseline,
-        run_traditional,
-    )
+    from repro.machine.session import CaratSession, RunConfig
     from repro.workloads import get_workload
 
     if args.name is None:
         return _cmd_workloads(args)
     workload = get_workload(args.name, args.scale)
-    base = run_carat_baseline(
-        workload.source, name=workload.name, sanitize=args.sanitize,
-        engine=args.engine,
-    )
-    carat = run_carat(
-        workload.source, name=workload.name, sanitize=args.sanitize,
-        engine=args.engine,
-    )
-    trad = run_traditional(
-        workload.source, name=workload.name, sanitize=args.sanitize,
-        engine=args.engine,
-    )
+
+    def run_mode(mode: str):
+        config = RunConfig.from_args(args, mode=mode, name=workload.name)
+        return CaratSession(config).run(workload.source)
+
+    base = run_mode("baseline")
+    carat = run_mode("carat")
+    trad = run_mode("traditional")
     assert base.output == carat.output == trad.output
     print(f"workload    : {workload.name} ({workload.suite}, {args.scale})")
     print(f"behavior    : {workload.behavior}")
@@ -427,7 +483,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_policy(args: argparse.Namespace) -> int:
     from repro.kernel.kernel import Kernel
-    from repro.machine.executor import run_carat
+    from repro.machine.session import CaratSession, RunConfig
     from repro.policy import (
         CompactionDaemon,
         HeatTracker,
@@ -436,6 +492,7 @@ def _cmd_policy(args: argparse.Namespace) -> int:
         assess_fragmentation,
         scatter_capsule,
     )
+    from repro.resilience import DegradationManager
     from repro.workloads import get_workload
 
     workload = get_workload(args.name, args.scale)
@@ -444,21 +501,8 @@ def _cmd_policy(args: argparse.Namespace) -> int:
         memory_size=args.memory_kb * 1024,
         fast_memory=fast if fast else None,
     )
-    if args.max_retries is not None:
-        from repro.resilience import RetryPolicy
-
-        kernel.retry_policy = RetryPolicy(max_attempts=args.max_retries)
-    if args.inject_faults:
-        import random
-
-        from repro.sanitizer import ProtocolFaultInjector, parse_fault_points
-
-        rng = random.Random(args.fault_seed)
-        kernel.attach_fault_injector(
-            ProtocolFaultInjector(parse_fault_points(args.inject_faults, rng), rng)
-        )
-    from repro.resilience import DegradationManager
-
+    # Policy runs always degrade gracefully on exhausted moves; the
+    # session layers the config-driven retry/injector wiring on top.
     kernel.attach_degradation(DegradationManager())
     engine: Optional[PolicyEngine] = None
     frag_before = None
@@ -491,18 +535,17 @@ def _cmd_policy(args: argparse.Namespace) -> int:
         )
         engine.attach(interpreter)
 
-    result = run_carat(
-        workload.source,
-        kernel=kernel,
+    config = RunConfig.from_args(
+        args,
+        mode="carat",
         name=workload.name,
         # Modest capsule so it fits the slow tier of the default 8 MiB
         # machine (suite workloads at these scales need far less).
         heap_size=512 * 1024,
         stack_size=128 * 1024,
-        setup=setup,
-        sanitize=args.sanitize,
-        engine=args.engine,
     )
+    session = CaratSession(config, kernel=kernel, setup=setup)
+    result = session.run(workload.source)
     assert engine is not None and frag_before is not None
     frag_after = assess_fragmentation(kernel.frames)
     stats = engine.stats
@@ -533,7 +576,7 @@ def _cmd_policy(args: argparse.Namespace) -> int:
 
 
 def _cmd_sanitize(args: argparse.Namespace) -> int:
-    from repro.machine.executor import run_carat, run_traditional
+    from repro.machine.session import CaratSession, RunConfig
     from repro.sanitizer import Sanitizer
     from repro.workloads import all_workloads, get_workload
 
@@ -542,7 +585,6 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     else:
         workloads = [get_workload(args.name, args.scale)]
     modes = ["carat", "traditional"] if args.mode == "both" else [args.mode]
-    runners = {"carat": run_carat, "traditional": run_traditional}
 
     failures = 0
     print(f"{'workload':14s} {'mode':12s} {'checks':>7s} {'errors':>7s} "
@@ -550,15 +592,12 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     for workload in workloads:
         for mode in modes:
             sanitizer = Sanitizer(raise_on_violation=False)
-            extra = {}
+            setup = None
             if mode == "carat":
-                extra["setup"] = lambda i: i.set_tick_interval(args.tick_interval)
-            result = runners[mode](
-                workload.source,
-                name=workload.name,
-                sanitizer=sanitizer,
-                **extra,
-            )
+                setup = lambda i: i.set_tick_interval(args.tick_interval)
+            config = RunConfig.from_args(args, mode=mode, name=workload.name)
+            session = CaratSession(config, sanitizer=sanitizer, setup=setup)
+            result = session.run(workload.source)
             report = sanitizer.report
             verdict = "clean" if sanitizer.ok else "VIOLATIONS"
             if not sanitizer.ok or result.exit_code != 0:
@@ -572,6 +611,64 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     if failures:
         print(f"{failures} audited run(s) failed")
     return 1 if failures else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.machine.session import CaratSession, RunConfig
+    from repro.telemetry import validate_jsonl
+
+    source, name = _resolve_program(args)
+    config = RunConfig.from_args(
+        args, name=name, trace=True, trace_out=args.out
+    )
+    result = CaratSession(config).run(source)
+    tracer = result.tracer
+    summary = tracer.summary()
+    jsonl_path = f"{args.out}.jsonl"
+    chrome_path = f"{args.out}.chrome.json"
+    errors = validate_jsonl(jsonl_path)
+    print(f"workload    : {name} ({config.mode}, {config.engine})")
+    print(f"output      : {result.output[-1] if result.output else ''}")
+    categories = ", ".join(
+        f"{cat} {count}"
+        for cat, count in sorted(summary.items())
+        if cat not in ("total", "dropped")
+    )
+    print(f"trace       : {summary['total']} events ({categories})")
+    if tracer.dropped:
+        print(f"dropped     : {tracer.dropped} events (buffer full)")
+    print(f"jsonl       : {jsonl_path}")
+    print(f"chrome      : {chrome_path}")
+    if errors:
+        print(f"schema      : INVALID ({len(errors)} errors)")
+        for error in errors[:10]:
+            print(f"    {error}")
+        return 1
+    print("schema      : valid")
+    if result.profile is not None:
+        result.profile.assert_reconciles(result.stats)
+        print()
+        print(result.profile.report())
+    return result.exit_code
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.machine.session import CaratSession, RunConfig
+
+    source, name = _resolve_program(args)
+    config = RunConfig.from_args(args, name=name, profile=True)
+    result = CaratSession(config).run(source)
+    profile = result.profile
+    profile.assert_reconciles(result.stats)
+    if args.json:
+        print(json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+        return result.exit_code
+    print(f"workload    : {name} ({config.mode}, {config.engine})")
+    print(f"output      : {result.output[-1] if result.output else ''}")
+    print(f"cycles      : {result.cycles} (buckets reconcile exactly)")
+    print()
+    print(profile.report())
+    return result.exit_code
 
 
 def _cmd_workloads(_args: argparse.Namespace) -> int:
@@ -591,6 +688,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "policy": _cmd_policy,
         "sanitize": _cmd_sanitize,
+        "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "workloads": _cmd_workloads,
     }
     return handlers[args.command](args)

@@ -15,6 +15,7 @@ process side by side:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -90,6 +91,10 @@ class KernelStats:
     move_retries: int = 0
     backoff_cycles: int = 0
 
+    def to_dict(self) -> dict:
+        """Uniform telemetry schema (``repro.telemetry.metrics``)."""
+        return dataclasses.asdict(self)
+
 
 class Kernel:
     def __init__(
@@ -140,10 +145,17 @@ class Kernel:
         #: instead of propagating, and admission refuses quarantined
         #: ranges up front.
         self.degradation = None
+        #: Attached :class:`~repro.telemetry.Tracer`; every Figure-8
+        #: protocol step lands in it as an instant event.
+        self.tracer = None
 
     def _trace(self, step: int, message: str) -> None:
         if self.trace_protocol:
             self.protocol_trace.append(f"step {step:2d}: {message}")
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"fig8.step{step:02d}", "protocol", {"detail": message}
+            )
 
     def _sanitize(self, label: str) -> None:
         if self.sanitizer is not None:
@@ -577,6 +589,12 @@ class Kernel:
         exhausted moves then quarantine their range (pinning its pages)
         and record a structured failure instead of propagating raw."""
         self.degradation = manager
+
+    def attach_tracer(self, tracer) -> None:
+        """Install a :class:`~repro.telemetry.Tracer`: Figure-8 steps and
+        transactional-move outcomes become structured trace events.  The
+        tracer observes only — it never charges a cycle anywhere."""
+        self.tracer = tracer
 
     def advance_clock(self, cycles: int) -> None:
         self.clock_cycles += cycles

@@ -3,7 +3,8 @@
 * :mod:`repro.machine.costs` — the calibrated cycle cost model
 * :mod:`repro.machine.interp` — the reference IR interpreter (both modes)
 * :mod:`repro.machine.fastexec` — the pre-compiled fast execution engine
-* :mod:`repro.machine.executor` — compile/load/run one-liners
+* :mod:`repro.machine.executor` — compile/load/run one-liners (legacy shims)
+* :mod:`repro.machine.session` — the session API: RunConfig + CaratSession
 
 The executor/interpreter names are loaded lazily (PEP 562) because the
 kernel package imports :mod:`repro.machine.costs` while the executor
@@ -15,6 +16,8 @@ from repro.machine.costs import DEFAULT_COSTS, CostModel
 __all__ = [
     "DEFAULT_COSTS",
     "CostModel",
+    "CaratSession",
+    "RunConfig",
     "RunResult",
     "run_carat",
     "run_carat_baseline",
@@ -29,6 +32,8 @@ __all__ = [
 ]
 
 _LAZY = {
+    "CaratSession": "repro.machine.session",
+    "RunConfig": "repro.machine.session",
     "RunResult": "repro.machine.executor",
     "run_carat": "repro.machine.executor",
     "run_carat_baseline": "repro.machine.executor",

@@ -1,6 +1,8 @@
 """High-level execution helpers: compile, load, run, collect stats.
 
-These are the entry points examples and experiment harnesses use:
+These are the *legacy* entry points examples and experiment harnesses
+use; since the session redesign they are thin shims over
+:class:`repro.machine.session.CaratSession`:
 
 * :func:`run_carat` — full CARAT treatment on physical addressing;
 * :func:`run_carat_baseline` — the *CARAT baseline*: the same program with
@@ -8,6 +10,12 @@ These are the entry points examples and experiment harnesses use:
   every overhead figure);
 * :func:`run_traditional` — the paging model with TLBs and pagewalks
   (Figure 2's measurement configuration).
+
+The signatures are preserved exactly, but explicitly passing any of the
+sprawling tuning kwargs (guard mechanism, engine, sizes, ...) emits a
+``DeprecationWarning`` — new code should build a
+:class:`~repro.machine.session.RunConfig` and call
+``CaratSession(config).run(program)`` instead.
 
 All three accept ``sanitize=True`` to run under the cross-layer
 invariant checker (:mod:`repro.sanitizer`): checkpoints fire after every
@@ -19,6 +27,9 @@ caused it.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, Union
 
@@ -38,6 +49,10 @@ from repro.sanitizer import Sanitizer
 #: the pre-compiled fast engine (identical observable behavior; see
 #: :mod:`repro.machine.fastexec`).
 ENGINES = {"reference": Interpreter, "fast": FastInterpreter}
+
+#: Sentinel distinguishing "caller explicitly passed this kwarg" from
+#: "caller took the default" — the shims only warn on the former.
+_UNSET = object()
 
 
 def _interpreter_class(engine: str) -> type:
@@ -62,6 +77,11 @@ class RunResult:
     binary: CaratBinary
     #: The sanitizer that audited the run (``None`` unless requested).
     sanitizer: Optional[Sanitizer] = None
+    #: Telemetry attached by the session (``None`` unless requested):
+    #: the event tracer, the cycle profiler, and the RunConfig used.
+    tracer: Optional[object] = None
+    profile: Optional[object] = None
+    config: Optional[object] = None
 
     @property
     def cycles(self) -> int:
@@ -81,6 +101,30 @@ class RunResult:
         if self.process.runtime is None:
             return 0
         return self.process.runtime.tracking_footprint_bytes()
+
+    def fingerprint(self) -> str:
+        """Digest of the run's observable behavior: exit code, printed
+        output, and every modeled counter.  Two runs of the same program
+        under the same config must produce equal fingerprints regardless
+        of which API (shim or session) launched them — the parity tests
+        assert exactly that."""
+        stats = self.stats
+        payload = {
+            "exit_code": self.exit_code,
+            "output": list(self.output),
+            "instructions": stats.instructions,
+            "cycles": stats.cycles,
+            "loads": stats.loads,
+            "stores": stats.stores,
+            "calls": stats.calls,
+            "translation_cycles": stats.translation_cycles,
+            "guard_cycles": stats.guard_cycles,
+            "tracking_cycles": stats.tracking_cycles,
+            "page_fault_cycles": stats.page_fault_cycles,
+            "tier_cycles": stats.tier_cycles,
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
 
 
 def _as_binary(
@@ -103,20 +147,38 @@ def _make_sanitizer(
     return active
 
 
+def _legacy_config(mode: str, **maybe_set):
+    """Fold explicitly-passed legacy kwargs into a RunConfig, warning
+    once per call when any sprawling kwarg was supplied."""
+    from repro.machine.session import RunConfig
+
+    explicit = {
+        key: value for key, value in maybe_set.items() if value is not _UNSET
+    }
+    if explicit:
+        warnings.warn(
+            f"passing {sorted(explicit)} to run_* helpers is deprecated; "
+            "build a RunConfig and use CaratSession instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return RunConfig(mode=mode, **explicit)
+
+
 def run_carat(
     program: Union[str, CaratBinary],
     kernel: Optional[Kernel] = None,
-    guard_mechanism: str = "mpx",
+    guard_mechanism=_UNSET,
     options: Optional[CompileOptions] = None,
-    entry: str = "main",
-    max_steps: int = 50_000_000,
-    heap_size: int = DEFAULT_HEAP,
-    stack_size: int = DEFAULT_STACK,
-    name: str = "program",
+    entry=_UNSET,
+    max_steps=_UNSET,
+    heap_size=_UNSET,
+    stack_size=_UNSET,
+    name=_UNSET,
     setup: Optional[Callable[[Interpreter], None]] = None,
-    sanitize: bool = False,
+    sanitize=_UNSET,
     sanitizer: Optional[Sanitizer] = None,
-    engine: str = "reference",
+    engine=_UNSET,
 ) -> RunResult:
     """Compile (if needed), load, and run a program under CARAT.
 
@@ -127,50 +189,14 @@ def run_carat(
     ``sanitize=True`` audits the run with a fresh
     :class:`~repro.sanitizer.hooks.Sanitizer`; pass ``sanitizer=`` to
     supply a configured one instead (implies auditing).
+
+    Deprecated shim — prefer ``CaratSession(RunConfig(...)).run(...)``.
     """
-    binary = _as_binary(program, options, name)
-    kernel = kernel or Kernel()
-    active = _make_sanitizer(sanitize, sanitizer, kernel)
-    process = kernel.load_carat(
-        binary,
-        heap_size=heap_size,
-        stack_size=stack_size,
+    from repro.machine.session import CaratSession
+
+    config = _legacy_config(
+        "carat",
         guard_mechanism=guard_mechanism,
-    )
-    interpreter = _interpreter_class(engine)(process, kernel)
-    if active is not None:
-        active.attach_interpreter(interpreter)
-    if setup is not None:
-        setup(interpreter)
-    exit_code = interpreter.run(entry, max_steps=max_steps)
-    if active is not None:
-        active.finish(kernel)
-    return RunResult(
-        exit_code, interpreter.output, interpreter.stats, process, kernel,
-        interpreter, binary, sanitizer=active,
-    )
-
-
-def run_carat_baseline(
-    program: Union[str, CaratBinary],
-    kernel: Optional[Kernel] = None,
-    entry: str = "main",
-    max_steps: int = 50_000_000,
-    heap_size: int = DEFAULT_HEAP,
-    stack_size: int = DEFAULT_STACK,
-    name: str = "program",
-    sanitize: bool = False,
-    engine: str = "reference",
-) -> RunResult:
-    """The uninstrumented program on physical addressing."""
-    binary = (
-        program
-        if isinstance(program, CaratBinary)
-        else compile_baseline(program, module_name=name)
-    )
-    return run_carat(
-        binary,
-        kernel=kernel,
         entry=entry,
         max_steps=max_steps,
         heap_size=heap_size,
@@ -179,38 +205,71 @@ def run_carat_baseline(
         sanitize=sanitize,
         engine=engine,
     )
+    session = CaratSession(
+        config, kernel=kernel, sanitizer=sanitizer, setup=setup
+    )
+    return session.run(program, options=options)
+
+
+def run_carat_baseline(
+    program: Union[str, CaratBinary],
+    kernel: Optional[Kernel] = None,
+    entry=_UNSET,
+    max_steps=_UNSET,
+    heap_size=_UNSET,
+    stack_size=_UNSET,
+    name=_UNSET,
+    sanitize=_UNSET,
+    sanitizer: Optional[Sanitizer] = None,
+    engine=_UNSET,
+) -> RunResult:
+    """The uninstrumented program on physical addressing.
+
+    Deprecated shim — prefer ``CaratSession`` with ``mode="baseline"``.
+    """
+    from repro.machine.session import CaratSession
+
+    config = _legacy_config(
+        "baseline",
+        entry=entry,
+        max_steps=max_steps,
+        heap_size=heap_size,
+        stack_size=stack_size,
+        name=name,
+        sanitize=sanitize,
+        engine=engine,
+    )
+    session = CaratSession(config, kernel=kernel, sanitizer=sanitizer)
+    return session.run(program)
 
 
 def run_traditional(
     program: Union[str, CaratBinary],
     kernel: Optional[Kernel] = None,
-    entry: str = "main",
-    max_steps: int = 50_000_000,
-    heap_size: int = DEFAULT_HEAP,
-    stack_size: int = DEFAULT_STACK,
-    name: str = "program",
-    sanitize: bool = False,
+    entry=_UNSET,
+    max_steps=_UNSET,
+    heap_size=_UNSET,
+    stack_size=_UNSET,
+    name=_UNSET,
+    sanitize=_UNSET,
     sanitizer: Optional[Sanitizer] = None,
-    engine: str = "reference",
+    engine=_UNSET,
 ) -> RunResult:
-    """The paging model: uninstrumented binary, MMU on every data access."""
-    binary = (
-        program
-        if isinstance(program, CaratBinary)
-        else compile_baseline(program, module_name=name)
+    """The paging model: uninstrumented binary, MMU on every data access.
+
+    Deprecated shim — prefer ``CaratSession`` with ``mode="traditional"``.
+    """
+    from repro.machine.session import CaratSession
+
+    config = _legacy_config(
+        "traditional",
+        entry=entry,
+        max_steps=max_steps,
+        heap_size=heap_size,
+        stack_size=stack_size,
+        name=name,
+        sanitize=sanitize,
+        engine=engine,
     )
-    kernel = kernel or Kernel()
-    active = _make_sanitizer(sanitize, sanitizer, kernel)
-    process = kernel.load_traditional(
-        binary, heap_size=heap_size, stack_size=stack_size
-    )
-    interpreter = _interpreter_class(engine)(process, kernel)
-    if active is not None:
-        active.attach_interpreter(interpreter)
-    exit_code = interpreter.run(entry, max_steps=max_steps)
-    if active is not None:
-        active.finish(kernel)
-    return RunResult(
-        exit_code, interpreter.output, interpreter.stats, process, kernel,
-        interpreter, binary, sanitizer=active,
-    )
+    session = CaratSession(config, kernel=kernel, sanitizer=sanitizer)
+    return session.run(program)

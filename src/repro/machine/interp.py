@@ -20,6 +20,7 @@ protocol patches (SSA values standing in for the register file).
 from __future__ import annotations
 
 import math
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -124,6 +125,10 @@ class InterpStats:
     def mpki(self, misses: int) -> float:
         return 1000.0 * misses / self.instructions if self.instructions else 0.0
 
+    def to_dict(self) -> dict:
+        """Uniform telemetry schema (``repro.telemetry.metrics``)."""
+        return dataclasses.asdict(self)
+
 
 class _Frame:
     __slots__ = (
@@ -195,6 +200,12 @@ class Interpreter:
         #: every load/store when installed (the policy engine's heat
         #: tracker).  ``None`` keeps the hot path unchanged.
         self.access_probe: Optional[Callable[[int, int, str], None]] = None
+        #: Attached :class:`~repro.telemetry.CycleProfiler` (set by its
+        #: ``attach``).  The reference engine is profiled by wrapping
+        #: ``_execute`` on the instance; the fast engine's loop checks
+        #: this attribute and switches to its mirrored profiled loop.
+        #: ``None`` keeps both hot paths byte-identical to pre-telemetry.
+        self.profiler = None
         #: Fast/slow tier boundary for tier-cost accounting.  Addresses
         #: are physical only in CARAT mode, so tier charging is CARAT-only.
         self._tier_boundary: Optional[int] = (

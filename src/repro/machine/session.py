@@ -1,0 +1,323 @@
+"""The session API: one frozen config, one facade, one run path.
+
+Four PRs of growth left ``executor.py`` with three 10+-kwarg entry
+points and the CLI re-implementing kernel/fault wiring by hand.  This
+module is the redesign:
+
+* :class:`RunConfig` — a frozen dataclass naming every knob a run has
+  (model, guard mechanism, engine, capsule sizes, sanitizing, fault
+  injection, telemetry).  ``from_args``/``to_dict``/``from_dict`` give
+  the CLI and the benchmark harness one lossless round-trip.
+* :class:`CaratSession` — the facade that owns the whole lifecycle:
+  compile (tracing pass deltas), build/wire the kernel (retry policy,
+  fault injector, degradation), load, attach sanitizer/profiler/tracer,
+  run, close the books, export traces.
+
+``run_carat`` / ``run_carat_baseline`` / ``run_traditional`` in
+:mod:`repro.machine.executor` survive as thin shims over this class
+(signatures preserved; explicit use of the sprawling kwargs raises a
+``DeprecationWarning`` pointing here).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.carat.pipeline import (
+    CaratBinary,
+    CompileOptions,
+    compile_baseline,
+    compile_carat,
+)
+from repro.kernel.kernel import DEFAULT_HEAP, DEFAULT_STACK, Kernel
+from repro.machine.executor import (
+    ENGINES,
+    RunResult,
+    _interpreter_class,
+    _make_sanitizer,
+)
+from repro.telemetry import CycleProfiler, Tracer
+
+MODES = ("carat", "baseline", "traditional")
+GUARD_MECHANISMS = ("mpx", "binary_search", "if_tree")
+TRACE_DETAILS = ("normal", "fine")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Every knob of one run, in one frozen, serializable place.
+
+    Field-by-field this is the union of the old ``run_*`` kwargs, the
+    CLI flags, and the new telemetry switches; ``from_args`` maps an
+    argparse namespace onto it 1:1 and ``to_dict``/``from_dict`` round-
+    trip it losslessly (asserted by ``tests/test_session.py``).
+    """
+
+    mode: str = "carat"
+    guard_mechanism: str = "mpx"
+    engine: str = "reference"
+    entry: str = "main"
+    max_steps: int = 50_000_000
+    heap_size: int = DEFAULT_HEAP
+    stack_size: int = DEFAULT_STACK
+    name: str = "program"
+    sanitize: bool = False
+    #: Fault-injection spec for the move protocol (``run --inject-faults``
+    #: syntax); ``None`` disables injection.
+    inject_faults: Optional[str] = None
+    fault_seed: int = 1234
+    #: Attempts per move before degradation; ``None`` = kernel default.
+    max_retries: Optional[int] = None
+    #: Telemetry (all opt-in; a disabled run is cycle- and code-path-
+    #: identical to the pre-telemetry behavior).
+    trace: bool = False
+    trace_detail: str = "normal"
+    profile: bool = False
+    #: Path prefix for trace export (written as PREFIX.jsonl and
+    #: PREFIX.chrome.json); implies ``trace``.
+    trace_out: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r} (choose from {MODES})")
+        if self.guard_mechanism not in GUARD_MECHANISMS:
+            raise ValueError(
+                f"unknown guard mechanism {self.guard_mechanism!r} "
+                f"(choose from {GUARD_MECHANISMS})"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r} (choose from {sorted(ENGINES)})"
+            )
+        if self.trace_detail not in TRACE_DETAILS:
+            raise ValueError(
+                f"unknown trace detail {self.trace_detail!r} "
+                f"(choose from {TRACE_DETAILS})"
+            )
+
+    @property
+    def faulting(self) -> bool:
+        return self.inject_faults is not None or self.max_retries is not None
+
+    @property
+    def tracing(self) -> bool:
+        return self.trace or self.trace_out is not None
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown RunConfig fields: {unknown}")
+        return cls(**data)
+
+    def replace(self, **changes) -> "RunConfig":
+        return dataclasses.replace(self, **changes)
+
+    #: argparse dest -> config field, where the names differ.
+    _ARG_ALIASES = {"guard": "guard_mechanism"}
+
+    @classmethod
+    def from_args(cls, args, **overrides) -> "RunConfig":
+        """Build a config from an argparse namespace.  Every namespace
+        attribute that names a config field (directly or via an alias
+        like ``--guard``) is taken; everything else is ignored, so each
+        subcommand can expose just the flags it supports.  ``overrides``
+        win over the namespace."""
+        values: dict = {}
+        fields = {f.name for f in dataclasses.fields(cls)}
+        for attr, field_name in cls._ARG_ALIASES.items():
+            if hasattr(args, attr):
+                values[field_name] = getattr(args, attr)
+        for field_name in fields:
+            if hasattr(args, field_name):
+                values[field_name] = getattr(args, field_name)
+        values.update(overrides)
+        return cls(**values)
+
+
+#: Counters sampled into the trace at every interpreter safepoint.
+def _counter_sample(stats) -> dict:
+    return {
+        "instructions": stats.instructions,
+        "cycles": stats.cycles,
+        "guard_cycles": stats.guard_cycles,
+        "tracking_cycles": stats.tracking_cycles,
+    }
+
+
+class CaratSession:
+    """One configured execution environment; ``run()`` executes programs.
+
+    The session owns kernel construction and the wiring the CLI used to
+    do inline — retry policy, fault injector, degradation manager,
+    sanitizer, tracer, profiler — and preserves the exact attach order
+    of the old ``run_*`` helpers (binary → kernel → sanitizer →
+    load → interpreter → sanitizer → telemetry → setup → run → finish).
+
+    Pass ``kernel=`` to bring a pre-built kernel (the policy subcommand
+    sizes its own tiered machine); the session still layers the
+    config-driven fault wiring on top without clobbering anything
+    already attached.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RunConfig] = None,
+        *,
+        kernel: Optional[Kernel] = None,
+        sanitizer=None,
+        setup: Optional[Callable] = None,
+    ) -> None:
+        self.config = config or RunConfig()
+        self._kernel = kernel
+        self._sanitizer = sanitizer
+        self._setup = setup
+        #: Live after ``run()``: the tracer/profiler of the last run.
+        self.tracer: Optional[Tracer] = None
+        self.profiler: Optional[CycleProfiler] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _compile(
+        self,
+        program: Union[str, CaratBinary],
+        options: Optional[CompileOptions],
+        tracer: Optional[Tracer],
+    ) -> CaratBinary:
+        if isinstance(program, CaratBinary):
+            return program
+        if self.config.mode == "carat":
+            return compile_carat(
+                program, options, module_name=self.config.name, tracer=tracer
+            )
+        return compile_baseline(
+            program, module_name=self.config.name, tracer=tracer
+        )
+
+    def _build_kernel(self) -> Kernel:
+        """The kernel plus the config's resilience wiring (mirrors what
+        ``repro run --inject-faults`` used to assemble by hand)."""
+        kernel = self._kernel if self._kernel is not None else Kernel()
+        config = self.config
+        if config.max_retries is not None:
+            from repro.resilience import RetryPolicy
+
+            kernel.retry_policy = RetryPolicy(max_attempts=config.max_retries)
+        if config.inject_faults:
+            import random
+
+            from repro.sanitizer import ProtocolFaultInjector, parse_fault_points
+
+            rng = random.Random(config.fault_seed)
+            kernel.attach_fault_injector(
+                ProtocolFaultInjector(
+                    parse_fault_points(config.inject_faults, rng), rng
+                )
+            )
+        if config.faulting and kernel.degradation is None:
+            from repro.resilience import DegradationManager
+
+            kernel.attach_degradation(DegradationManager())
+        return kernel
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        program: Union[str, CaratBinary],
+        *,
+        options: Optional[CompileOptions] = None,
+        setup: Optional[Callable] = None,
+    ) -> RunResult:
+        config = self.config
+        tracer = Tracer(detail=config.trace_detail) if config.tracing else None
+        profiler = CycleProfiler() if config.profile else None
+        self.tracer = tracer
+        self.profiler = profiler
+
+        binary = self._compile(program, options, tracer)
+        kernel = self._build_kernel()
+        if tracer is not None:
+            kernel.attach_tracer(tracer)
+        sanitizer = _make_sanitizer(config.sanitize, self._sanitizer, kernel)
+
+        if config.mode == "traditional":
+            process = kernel.load_traditional(
+                binary,
+                heap_size=config.heap_size,
+                stack_size=config.stack_size,
+            )
+        else:
+            process = kernel.load_carat(
+                binary,
+                heap_size=config.heap_size,
+                stack_size=config.stack_size,
+                guard_mechanism=config.guard_mechanism,
+            )
+        interpreter = _interpreter_class(config.engine)(process, kernel)
+        if sanitizer is not None:
+            sanitizer.attach_interpreter(interpreter)
+        if tracer is not None:
+            self._wire_tracer(tracer, interpreter, process)
+        if profiler is not None:
+            profiler.attach(interpreter)
+
+        user_setup = setup if setup is not None else self._setup
+        if user_setup is not None:
+            user_setup(interpreter)
+
+        if tracer is not None:
+            tracer.begin(
+                "session.run",
+                "session",
+                {"mode": config.mode, "engine": config.engine,
+                 "name": binary.name},
+            )
+        try:
+            exit_code = interpreter.run(config.entry, max_steps=config.max_steps)
+        finally:
+            if tracer is not None:
+                tracer.end(
+                    "session.run",
+                    "session",
+                    {"instructions": interpreter.stats.instructions},
+                )
+            if profiler is not None:
+                profiler.finish(interpreter.stats)
+        if sanitizer is not None:
+            sanitizer.finish(kernel)
+        if tracer is not None and config.trace_out is not None:
+            tracer.write_jsonl(f"{config.trace_out}.jsonl")
+            tracer.write_chrome_trace(f"{config.trace_out}.chrome.json")
+        return RunResult(
+            exit_code, interpreter.output, interpreter.stats, process, kernel,
+            interpreter, binary, sanitizer=sanitizer, tracer=tracer,
+            profile=profiler, config=config,
+        )
+
+    def _wire_tracer(self, tracer: Tracer, interpreter, process) -> None:
+        """Switch the tracer onto the machine clock, point the runtime at
+        it, and chain a safepoint counter sampler *under* any tick hook a
+        later ``setup`` (e.g. the policy engine) installs on top."""
+        tracer.set_clock(lambda: interpreter.stats.cycles)
+        runtime = process.runtime
+        if runtime is not None:
+            runtime.tracer = tracer
+        previous = interpreter.tick_hook
+
+        def sample_counters(interp) -> None:
+            if previous is not None:
+                previous(interp)
+            tracer.counter("interp", _counter_sample(interp.stats))
+
+        interpreter.tick_hook = sample_counters

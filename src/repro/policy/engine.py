@@ -171,9 +171,18 @@ class PolicyEngine:
         """One policy epoch: decay heat, then let each daemon spend from
         a shared move budget, then record the after-state."""
         self._in_epoch = True
+        tracer = getattr(self.kernel, "tracer", None)
+        interpreter = self.interpreter
+        cycles_at_entry = (
+            interpreter.stats.cycles if interpreter is not None else 0
+        )
         try:
             stats = self.stats
             stats.epochs += 1
+            if tracer is not None:
+                tracer.begin(
+                    "policy.epoch", "policy", {"epoch": stats.epochs}
+                )
             self.heat.end_epoch()
             budget = EpochBudget(self.budget_cycles)
             # Degraded mode: after a move failure the DegradationManager
@@ -205,3 +214,18 @@ class PolicyEngine:
                     stats.hot_share_history.append(fast / (fast + slow))
         finally:
             self._in_epoch = False
+            if interpreter is not None:
+                # Interpreter cycles charged during the epoch (rolled-up
+                # move/patch costs) are policy spend: let an attached
+                # profiler book them under its ``policy`` bucket instead
+                # of the catch-all ``patching`` remainder.
+                profiler = getattr(interpreter, "profiler", None)
+                epoch_cycles = interpreter.stats.cycles - cycles_at_entry
+                if profiler is not None and epoch_cycles > 0:
+                    profiler.attribute_external("policy", epoch_cycles)
+            if tracer is not None:
+                tracer.end(
+                    "policy.epoch", "policy",
+                    {"budget_spent": self.stats.epoch_move_cycles[-1]
+                     if self.stats.epoch_move_cycles else 0},
+                )

@@ -122,6 +122,12 @@ class MoveTransaction:
         if self.initiated_stop:
             self.runtime.resume()
         self.kernel.stats.moves_rolled_back += 1
+        if self.kernel.tracer is not None:
+            self.kernel.tracer.instant(
+                "move.rollback", "resilience",
+                {"operation": self.operation, "step": self.current_step,
+                 "journal_entries": entries},
+            )
         self.kernel._sanitize("move-rollback")
         return entries * UNDO_CYCLES_PER_RECORD
 
@@ -176,6 +182,12 @@ def drive_transaction(
                 wasted += backoff
                 kernel.stats.move_retries += 1
                 kernel.stats.backoff_cycles += backoff
+                if kernel.tracer is not None:
+                    kernel.tracer.instant(
+                        "move.retry", "resilience",
+                        {"operation": operation, "attempt": attempts,
+                         "backoff_cycles": backoff, "error": str(exc)},
+                    )
                 continue
             failure = MoveFailure(
                 pid=process.pid,
@@ -191,6 +203,12 @@ def drive_transaction(
             if kernel.degradation is not None:
                 kernel.degradation.record_failure(failure)
                 kernel.stats.moves_degraded += 1
+                if kernel.tracer is not None:
+                    kernel.tracer.instant(
+                        "move.degraded", "resilience",
+                        {"operation": operation, "lo": lo, "hi": hi,
+                         "step": txn.current_step, "attempts": attempts},
+                    )
             if charge_move_cycles:
                 kernel.stats.move_cycles += wasted
             error = MoveError(
@@ -206,6 +224,12 @@ def drive_transaction(
             raise error from exc
         txn.commit()
         kernel.stats.moves_committed += 1
+        if kernel.tracer is not None:
+            kernel.tracer.instant(
+                "move.commit", "resilience",
+                {"operation": operation, "lo": lo, "hi": hi,
+                 "attempts": attempts, "wasted_cycles": wasted},
+            )
         total = result[-1] + wasted
         if charge_move_cycles:
             kernel.stats.move_cycles += total

@@ -16,6 +16,7 @@ out).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
@@ -36,6 +37,10 @@ class EscapeStats:
     #: Escape *locations* shifted because the cells holding them moved
     #: (Figure-5/ablation accounting for :meth:`rewrite_range`).
     rewritten: int = 0
+
+    def to_dict(self) -> dict:
+        """Uniform telemetry schema (``repro.telemetry.metrics``)."""
+        return dataclasses.asdict(self)
 
 
 class AllocationToEscapeMap:

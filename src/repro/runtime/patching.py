@@ -130,6 +130,16 @@ class MoveCost:
         the allocation/page granularity mismatch."""
         return self.prototype_wo_expand / self.total if self.total else 0.0
 
+    def to_dict(self) -> dict:
+        """Uniform telemetry schema; includes the derived total."""
+        return {
+            "page_expand": self.page_expand,
+            "patch_gen_exec": self.patch_gen_exec,
+            "register_patch": self.register_patch,
+            "alloc_and_move": self.alloc_and_move,
+            "total": self.total,
+        }
+
     def __add__(self, other: "MoveCost") -> "MoveCost":
         return MoveCost(
             self.page_expand + other.page_expand,

@@ -16,6 +16,7 @@ interface to the kernel:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -63,6 +64,12 @@ class RuntimeStats:
     def region_cache_hit_rate(self) -> float:
         total = self.region_cache_hits + self.region_cache_misses
         return self.region_cache_hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """Uniform telemetry schema; the accumulated move cost nests."""
+        out = dataclasses.asdict(self)
+        out["move_cost_accum"] = self.move_cost_accum.to_dict()
+        return out
 
 
 class GuardSiteCell:
@@ -113,6 +120,10 @@ class CaratRuntime:
         )
         self.stats = RuntimeStats()
         self._stopped = False
+        #: Attached :class:`~repro.telemetry.Tracer` (set by the session).
+        #: Guard faults always emit; per-check and per-tracking-callback
+        #: instants only at ``fine`` detail.  Never charges cycles.
+        self.tracer = None
         #: Epoch-invalidated region cache (the fast engine's part (b)).
         #: Off by default: the reference engine keeps the pristine
         #: guard-per-access behaviour that the figures are calibrated on.
@@ -141,6 +152,12 @@ class CaratRuntime:
             return containing
         allocation = self.table.add(address, size, kind)
         self._note_footprint()
+        tracer = self.tracer
+        if tracer is not None and tracer.fine:
+            tracer.instant(
+                "tracking.alloc", "tracking",
+                {"address": address, "size": size, "kind": kind},
+            )
         return allocation
 
     def on_free(self, address: int) -> Optional[Allocation]:
@@ -157,6 +174,9 @@ class CaratRuntime:
                 self._lifetime_escape_counts.get(count, 0) + 1
             )
             self.escapes.drop_allocation(allocation.address)
+        tracer = self.tracer
+        if tracer is not None and tracer.fine:
+            tracer.instant("tracking.free", "tracking", {"address": address})
         return allocation
 
     def on_escape(self, location: int) -> None:
@@ -172,6 +192,10 @@ class CaratRuntime:
         self.stats.tracking_cycles += resolved * (self.costs.escape_record * 2)
         if resolved:
             self._note_footprint()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "tracking.flush", "tracking", {"resolved": resolved}
+                )
         return resolved
 
     def _note_footprint(self) -> None:
@@ -249,9 +273,21 @@ class CaratRuntime:
         outcome = self._check_cached(address, size, access, cell)
         self.stats.guards_executed += 1
         self.stats.guard_cycles += outcome.cycles
+        tracer = self.tracer
         if not outcome.allowed:
             self.stats.guard_faults += 1
+            if tracer is not None:
+                tracer.instant(
+                    "guard.fault", "guard",
+                    {"address": address, "size": size, "access": access},
+                )
             raise ProtectionFault(address, size, access)
+        if tracer is not None and tracer.fine:
+            tracer.instant(
+                "guard.check", "guard",
+                {"address": address, "size": size, "access": access,
+                 "cycles": outcome.cycles},
+            )
         return outcome.cycles
 
     def guard_range(
@@ -270,9 +306,21 @@ class CaratRuntime:
             return self.costs.instruction
         outcome = self._check_cached(address, length, access, cell)
         self.stats.guard_cycles += outcome.cycles
+        tracer = self.tracer
         if not outcome.allowed:
             self.stats.guard_faults += 1
+            if tracer is not None:
+                tracer.instant(
+                    "guard.fault", "guard",
+                    {"address": address, "size": length, "access": "range"},
+                )
             raise ProtectionFault(address, length, "range")
+        if tracer is not None and tracer.fine:
+            tracer.instant(
+                "guard.check", "guard",
+                {"address": address, "size": length, "access": access,
+                 "cycles": outcome.cycles},
+            )
         return outcome.cycles
 
     def guard_call(
@@ -287,8 +335,20 @@ class CaratRuntime:
         outcome = self._check_cached(base, frame_size, "write", cell)
         self.stats.guards_executed += 1
         self.stats.guard_cycles += outcome.cycles
+        tracer = self.tracer
+        if tracer is not None and outcome.allowed and tracer.fine:
+            tracer.instant(
+                "guard.check", "guard",
+                {"address": base, "size": frame_size, "access": "stack",
+                 "cycles": outcome.cycles},
+            )
         if not outcome.allowed:
             self.stats.guard_faults += 1
+            if tracer is not None:
+                tracer.instant(
+                    "guard.fault", "guard",
+                    {"address": base, "size": frame_size, "access": "stack"},
+                )
             # A failed stack guard aborts to the kernel, which may choose
             # to expand the stack (Section 2.2); the interpreter surfaces
             # this as a fault the kernel can catch.

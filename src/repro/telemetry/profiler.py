@@ -1,0 +1,305 @@
+"""Cycle-attributed profiling: where did the simulated cycles go?
+
+``InterpStats`` already *splits* cycle spend (guard, tracking,
+translation, page-fault, tier counters alongside the total), but only as
+run-wide sums.  The :class:`CycleProfiler` turns those counters into an
+attribution: per **category**, per **function**, and — for guard spend —
+per **allocation site**.
+
+The mechanism is delta capture.  Around every executed instruction the
+engine snapshots the six cycle counters and hands the profiler the
+deltas afterwards; the residue ``total - guard - tracking - mmu_tlb -
+page_fault - tier`` is app compute by definition.  Because every bucket
+is a difference of the same counters that form ``InterpStats.cycles``,
+the buckets sum to the total **exactly**, on both engines — that
+reconciliation is asserted by ``benchmarks/test_telemetry_overhead.py``
+for every workload in the suite.
+
+Cycles charged to the interpreter *between* instructions (kernel-driven
+page moves at safepoints, pre-run scatter) cannot be seen by delta
+capture; :meth:`CycleProfiler.finish` sweeps that remainder into the
+``patching`` bucket, except what the policy engine explicitly attributes
+to ``policy`` via :meth:`attribute_external`.  Plain workloads therefore
+show ``patching == policy == 0``.
+
+Attachment is by instance-attribute interposition only — the reference
+engine's ``_execute`` and the runtime's guard/tracking entry points are
+wrapped on the *instances*, the fast engine switches to a mirrored
+profiled loop — so an unprofiled run executes literally the same code as
+before this module existed, and no profiler path ever charges a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Bucket order (fixed — reports and tests index by name, not position).
+PROFILE_CATEGORIES = (
+    "app",         # residue: compute not attributed below
+    "guard",       # carat guard checks (InterpStats.guard_cycles)
+    "tracking",    # allocation/escape tracking (tracking_cycles)
+    "mmu_tlb",     # traditional translation (translation_cycles)
+    "page_fault",  # fault handling (page_fault_cycles)
+    "tier",        # tiered-memory access premium (tier_cycles)
+    "policy",      # safepoint cycles the policy engine claimed
+    "patching",    # remaining safepoint/pre-run cycles (move protocol)
+)
+
+#: Index layout of the per-function accumulator rows.
+_APP, _GUARD, _TRACK, _MMU, _FAULT, _TIER, _INSTS = range(7)
+
+
+class CycleProfiler:
+    """Delta-capture profiler over ``InterpStats``' cycle counters."""
+
+    def __init__(self) -> None:
+        #: category -> cycles (instruction-attributed + external).
+        self.buckets: Dict[str, int] = {c: 0 for c in PROFILE_CATEGORIES}
+        #: function name -> 7-slot accumulator row (see _APP.._INSTS).
+        self._functions: Dict[str, List[int]] = {}
+        #: id(Allocation) -> site label (set by the on_alloc wrapper).
+        self._alloc_sites: Dict[int, str] = {}
+        #: site label -> [guard checks, guard cycles].
+        self._sites: Dict[str, List[int]] = {}
+        self.current_function: Optional[str] = None
+        self.instructions = 0
+        #: Sum of instruction-attributed cycles (for the finish sweep).
+        self._accounted = 0
+        self._finished = False
+        self.total_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Per-instruction delta capture (both engines call these)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def snap(stats):
+        """Snapshot the six cycle counters before an instruction."""
+        return (
+            stats.cycles,
+            stats.guard_cycles,
+            stats.tracking_cycles,
+            stats.translation_cycles,
+            stats.page_fault_cycles,
+            stats.tier_cycles,
+        )
+
+    def account(self, function_name: str, stats, snap) -> None:
+        """Attribute one instruction's cycle deltas.  Called in a
+        ``finally`` so faulting instructions still reconcile."""
+        total = stats.cycles - snap[0]
+        guard = stats.guard_cycles - snap[1]
+        track = stats.tracking_cycles - snap[2]
+        mmu = stats.translation_cycles - snap[3]
+        fault = stats.page_fault_cycles - snap[4]
+        tier = stats.tier_cycles - snap[5]
+        app = total - guard - track - mmu - fault - tier
+        buckets = self.buckets
+        buckets["app"] += app
+        buckets["guard"] += guard
+        buckets["tracking"] += track
+        buckets["mmu_tlb"] += mmu
+        buckets["page_fault"] += fault
+        buckets["tier"] += tier
+        self._accounted += total
+        self.instructions += 1
+        row = self._functions.get(function_name)
+        if row is None:
+            row = [0, 0, 0, 0, 0, 0, 0]
+            self._functions[function_name] = row
+        row[_APP] += app
+        row[_GUARD] += guard
+        row[_TRACK] += track
+        row[_MMU] += mmu
+        row[_FAULT] += fault
+        row[_TIER] += tier
+        row[_INSTS] += 1
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    def attach(self, interpreter) -> None:
+        """Interpose on an interpreter (either engine) and its runtime.
+
+        Everything installed here is an *instance* attribute shadowing a
+        class method — detaching is just never attaching; no class or
+        module state is touched, so concurrent unprofiled interpreters
+        are unaffected.
+        """
+        interpreter.profiler = self  # the fast engine's loop checks this
+        profiler = self
+        execute = interpreter._execute  # bound reference method
+
+        def profiled_execute(frame, inst):
+            name = frame.function.name
+            profiler.current_function = name
+            stats = interpreter.stats
+            before = profiler.snap(stats)
+            try:
+                execute(frame, inst)
+            finally:
+                profiler.account(name, stats, before)
+
+        interpreter._execute = profiled_execute
+        runtime = interpreter.process.runtime
+        if runtime is not None:
+            self._attach_runtime(runtime)
+
+    def _attach_runtime(self, runtime) -> None:
+        profiler = self
+        table = runtime.table
+        guard_access = runtime.guard_access
+        guard_range = runtime.guard_range
+        guard_call = runtime.guard_call
+        on_alloc = runtime.on_alloc
+
+        def _attribute(address: int, cycles: int) -> None:
+            allocation = table.find_containing(address)
+            if allocation is None:
+                label = "<unmapped>"
+            else:
+                label = profiler._alloc_sites.get(id(allocation))
+                if label is None:
+                    label = f"<{allocation.kind}>"
+            site = profiler._sites.get(label)
+            if site is None:
+                site = [0, 0]
+                profiler._sites[label] = site
+            site[0] += 1
+            site[1] += cycles
+
+        def profiled_guard_access(address, size, access, cell=None):
+            cycles = guard_access(address, size, access, cell)
+            _attribute(address, cycles)
+            return cycles
+
+        def profiled_guard_range(address, length, access="read", cell=None):
+            cycles = guard_range(address, length, access, cell)
+            _attribute(address, cycles)
+            return cycles
+
+        def profiled_guard_call(stack_pointer, frame_size, cell=None):
+            cycles = guard_call(stack_pointer, frame_size, cell)
+            _attribute(stack_pointer - frame_size, cycles)
+            return cycles
+
+        def profiled_on_alloc(address, size, kind="heap"):
+            allocation = on_alloc(address, size, kind)
+            key = id(allocation)
+            if key not in profiler._alloc_sites:
+                where = profiler.current_function or "<setup>"
+                profiler._alloc_sites[key] = f"{where}:{allocation.kind}"
+            return allocation
+
+        runtime.guard_access = profiled_guard_access
+        runtime.guard_range = profiled_guard_range
+        runtime.guard_call = profiled_guard_call
+        runtime.on_alloc = profiled_on_alloc
+
+    # ------------------------------------------------------------------
+    # External attribution and the finish sweep
+    # ------------------------------------------------------------------
+
+    def attribute_external(self, category: str, cycles: int) -> None:
+        """Claim interpreter cycles charged outside instruction execution
+        (the policy engine labels its epochs' spend this way)."""
+        if category not in ("policy", "patching"):
+            raise ValueError(f"external category must be policy/patching, not {category!r}")
+        self.buckets[category] += cycles
+        self._accounted += cycles
+
+    def finish(self, stats) -> None:
+        """Close the books: sweep unattributed interpreter cycles (moves
+        charged at safepoints or before the first instruction) into
+        ``patching`` so the buckets sum exactly to ``stats.cycles``."""
+        if self._finished:
+            return
+        self._finished = True
+        self.total_cycles = stats.cycles
+        remainder = stats.cycles - self._accounted
+        self.buckets["patching"] += remainder
+        self._accounted += remainder
+
+    def assert_reconciles(self, stats) -> None:
+        """Raise unless the buckets sum exactly to ``stats.cycles``."""
+        total = sum(self.buckets.values())
+        if total != stats.cycles:
+            raise AssertionError(
+                f"profile buckets sum to {total}, InterpStats.cycles is "
+                f"{stats.cycles} (drift {total - stats.cycles:+d})"
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def functions(self) -> Dict[str, dict]:
+        out = {}
+        for name, row in sorted(
+            self._functions.items(), key=lambda kv: -sum(kv[1][:_INSTS])
+        ):
+            out[name] = {
+                "app": row[_APP],
+                "guard": row[_GUARD],
+                "tracking": row[_TRACK],
+                "mmu_tlb": row[_MMU],
+                "page_fault": row[_FAULT],
+                "tier": row[_TIER],
+                "cycles": sum(row[:_INSTS]),
+                "instructions": row[_INSTS],
+            }
+        return out
+
+    def sites(self) -> Dict[str, dict]:
+        return {
+            label: {"guards": site[0], "guard_cycles": site[1]}
+            for label, site in sorted(
+                self._sites.items(), key=lambda kv: -kv[1][1]
+            )
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "carat.profile.v1",
+            "total_cycles": self.total_cycles,
+            "instructions": self.instructions,
+            "buckets": dict(self.buckets),
+            "functions": self.functions(),
+            "sites": self.sites(),
+        }
+
+    def report(self) -> str:
+        """A human-readable bucket/function/site table."""
+        lines = []
+        total = self.total_cycles or 1
+        lines.append(f"{'bucket':<12} {'cycles':>14} {'share':>8}")
+        for category in PROFILE_CATEGORIES:
+            cycles = self.buckets[category]
+            if not cycles:
+                continue
+            lines.append(
+                f"{category:<12} {cycles:>14,} {100.0 * cycles / total:>7.2f}%"
+            )
+        lines.append(f"{'total':<12} {self.total_cycles:>14,} {'100.00%':>8}")
+        functions = self.functions()
+        if functions:
+            lines.append("")
+            lines.append(
+                f"{'function':<24} {'cycles':>14} {'guard':>12} {'insts':>12}"
+            )
+            for name, row in list(functions.items())[:12]:
+                lines.append(
+                    f"@{name:<23} {row['cycles']:>14,} "
+                    f"{row['guard']:>12,} {row['instructions']:>12,}"
+                )
+        sites = self.sites()
+        if sites:
+            lines.append("")
+            lines.append(f"{'allocation site':<28} {'guards':>12} {'cycles':>14}")
+            for label, site in list(sites.items())[:12]:
+                lines.append(
+                    f"{label:<28} {site['guards']:>12,} "
+                    f"{site['guard_cycles']:>14,}"
+                )
+        return "\n".join(lines)
