@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The multi-tenant kernel: N CARAT capsules sharing one machine.
+
+The paper's kernel hosts many processes; this demo schedules several on
+one simulated machine and shows the three things multi-tenancy adds:
+
+1. **time-slicing** — a round-robin `Scheduler` runs each tenant for a
+   quantum of instructions, switching at safepoints so kernel activity
+   between quanta is always patch-safe;
+2. **CoW page sharing** — the tenants run the *same* signed binary, so
+   their read-only images (globals + code) deduplicate into one
+   physical copy; the first write each tenant makes to its globals page
+   raises a guard fault that the kernel services as a transactional
+   copy-on-write break — every tenant still computes exactly what it
+   would alone;
+3. **per-tenant accounting** — kernel stats, pause samples (the cycles
+   each world-stop cost), and trace lanes are all keyed by PID, so one
+   noisy tenant can't hide in another's numbers.
+
+Run:  python examples/multitenant_demo.py
+"""
+
+from repro.machine.session import RunConfig
+from repro.multiproc import Scheduler, TenantSpec
+
+# Every tenant increments a *global* counter: under CoW sharing that
+# first store must fault, break the globals page private, and retry —
+# if sharing leaked, tenants would see each other's counters and the
+# printed sums would diverge.
+SOURCE = """
+long counter;
+void main() {
+  long i;
+  for (i = 1; i <= 100; i++) { counter = counter + i; }
+  print_long(counter);
+}
+"""
+
+TENANTS = 6
+
+
+def main() -> None:
+    config = RunConfig(
+        engine="fast",
+        sanitize=True,          # every move audited by the invariant checker
+        quantum=200,            # instructions per time slice
+        heap_size=64 * 1024,
+        stack_size=16 * 1024,
+    )
+    specs = [TenantSpec(SOURCE, name=f"tenant{i}") for i in range(TENANTS)]
+    result = Scheduler(config, specs, share=True).run()
+
+    print(f"{TENANTS} tenants, quantum {config.quantum}, CoW sharing on\n")
+    print(f"{'pid':>4s} {'tenant':10s} {'output':>7s} {'instr':>7s} "
+          f"{'cycles':>7s} {'p99 pause':>9s}")
+    for pid, tenant in sorted(result.tenants.items()):
+        print(
+            f"{pid:4d} {tenant.process.name:10s} {tenant.output[0]:>7s} "
+            f"{tenant.stats.instructions:7d} {tenant.stats.cycles:7d} "
+            f"{result.p99_pause(pid):9d}"
+        )
+
+    outputs = {r.output[0] for r in result.tenants.values()}
+    assert outputs == {"5050"}, outputs  # isolation held: sum(1..100) each
+
+    dedup = result.dedup
+    print(f"\nschedule    : {result.rounds} rounds, "
+          f"{result.machine_cycles} machine cycles, "
+          f"{result.aggregate_throughput():.3f} instr/cycle aggregate")
+    print(f"image dedup : {dedup['shared_pages']} shared pages, "
+          f"{dedup['saved_pages']} frames saved "
+          f"({dedup['saved_bytes']} bytes)")
+    print(f"cow breaks  : {dedup['cow_breaks']} "
+          f"({dedup['pages_broken']} pages, "
+          f"{dedup['break_cycles']} cycles paid by the writing tenants)")
+    print("\nEvery tenant printed 5050: the shared image deduplicated, "
+          "the writes broke private, nobody saw a neighbour's counter.")
+
+
+if __name__ == "__main__":
+    main()

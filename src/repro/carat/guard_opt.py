@@ -269,7 +269,7 @@ def _guard_tag(guard: CallInst) -> Optional[tuple]:
     if name in (GUARD_LOAD, GUARD_STORE):
         size = guard.args[1]
         size_value = size.value if isinstance(size, ConstantInt) else 0
-        return ("addr", id(guard.args[0]), size_value)
+        return ("addr", id(guard.args[0]), size_value, name == GUARD_STORE)
     if name == GUARD_CALL:
         frame = guard.args[0]
         if isinstance(frame, ConstantInt):
@@ -279,9 +279,17 @@ def _guard_tag(guard: CallInst) -> Optional[tuple]:
 
 def _covered(available: Set[tuple], tag: tuple) -> bool:
     if tag[0] == "addr":
-        _, addr_id, size = tag
+        # A prior guard covers this one only if its validated permission
+        # implies ours: write implies read (no region grants write
+        # without read), but a read guard passing says nothing about
+        # write permission — eliding a store guard behind a load guard
+        # would let stores slip through read-only (CoW-shared) regions.
+        _, addr_id, size, is_write = tag
         return any(
-            t[0] == "addr" and t[1] == addr_id and t[2] >= size
+            t[0] == "addr"
+            and t[1] == addr_id
+            and t[2] >= size
+            and (t[3] or not is_write)
             for t in available
         )
     if tag[0] == "frame":

@@ -11,6 +11,11 @@ Commands:
 * ``policy NAME``   — run one workload under CARAT with the memory-policy
   engine attached (heat-tracked compaction + tiered placement) and print
   the :class:`~repro.policy.engine.PolicyStats` summary;
+* ``smp NAME``      — time-slice ``--tenants`` copies of one workload
+  over a single kernel (per-tenant region sets, CoW-deduplicated images,
+  optional fairness arbitration) and report aggregate throughput plus
+  per-tenant p99 pause; ``--json`` writes the ``carat.multitenant.v1``
+  document (the CI smp-smoke job drives this);
 * ``sanitize [NAME]`` — audit workload runs under the cross-layer
   invariant checker (:mod:`repro.sanitizer`) and report violations;
 * ``trace NAME``    — record a structured event trace of one run, export
@@ -232,6 +237,93 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="attempts per move before it degrades (default: 3)",
+    )
+
+    smp = sub.add_parser(
+        "smp",
+        help="time-slice N tenants of one workload over a single kernel",
+    )
+    smp.add_argument(
+        "name", help="workload name (see `repro workloads`) or a Mini-C file"
+    )
+    smp.add_argument(
+        "--scale", choices=["tiny", "small", "medium"], default="tiny"
+    )
+    smp.add_argument(
+        "--tenants",
+        type=int,
+        default=8,
+        help="number of tenants to schedule (default 8)",
+    )
+    _add_engine_flag(smp, " for every tenant")
+    smp.add_argument(
+        "--quantum",
+        type=int,
+        default=400,
+        help="round-robin time slice in instructions (default 400; "
+        "scaled by each tenant's weight)",
+    )
+    smp.add_argument(
+        "--weights",
+        metavar="W1,W2,...",
+        help="comma-separated fairness weights, one per tenant (cycled "
+        "if shorter; default: all 1)",
+    )
+    smp.add_argument(
+        "--guard",
+        choices=["mpx", "binary_search", "if_tree"],
+        default="mpx",
+        help="guard mechanism for every tenant",
+    )
+    smp.add_argument(
+        "--no-cow",
+        dest="cow",
+        action="store_false",
+        help="disable cross-tenant page sharing (CoW dedup is on by "
+        "default: identical images share one physical copy)",
+    )
+    smp.add_argument(
+        "--arbiter",
+        action="store_true",
+        help="attach the fairness arbiter (weighted per-tenant "
+        "compaction/tiering budgets, pressure-driven demotion)",
+    )
+    smp.add_argument(
+        "--heap-kb",
+        type=int,
+        default=64,
+        help="per-tenant heap in KiB (default 64)",
+    )
+    smp.add_argument(
+        "--stack-kb",
+        type=int,
+        default=16,
+        help="per-tenant stack in KiB (default 16)",
+    )
+    smp.add_argument(
+        "--memory-kb",
+        type=int,
+        default=0,
+        help="total physical memory in KiB (0 = size automatically)",
+    )
+    smp.add_argument(
+        "--fast-kb",
+        type=int,
+        default=0,
+        help="fast-tier size in KiB (0 disables tiering)",
+    )
+    smp.add_argument("--max-steps", type=int, default=50_000_000)
+    smp.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the cross-layer invariant checker (including the "
+        "cross-process frame-ownership and shared-CoW rules)",
+    )
+    smp.add_argument(
+        "--json",
+        metavar="FILE",
+        dest="json_out",
+        help="write the carat.multitenant.v1 result document to FILE",
     )
 
     sanitize = sub.add_parser(
@@ -575,6 +667,88 @@ def _cmd_policy(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_smp(args: argparse.Namespace) -> int:
+    from repro.machine.session import RunConfig
+    from repro.multiproc import FairnessArbiter, Scheduler, TenantSpec
+
+    if args.tenants < 1:
+        raise SystemExit("repro smp: --tenants must be at least 1")
+    source, name = _resolve_program(args)
+    weights = [1] * args.tenants
+    if args.weights:
+        try:
+            parsed = [int(w) for w in args.weights.split(",")]
+        except ValueError:
+            raise SystemExit(f"repro smp: bad --weights {args.weights!r}")
+        weights = [parsed[i % len(parsed)] for i in range(args.tenants)]
+    specs = [
+        TenantSpec(source, name=f"{name}{i}", weight=weights[i])
+        for i in range(args.tenants)
+    ]
+    config = RunConfig.from_args(
+        args,
+        mode="carat",
+        name=name,
+        heap_size=args.heap_kb * 1024,
+        stack_size=args.stack_kb * 1024,
+    )
+    scheduler = Scheduler(
+        config,
+        specs,
+        share=args.cow,
+        arbiter=FairnessArbiter() if args.arbiter else None,
+        memory_size=args.memory_kb * 1024 or None,
+        fast_memory=args.fast_kb * 1024 or None,
+    )
+    result = scheduler.run()
+
+    print(
+        f"schedule    : {args.tenants} x {name} ({config.engine}, "
+        f"quantum {config.quantum}, cow {'on' if args.cow else 'off'})"
+    )
+    print(
+        f"machine     : {result.machine_cycles} cycles over "
+        f"{result.rounds} rounds"
+    )
+    print(
+        f"throughput  : {result.total_instructions()} instructions, "
+        f"{result.aggregate_throughput():.4f} per machine cycle"
+    )
+    if result.dedup is not None:
+        dedup = result.dedup
+        print(
+            f"cow dedup   : {dedup['shared_pages']} shared pages, "
+            f"{dedup['saved_pages']} saved ({dedup['saved_bytes']} bytes), "
+            f"{dedup['cow_breaks']} breaks"
+        )
+    if result.arbitration is not None:
+        arb = result.arbitration
+        print(
+            f"arbitration : {arb['epochs_run']} epochs, "
+            f"{arb['pressure_demotions']} pressure demotions, budgets "
+            f"{'respected' if arb['budgets_respected'] else 'OVERRUN'}"
+        )
+    print(f"{'pid':>4s} {'tenant':14s} {'exit':>4s} {'instr':>9s} "
+          f"{'cycles':>10s} {'pauses':>6s} {'p99 pause':>9s}")
+    failures = 0
+    for pid, tenant in sorted(result.tenants.items()):
+        if tenant.exit_code != 0:
+            failures += 1
+        print(
+            f"{pid:4d} {tenant.process.name:14s} {tenant.exit_code:4d} "
+            f"{tenant.stats.instructions:9d} {tenant.stats.cycles:10d} "
+            f"{len(result.pauses.get(pid, [])):6d} "
+            f"{result.p99_pause(pid):9d}"
+        )
+    if args.json_out:
+        document = result.to_dict()
+        Path(args.json_out).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"json        : {args.json_out}")
+    return 1 if failures else 0
+
+
 def _cmd_sanitize(args: argparse.Namespace) -> int:
     from repro.machine.session import CaratSession, RunConfig
     from repro.sanitizer import Sanitizer
@@ -687,6 +861,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "bench": _cmd_bench,
         "policy": _cmd_policy,
+        "smp": _cmd_smp,
         "sanitize": _cmd_sanitize,
         "trace": _cmd_trace,
         "profile": _cmd_profile,

@@ -16,8 +16,9 @@ process side by side:
 from __future__ import annotations
 
 import dataclasses
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.carat.pipeline import CaratBinary
 from repro.carat.signing import DEFAULT_TOOLCHAIN
@@ -60,7 +61,14 @@ from repro.resilience.transaction import (
     execute_protection_change,
 )
 from repro.runtime.patching import MoveCost, MovePlan, RegisterSnapshot
-from repro.runtime.regions import PERM_RW, PERM_RWX, Region, RegionSet
+from repro.runtime.regions import (
+    PERM_EXEC,
+    PERM_READ,
+    PERM_RW,
+    PERM_RWX,
+    Region,
+    RegionSet,
+)
 from repro.runtime.runtime import CaratRuntime
 
 DEFAULT_MEMORY = 64 * 1024 * 1024
@@ -75,6 +83,15 @@ SHOOTDOWN_CYCLES = 300
 
 @dataclass
 class KernelStats:
+    """Kernel service counters.
+
+    One instance is the machine-wide aggregate (``Kernel.stats``); the
+    kernel additionally keeps one per tenant (``Kernel.tenant_stats``),
+    updated in lockstep through :meth:`Kernel.charge_stat`, so a
+    multi-tenant machine can attribute every fault/move/rollback to the
+    process that caused it.
+    """
+
     page_faults: int = 0
     demand_allocations: int = 0
     traditional_moves: int = 0
@@ -117,6 +134,24 @@ class Kernel:
         self.trusted_toolchains = trusted_toolchains or {DEFAULT_TOOLCHAIN}
         self.processes: Dict[int, Process] = {}
         self.stats = KernelStats()
+        #: Per-PID service counters, maintained in lockstep with the
+        #: aggregate by :meth:`charge_stat`.  Regions, runtimes, heaps,
+        #: allocation tables, guard caches, and TLBs are *already* per
+        #: :class:`Process`; this splits the last single-owner structure
+        #: (the stats) so tenants are fully isolated.
+        self.tenant_stats: Dict[int, KernelStats] = {}
+        #: The tenant currently on the simulated CPU.  A scheduler sets
+        #: it around each quantum; kernel services started while it is
+        #: set charge that tenant's stats even when no process object is
+        #: in hand.  ``None`` = single-owner (legacy) operation.
+        self.current_pid: Optional[int] = None
+        #: Per-PID pause samples (cycles of each completed or wasted
+        #: change request, world-stop included) — the telemetry source
+        #: for per-tenant p99 pause in the multi-tenant benchmark.
+        self.pause_log: Dict[int, List[int]] = {}
+        #: Attached :class:`~repro.multiproc.ShareManager`; ``None``
+        #: means no cross-process page sharing.
+        self.shares = None
         self.clock_cycles = 0
         self._next_pid = 1
         #: When True, change requests append Figure-8 step labels here.
@@ -162,6 +197,67 @@ class Kernel:
             self.sanitizer.on_change_request(self, label)
 
     # ------------------------------------------------------------------
+    # Per-tenant accounting
+    # ------------------------------------------------------------------
+
+    def stats_for(self, pid: int) -> KernelStats:
+        """The per-tenant stats block for ``pid`` (created on demand)."""
+        stats = self.tenant_stats.get(pid)
+        if stats is None:
+            stats = KernelStats()
+            self.tenant_stats[pid] = stats
+        return stats
+
+    def charge_stat(self, name: str, amount: int = 1, pid: Optional[int] = None) -> None:
+        """Bump a :class:`KernelStats` counter on the aggregate *and* on
+        the owning tenant's block.  ``pid=None`` falls back to
+        :attr:`current_pid`; with neither set only the aggregate moves
+        (single-owner operation — exactly the old behavior)."""
+        setattr(self.stats, name, getattr(self.stats, name) + amount)
+        owner = self.current_pid if pid is None else pid
+        if owner is not None:
+            tenant = self.stats_for(owner)
+            setattr(tenant, name, getattr(tenant, name) + amount)
+
+    @contextmanager
+    def tenant(self, pid: Optional[int]) -> Iterator[None]:
+        """Scope kernel services to one tenant: everything charged while
+        the context is open lands in ``pid``'s stats (and, if a tracer is
+        attached, its trace lane).  The scheduler wraps each quantum in
+        this."""
+        previous = self.current_pid
+        self.current_pid = pid
+        tracer = self.tracer
+        previous_lane = None
+        if tracer is not None:
+            previous_lane = tracer.current_pid
+            tracer.current_pid = pid if pid is not None else 0
+        try:
+            yield
+        finally:
+            self.current_pid = previous
+            if tracer is not None:
+                tracer.current_pid = previous_lane
+
+    def record_pause(self, pid: int, cycles: int) -> None:
+        """Log one tenant pause (the cycles a change request held the
+        world stopped — committed or wasted).  The multi-tenant benchmark
+        derives per-tenant p99 pause from this log; a tracer additionally
+        gets an instant event on the tenant's lane."""
+        self.pause_log.setdefault(pid, []).append(cycles)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "tenant.pause", "kernel", {"cycles": cycles}, pid=pid
+            )
+
+    def attach_shares(self, manager) -> None:
+        """Install a :class:`~repro.multiproc.ShareManager`: identical
+        read-only pages (code/globals) dedup across tenants, writes
+        CoW-break through the transactional move path, and policy moves
+        refuse shared ranges."""
+        self.shares = manager
+
+    # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
 
@@ -171,9 +267,19 @@ class Kernel:
         heap_size: int = DEFAULT_HEAP,
         stack_size: int = DEFAULT_STACK,
         guard_mechanism: str = "mpx",
+        share: bool = False,
     ) -> Process:
         """Load a signed CARAT binary: dark-capsule physical layout, one
-        initial region, runtime bound and primed with static allocations."""
+        initial region, runtime bound and primed with static allocations.
+
+        With ``share=True`` (requires an attached
+        :class:`~repro.multiproc.ShareManager`) the read-only image —
+        globals + code — is deduplicated across tenants running the same
+        binary: the capsule splits into a private RWX run (stack + heap)
+        and a shared R-X run mapped by every member.  A write into the
+        shared run protection-faults; the scheduler services it as a
+        CoW break (see :meth:`~repro.multiproc.ShareManager.
+        service_write_fault`)."""
         validate_binary(binary, self.trusted_toolchains)
         module = binary.module
         code_size = code_segment_size(module)
@@ -181,6 +287,16 @@ class Kernel:
         globals_size = page_align(max(1, globals_size))
         stack_size = page_align(stack_size)
         heap_size = page_align(heap_size)
+
+        if share:
+            if self.shares is None:
+                raise KernelError(
+                    "share=True needs a ShareManager (kernel.attach_shares)"
+                )
+            return self._load_carat_shared(
+                binary, module, code_size, globals_size,
+                stack_size, heap_size, guard_mechanism,
+            )
 
         total = stack_size + globals_size + code_size + heap_size
         base = self.frames.alloc_address(
@@ -238,6 +354,101 @@ class Kernel:
         if self.sanitizer is not None:
             self.sanitizer.on_process_loaded(process)
         self._sanitize("load-carat")
+        return process
+
+    def _load_carat_shared(
+        self,
+        binary: CaratBinary,
+        module,
+        code_size: int,
+        globals_size: int,
+        stack_size: int,
+        heap_size: int,
+        guard_mechanism: str,
+    ) -> Process:
+        """The ``share=True`` half of :meth:`load_carat`: private
+        stack+heap run, deduplicated globals+code run.
+
+        The shared run is keyed on the binary's signed image; the first
+        tenant materializes it (frames + globals written), later tenants
+        just attach — their loads write *nothing* into the shared range,
+        which is correct because the range is read-only for everyone, so
+        the canonical frames always hold pristine initial values."""
+        assert self.shares is not None
+        private_total = stack_size + heap_size
+        private_base = self.frames.alloc_address(
+            private_total // PAGE_SIZE, tier=self.placement_tier
+        )
+        shared_total = globals_size + code_size
+        shared_pages = shared_total // PAGE_SIZE
+        pid = self._next_pid
+
+        image_key = self.shares.image_key(binary)
+        group = self.shares.lookup(image_key)
+        fresh_image = group is None
+        if group is None:
+            shared_base = self.frames.alloc_address(
+                shared_pages, tier=self.placement_tier
+            )
+            group = self.shares.register(image_key, shared_base, shared_pages)
+        shared_base = group.base
+        self.shares.attach(group, pid)
+
+        layout = MemoryLayout(
+            stack_base=private_base,
+            stack_size=stack_size,
+            globals_base=shared_base,
+            globals_size=globals_size,
+            code_base=shared_base + globals_size,
+            code_size=code_size,
+            heap_base=private_base + stack_size,
+            heap_size=heap_size,
+        )
+
+        regions = RegionSet([
+            Region(private_base, private_total, PERM_RWX),
+            Region(shared_base, shared_total, PERM_READ | PERM_EXEC),
+        ])
+        runtime = CaratRuntime(
+            self.memory, regions, guard_mechanism=guard_mechanism, costs=self.costs
+        )
+        runtime.patcher.frames = self.frames
+
+        globals_map, _ = layout_globals(module, layout.globals_base)
+        if fresh_image:
+            write_globals(binary, globals_map, self.memory.write_bytes)
+
+        # Every member tracks its own view of the shared image — the
+        # Allocation Table is per-process even when the frames are not.
+        for gv in module.globals.values():
+            from repro.ir.types import size_of
+
+            runtime.on_alloc(
+                globals_map[gv.name], max(1, size_of(gv.value_type)), "global"
+            )
+        runtime.on_alloc(layout.stack_base, layout.stack_size, "stack")
+        runtime.on_alloc(layout.code_base, layout.code_size, "code")
+        runtime.stats.tracking_events = 0
+        runtime.stats.tracking_cycles = 0
+
+        process = Process(
+            pid=pid,
+            name=binary.name,
+            mode="carat",
+            binary=binary,
+            layout=layout,
+            globals_map=globals_map,
+            regions=regions,
+            runtime=runtime,
+            heap=HeapAllocator(layout.heap_base, layout.heap_size),
+            static_footprint_pages=static_footprint_pages(binary),
+            initial_pages=(private_total + shared_total) // PAGE_SIZE,
+        )
+        self._next_pid += 1
+        self.processes[pid] = process
+        if self.sanitizer is not None:
+            self.sanitizer.on_process_loaded(process)
+        self._sanitize("load-carat-shared")
         return process
 
     def load_traditional(
@@ -342,7 +553,7 @@ class Kernel:
         segment = self._segment_of(process, vaddr)
         if segment is None or fault.present:
             raise SegmentationFault(vaddr, fault.access)
-        self.stats.page_faults += 1
+        self.charge_stat("page_faults", pid=process.pid)
         frame = self.frames.alloc()
         self.memory.fill(frame * PAGE_SIZE, PAGE_SIZE, 0)
         flags = PTE_PRESENT | PTE_WRITE
@@ -350,10 +561,10 @@ class Kernel:
             flags = PTE_PRESENT | PTE_EXEC
         process.page_table.map(fault.vpn, frame, flags)
         process.demand_page_allocs += 1
-        self.stats.demand_allocations += 1
+        self.charge_stat("demand_allocations", pid=process.pid)
         self.notifier.page_alloc(process.pid, fault.vpn, self.clock_cycles)
         cycles = FAULT_TRAP_CYCLES
-        self.stats.fault_cycles += cycles
+        self.charge_stat("fault_cycles", cycles, pid=process.pid)
         self._sanitize("page-fault")
         return cycles
 
@@ -378,11 +589,11 @@ class Kernel:
         self.frames.free(old_frame)
         process.mmu.invalidate_page(vpn)
         process.pages_moved += 1
-        self.stats.traditional_moves += 1
+        self.charge_stat("traditional_moves", pid=process.pid)
         self.notifier.pte_change(process.pid, vpn, self.clock_cycles)
         self.notifier.invalidate_range(process.pid, vpn, vpn + 1, self.clock_cycles)
         cycles = SHOOTDOWN_CYCLES + int(self.costs.move_per_byte * PAGE_SIZE)
-        self.stats.move_cycles += cycles
+        self.charge_stat("move_cycles", cycles, pid=process.pid)
         self._sanitize("traditional-move")
         return cycles
 
@@ -420,7 +631,7 @@ class Kernel:
             raise KernelError("not a CARAT process")
         lo = page_address & ~(PAGE_SIZE - 1)
         hi = lo + page_count_ * PAGE_SIZE
-        self._check_admission(process, "page-move", lo, hi)
+        self._check_admission(process, "page-move", lo, hi, reason=reason)
         return drive_transaction(
             self,
             process,
@@ -441,14 +652,36 @@ class Kernel:
             hi,
         )
 
-    def _check_admission(self, process, operation: str, lo: int, hi: int) -> None:
-        """Degraded-mode admission: a range the DegradationManager has
-        quarantined (its pages are pinned) is refused before any work —
-        no world stop, no attempt counted."""
+    def _check_admission(
+        self,
+        process,
+        operation: str,
+        lo: int,
+        hi: int,
+        reason: str = "carat-move",
+    ) -> None:
+        """Admission control, before any work (no world stop, no attempt
+        counted): a range the DegradationManager has quarantined is
+        refused, and so is a range holding CoW-shared pages — shared
+        frames are pinned for everyone except the CoW-break service
+        itself (``reason="cow-break"``), which is *how* a page leaves
+        the share."""
         if self.degradation is not None and not self.degradation.allows(lo, hi):
             raise MoveError(
                 f"{operation} of [{lo:#x}, {hi:#x}) refused: range is "
                 f"quarantined (pinned after repeated move failures)",
+                step="admission",
+                lo=lo,
+                hi=hi,
+            )
+        if (
+            self.shares is not None
+            and reason != "cow-break"
+            and self.shares.range_shared(process.pid, lo, hi)
+        ):
+            raise MoveError(
+                f"{operation} of [{lo:#x}, {hi:#x}) refused: range holds "
+                f"CoW-shared pages (pinned while other tenants map them)",
                 step="admission",
                 lo=lo,
                 hi=hi,

@@ -63,6 +63,11 @@ class RunConfig:
     heap_size: int = DEFAULT_HEAP
     stack_size: int = DEFAULT_STACK
     name: str = "program"
+    #: Round-robin time-slice, in instructions, for anything that
+    #: schedules multiple interpreter contexts — intra-process
+    #: :class:`~repro.machine.threads.ThreadGroup` rounds and the
+    #: multi-tenant :class:`~repro.multiproc.Scheduler` both consume it.
+    quantum: int = 400
     sanitize: bool = False
     #: Fault-injection spec for the move protocol (``run --inject-faults``
     #: syntax); ``None`` disables injection.
@@ -95,6 +100,11 @@ class RunConfig:
             raise ValueError(
                 f"unknown trace detail {self.trace_detail!r} "
                 f"(choose from {TRACE_DETAILS})"
+            )
+        if not isinstance(self.quantum, int) or self.quantum < 1:
+            raise ValueError(
+                f"quantum must be a positive instruction count, "
+                f"not {self.quantum!r}"
             )
 
     @property

@@ -31,6 +31,9 @@ from repro.machine.interp import Interpreter
 from repro.runtime.patching import RegisterSnapshot
 
 DEFAULT_THREAD_STACK = 64 * 1024
+#: Fallback round-robin quantum when no :class:`RunConfig` supplies one
+#: (``RunConfig.quantum`` is the configured path; see ``from_config``).
+DEFAULT_QUANTUM = 400
 
 
 @dataclass
@@ -49,11 +52,15 @@ class ThreadGroup:
         process: Process,
         kernel: Kernel,
         specs: Sequence[ThreadSpec],
-        quantum: int = 400,
+        quantum: Optional[int] = None,
         thread_stack_size: int = DEFAULT_THREAD_STACK,
     ) -> None:
         if not specs:
             raise ValueError("a thread group needs at least one thread")
+        if quantum is None:
+            quantum = DEFAULT_QUANTUM
+        if quantum < 1:
+            raise ValueError(f"quantum must be positive, not {quantum!r}")
         self.process = process
         self.kernel = kernel
         self.quantum = quantum
@@ -74,6 +81,26 @@ class ThreadGroup:
             interp.start(spec.entry, spec.args)
             self.threads.append(interp)
         self._snapshots: Optional[List[List[RegisterSnapshot]]] = None
+
+    @classmethod
+    def from_config(
+        cls,
+        process: Process,
+        kernel: Kernel,
+        specs: Sequence[ThreadSpec],
+        config,
+        thread_stack_size: int = DEFAULT_THREAD_STACK,
+    ) -> "ThreadGroup":
+        """Build a group whose quantum comes from a
+        :class:`~repro.machine.session.RunConfig` (already validated
+        there), instead of the module fallback."""
+        return cls(
+            process,
+            kernel,
+            specs,
+            quantum=config.quantum,
+            thread_stack_size=thread_stack_size,
+        )
 
     # ------------------------------------------------------------------
     # Scheduling

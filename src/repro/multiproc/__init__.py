@@ -1,0 +1,30 @@
+"""Multi-tenant execution: one simulated machine, many CARAT capsules.
+
+The paper's kernel hosts many processes; up to this package the
+reproduction ran one capsule per kernel.  This subsystem supplies the
+missing pieces:
+
+* :mod:`repro.multiproc.shares` — cross-process page sharing: identical
+  read-only images (globals + code) deduplicate into one physical copy;
+  a write CoW-breaks the page out through the transactional move path.
+* :mod:`repro.multiproc.scheduler` — a round-robin :class:`Scheduler`
+  time-slicing N :class:`~repro.machine.session.RunConfig`-configured
+  tenants over one kernel, with per-tenant stats, trace lanes, and
+  pause telemetry.
+* :mod:`repro.multiproc.arbiter` — the :class:`FairnessArbiter`
+  arbitrating heat/compaction/tiering globally under weighted per-tenant
+  cycle budgets, with pressure-driven demotion of the coldest tenant.
+"""
+
+from repro.multiproc.arbiter import FairnessArbiter
+from repro.multiproc.scheduler import ScheduleResult, Scheduler, TenantSpec
+from repro.multiproc.shares import ShareGroup, ShareManager
+
+__all__ = [
+    "FairnessArbiter",
+    "ScheduleResult",
+    "Scheduler",
+    "ShareGroup",
+    "ShareManager",
+    "TenantSpec",
+]

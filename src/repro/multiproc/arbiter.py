@@ -1,0 +1,188 @@
+"""Global policy arbitration across tenants: fairness-weighted budgets.
+
+A single-tenant machine runs one :class:`~repro.policy.engine.PolicyEngine`
+with one cycle budget.  With N tenants sharing the machine, the budget
+itself becomes the contended resource: the :class:`FairnessArbiter`
+keeps one heat tracker / compaction daemon / tiering balancer *per
+tenant* (policy state is per-PID, like everything else) but splits one
+global per-epoch move budget across them proportionally to their
+scheduling weights — a heavy tenant gets more move cycles per epoch,
+and no tenant can starve another by generating endless compaction work.
+
+On a tiered kernel the arbiter additionally watches fast-tier pressure:
+when occupancy crosses ``demote_pressure``, the tenant whose fast-tier
+residents carry the least total heat is demoted first (one eviction per
+round), freeing near memory for hotter tenants — global arbitration no
+per-tenant balancer could do alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.policy.compaction import CompactionDaemon
+from repro.policy.engine import PolicyStats
+from repro.policy.heat import HeatTracker
+from repro.policy.moves import EpochBudget
+from repro.policy.tiering import TieringBalancer
+
+
+@dataclass
+class _TenantPolicy:
+    """Per-tenant policy state the arbiter schedules."""
+
+    tenant: object
+    heat: HeatTracker
+    compaction: CompactionDaemon
+    tiering: Optional[TieringBalancer]
+    stats: PolicyStats = field(default_factory=PolicyStats)
+    #: Interpreter cycle count at this tenant's last epoch.
+    last_epoch_at: int = 0
+
+
+class FairnessArbiter:
+    """Weighted global policy budgets over N tenants; see module docstring."""
+
+    def __init__(
+        self,
+        epoch_cycles: int = 50_000,
+        budget_cycles: int = 25_000,
+        demote_pressure: float = 0.9,
+    ) -> None:
+        if epoch_cycles < 1 or budget_cycles < 1:
+            raise ValueError("epoch_cycles and budget_cycles must be positive")
+        if not (0.0 < demote_pressure <= 1.0):
+            raise ValueError("demote_pressure must be in (0, 1]")
+        self.epoch_cycles = epoch_cycles
+        self.budget_cycles = budget_cycles
+        self.demote_pressure = demote_pressure
+        self.kernel = None
+        self.states: Dict[int, _TenantPolicy] = {}
+        self.epochs_run = 0
+        self.pressure_demotions = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the Scheduler after tenants load)
+    # ------------------------------------------------------------------
+
+    def wire(self, scheduler) -> None:
+        self.kernel = scheduler.kernel
+        tiered = self.kernel.frames.tiered
+        for tenant in scheduler.tenants:
+            heat = HeatTracker()
+            heat.install(tenant.interpreter)
+            compaction = CompactionDaemon(
+                self.kernel, tenant.process, heat=heat
+            )
+            tiering = (
+                TieringBalancer(self.kernel, tenant.process, heat)
+                if tiered
+                else None
+            )
+            state = _TenantPolicy(tenant, heat, compaction, tiering)
+            state.stats.budget_cycles = self.budget_cycles
+            self.states[tenant.process.pid] = state
+
+    # ------------------------------------------------------------------
+    # The per-round arbitration step
+    # ------------------------------------------------------------------
+
+    def _weight_share(self, weight: int, total_weight: int) -> int:
+        return max(1, self.budget_cycles * weight // total_weight)
+
+    def on_round(self, scheduler) -> None:
+        """Called by the scheduler after every round: run an epoch for
+        each tenant that has executed ``epoch_cycles`` since its last,
+        with its weight's share of the global budget; then relieve
+        fast-tier pressure if the kernel is tiered."""
+        total_weight = sum(t.spec.weight for t in scheduler.tenants) or 1
+        for tenant in scheduler.tenants:
+            state = self.states.get(tenant.process.pid)
+            if state is None:
+                continue
+            cycles = tenant.interpreter.stats.cycles
+            if cycles - state.last_epoch_at < self.epoch_cycles:
+                continue
+            state.last_epoch_at = cycles
+            share = self._weight_share(tenant.spec.weight, total_weight)
+            budget = EpochBudget(share)
+            state.heat.end_epoch()
+            with scheduler.kernel.tenant(tenant.process.pid):
+                state.compaction.run_epoch(
+                    budget, tenant.interpreter, state.stats
+                )
+                if state.tiering is not None:
+                    state.tiering.run_epoch(
+                        budget, tenant.interpreter, state.stats
+                    )
+            state.stats.epochs += 1
+            state.stats.epoch_move_cycles.append(budget.spent)
+            state.stats.move_cycles += budget.spent
+            if budget.spent > share:
+                state.stats.budget_overruns += 1
+            self.epochs_run += 1
+        self._relieve_pressure(scheduler)
+
+    def _relieve_pressure(self, scheduler) -> None:
+        """Pressure-driven demotion: above the occupancy threshold, evict
+        one plan from the tenant whose fast-tier residents are coldest."""
+        kernel = scheduler.kernel
+        if not kernel.frames.tiered:
+            return
+        lo, hi = kernel.frames.tier_bounds("fast")
+        capacity = hi - lo
+        if not capacity:
+            return
+        used = capacity - kernel.frames.free_frames_in("fast")
+        if used / capacity < self.demote_pressure:
+            return
+        coldest = None
+        for state in self.states.values():
+            if state.tiering is None or state.tenant.done:
+                continue
+            _, residents = state.tiering.classify()
+            if not residents:
+                continue
+            total_heat = sum(score for _, score in residents)
+            if coldest is None or total_heat < coldest[0]:
+                coldest = (total_heat, state, residents)
+        if coldest is None:
+            return
+        _, state, residents = coldest
+        budget = EpochBudget(self.budget_cycles)
+        with kernel.tenant(state.tenant.process.pid):
+            demoted = state.tiering._evict_one(
+                float("inf"), residents, budget,
+                state.tenant.interpreter, state.stats,
+            )
+        if demoted:
+            self.pressure_demotions += 1
+            state.stats.move_cycles += budget.spent
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def budgets_respected(self) -> bool:
+        return all(
+            state.stats.budget_overruns == 0 for state in self.states.values()
+        )
+
+    def summary(self) -> dict:
+        return {
+            "epochs_run": self.epochs_run,
+            "pressure_demotions": self.pressure_demotions,
+            "budgets_respected": self.budgets_respected(),
+            "tenants": {
+                str(pid): {
+                    "epochs": state.stats.epochs,
+                    "compaction_moves": state.stats.compaction_moves,
+                    "promotions": state.stats.promotions,
+                    "demotions": state.stats.demotions,
+                    "move_cycles": state.stats.move_cycles,
+                    "weight": state.tenant.spec.weight,
+                }
+                for pid, state in sorted(self.states.items())
+            },
+        }

@@ -1,0 +1,278 @@
+"""Cross-process page sharing with copy-on-write break-out.
+
+Tenants loaded from the same signed binary have byte-identical read-only
+images — globals (pristine initial values) and code.  The
+:class:`ShareManager` keeps one physical copy per image, keyed on the
+binary's toolchain signature: the first tenant materializes the frames,
+later tenants just attach.  Every member maps the image read-only
+(``PERM_READ | PERM_EXEC``), so divergence is impossible by
+construction and attaching never re-hashes memory.
+
+A member's *write* into the image raises a
+:class:`~repro.errors.ProtectionFault`; the scheduler hands it to
+:meth:`ShareManager.service_write_fault`, which breaks the page out via
+the kernel's transactional page move (``reason="cow-break"`` — the one
+reason admission control lets through a shared range).  The move patches
+the tenant's escapes/registers/symbol map to the private copy, detaches
+the membership, restores write permission on the copy, and retries the
+faulting instruction — other members never notice.
+
+Refcounting is per page: ``ShareGroup.members`` maps each member PID to
+the set of page indices it still maps.  The canonical frames are held by
+the group itself (so late attachers always find pristine pages) and
+return to the kernel only when the last member detaches — lazy collapse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import RollbackError
+from repro.kernel.pagetable import PAGE_SIZE
+from repro.runtime.regions import PERM_RWX
+
+
+@dataclass
+class ShareGroup:
+    """One deduplicated image: a physical frame run plus its members."""
+
+    key: str
+    base: int
+    pages: int
+    #: member pid -> indices (0..pages) of the pages it still maps.
+    members: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def refcount(self, index: int) -> int:
+        return sum(1 for indices in self.members.values() if index in indices)
+
+
+class ShareManager:
+    """The kernel's CoW share table (attach via ``kernel.attach_shares``)."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.groups: Dict[str, ShareGroup] = {}
+        #: CoW-break counters (reported by ``dedup_stats``).
+        self.cow_breaks = 0
+        self.pages_broken = 0
+        self.break_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Registration / attachment (the load path)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def image_key(binary) -> str:
+        """Identity of a binary's read-only image.  The toolchain
+        signature is an HMAC over the canonicalized module, so two loads
+        of the same program share and different programs never do."""
+        signature = getattr(binary, "signature", None)
+        if signature is not None:
+            return signature.digest
+        return hashlib.sha256(binary.name.encode()).hexdigest()
+
+    def lookup(self, key: str) -> Optional[ShareGroup]:
+        """The live group for ``key``; a fully-collapsed group (every
+        member CoW-broke away, frames already freed) reads as absent so
+        the next tenant re-materializes the image."""
+        group = self.groups.get(key)
+        if group is not None and not group.members:
+            del self.groups[key]
+            return None
+        return group
+
+    def register(self, key: str, base: int, pages: int) -> ShareGroup:
+        if key in self.groups and self.groups[key].members:
+            raise ValueError(f"share group {key[:12]} already registered")
+        group = ShareGroup(key=key, base=base, pages=pages)
+        self.groups[key] = group
+        return group
+
+    def attach(self, group: ShareGroup, pid: int) -> None:
+        group.members[pid] = set(range(group.pages))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _indices_in(self, group: ShareGroup, lo: int, hi: int) -> range:
+        start = max(lo, group.base)
+        end = min(hi, group.base + group.pages * PAGE_SIZE)
+        if start >= end:
+            return range(0)
+        return range(
+            (start - group.base) // PAGE_SIZE,
+            (end - group.base + PAGE_SIZE - 1) // PAGE_SIZE,
+        )
+
+    def range_shared(self, pid: int, lo: int, hi: int) -> bool:
+        """Does [lo, hi) cover any page ``pid`` still maps from a share
+        group?  The pin predicate: admission control and the policy
+        daemons refuse to move such ranges (except the CoW break)."""
+        for group in self.groups.values():
+            indices = group.members.get(pid)
+            if not indices:
+                continue
+            for index in self._indices_in(group, lo, hi):
+                if index in indices:
+                    return True
+        return False
+
+    def shared_frame_owners(self) -> Dict[int, Set[int]]:
+        """frame index -> member PIDs, for **every** page of every
+        registered group (zero-member pages included: their frames are
+        the group's canonical hold).  The sanitizer's frame-ownership
+        rule consults this to allow exactly the registered sharing."""
+        owners: Dict[int, Set[int]] = {}
+        for group in self.groups.values():
+            for index in range(group.pages):
+                frame = group.base // PAGE_SIZE + index
+                owners[frame] = {
+                    pid
+                    for pid, indices in group.members.items()
+                    if index in indices
+                }
+        return owners
+
+    def dedup_stats(self) -> dict:
+        """Savings accounting for the benchmark: each page mapped by M
+        members costs one frame instead of M."""
+        groups = []
+        saved_pages = 0
+        shared_pages = 0
+        for group in self.groups.values():
+            refs = [group.refcount(i) for i in range(group.pages)]
+            group_saved = sum(max(0, r - 1) for r in refs)
+            saved_pages += group_saved
+            shared_pages += group.pages
+            groups.append({
+                "key": group.key[:12],
+                "base": group.base,
+                "pages": group.pages,
+                "members": len(group.members),
+                "saved_pages": group_saved,
+            })
+        return {
+            "groups": groups,
+            "shared_pages": shared_pages,
+            "saved_pages": saved_pages,
+            "saved_bytes": saved_pages * PAGE_SIZE,
+            "cow_breaks": self.cow_breaks,
+            "pages_broken": self.pages_broken,
+            "break_cycles": self.break_cycles,
+        }
+
+    # ------------------------------------------------------------------
+    # Transactional detach (called from the move protocol)
+    # ------------------------------------------------------------------
+
+    def detach_range(
+        self, pid: int, lo: int, page_count: int, holder: List
+    ) -> None:
+        """Detach ``pid``'s membership of the shared pages in
+        ``[lo, lo + page_count pages)`` — the STEP_RELEASE_FRAMES half of
+        a CoW break.  Canonical frames stay allocated (the group holds
+        them for late attachers) unless the whole group just lost its
+        last member, in which case the entire run returns to the kernel.
+        Undo records land in ``holder`` for :meth:`reattach_range`."""
+        hi = lo + page_count * PAGE_SIZE
+        for key, group in list(self.groups.items()):
+            indices = group.members.get(pid)
+            if not indices:
+                continue
+            detached = [
+                index
+                for index in self._indices_in(group, lo, hi)
+                if index in indices
+            ]
+            if not detached:
+                continue
+            indices.difference_update(detached)
+            if not indices:
+                del group.members[pid]
+            collapsed = not group.members
+            if collapsed:
+                self.kernel.frames.free_address(group.base, group.pages)
+                del self.groups[key]
+            holder.append(
+                {"group": group, "pid": pid, "indices": detached,
+                 "collapsed": collapsed}
+            )
+
+    def reattach_range(
+        self, pid: int, lo: int, page_count: int, holder: List
+    ) -> None:
+        """Rollback of :meth:`detach_range`: restore memberships and, for
+        a collapsed group, re-claim its freed frames and re-register it."""
+        while holder:
+            record = holder.pop()
+            group = record["group"]
+            if record["collapsed"]:
+                if not self.kernel.frames.alloc_at(
+                    group.base // PAGE_SIZE, group.pages
+                ):
+                    raise RollbackError(
+                        f"shared frames at {group.base:#x} were "
+                        f"reallocated mid-rollback"
+                    )
+                self.groups[group.key] = group
+            group.members.setdefault(record["pid"], set()).update(
+                record["indices"]
+            )
+
+    # ------------------------------------------------------------------
+    # The CoW break (fault service)
+    # ------------------------------------------------------------------
+
+    def service_write_fault(self, process, interpreter, fault) -> Optional[int]:
+        """Service a guard fault as a CoW break when — and only when —
+        it is a *write* into a page ``process`` maps from a share group.
+        Returns the cycles charged, or ``None`` for a genuine violation
+        (the caller re-raises).
+
+        The break is one transactional page move with
+        ``reason="cow-break"``: the world stops, escapes and registers
+        are patched to the private copy, the membership detaches
+        (journaled — a fault mid-move rolls it all back), write
+        permission is restored on the copy, and the faulting store
+        retries against it."""
+        if fault.access != "write":
+            return None
+        page = fault.address & ~(PAGE_SIZE - 1)
+        if not self.range_shared(process.pid, page, page + PAGE_SIZE):
+            return None
+        kernel = self.kernel
+        runtime = process.runtime
+        plan = runtime.patcher.plan_move(page, page + PAGE_SIZE)
+        pages = plan.length // PAGE_SIZE
+        destination = kernel.frames.alloc_address(pages)
+        snapshots = interpreter.register_snapshots()
+        _, _, cycles = kernel.request_page_move(
+            process,
+            plan.lo,
+            pages,
+            register_snapshots=snapshots,
+            destination=destination,
+            reason="cow-break",
+        )
+        # The private copy belongs to this tenant alone: writable again.
+        process.regions.set_range_perms(
+            destination, destination + plan.length, PERM_RWX
+        )
+        process.regions.coalesce()
+        interpreter.apply_snapshots(snapshots)
+        interpreter.retry_current_instruction()
+        # The faulting tenant pays for its own break.
+        interpreter.stats.cycles += cycles
+        self.cow_breaks += 1
+        self.pages_broken += pages
+        self.break_cycles += cycles
+        if kernel.tracer is not None:
+            kernel.tracer.instant(
+                "cow.break", "kernel",
+                {"page": plan.lo, "pages": pages, "cycles": cycles},
+                pid=process.pid,
+            )
+        return cycles

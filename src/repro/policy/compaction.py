@@ -208,6 +208,11 @@ class CompactionDaemon:
             plan = patcher.plan_move(chunk_lo, chunk_hi)
             if degradation is not None and not degradation.allows(plan.lo, plan.hi):
                 continue  # pinned (quarantined) range: try the next extent
+            shares = self.kernel.shares
+            if shares is not None and shares.range_shared(
+                self.process.pid, plan.lo, plan.hi
+            ):
+                continue  # CoW-shared pages are pinned for policy moves
             for hole_start, hole_length in holes:
                 if (
                     hole_length >= plan.page_count

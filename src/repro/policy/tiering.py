@@ -104,6 +104,11 @@ class TieringBalancer:
             degradation = self.kernel.degradation
             if degradation is not None and not degradation.allows(plan.lo, plan.hi):
                 continue  # pinned (quarantined) after repeated failures
+            shares = self.kernel.shares
+            if shares is not None and shares.range_shared(
+                self.process.pid, plan.lo, plan.hi
+            ):
+                continue  # CoW-shared pages are pinned for policy moves
             # Moves happen at plan (page-range) granularity, so heat
             # comparisons must too: a cold allocation sharing a page
             # with a hot one is NOT a cheap thing to move.
@@ -206,6 +211,10 @@ class TieringBalancer:
                 continue
             if degradation is not None and not degradation.allows(plan.lo, plan.hi):
                 continue  # pinned (quarantined) after repeated failures
+            if kernel.shares is not None and kernel.shares.range_shared(
+                self.process.pid, plan.lo, plan.hi
+            ):
+                continue  # CoW-shared pages are pinned for policy moves
             plan_score = self._range_heat(plan.lo, plan.hi)
             if plan_score >= incoming_score:
                 continue  # would carry out something at least as hot

@@ -58,10 +58,14 @@ UNDO_CYCLES_PER_RECORD = 25
 class MoveTransaction:
     """One attempt of one change request, with rollback on any fault."""
 
-    def __init__(self, kernel, runtime, operation: str) -> None:
+    def __init__(
+        self, kernel, runtime, operation: str, pid: Optional[int] = None
+    ) -> None:
         self.kernel = kernel
         self.runtime = runtime
         self.operation = operation
+        #: Owning tenant, for per-PID stat attribution (None = legacy).
+        self.pid = pid
         self.journal = MoveJournal()
         self.current_step: str = STEP_WORLD_STOP
         #: Cycles lost to injected hangs this attempt (stalls below the
@@ -121,7 +125,7 @@ class MoveTransaction:
         self.runtime.on_move_rollback()
         if self.initiated_stop:
             self.runtime.resume()
-        self.kernel.stats.moves_rolled_back += 1
+        self.kernel.charge_stat("moves_rolled_back", pid=self.pid)
         if self.kernel.tracer is not None:
             self.kernel.tracer.instant(
                 "move.rollback", "resilience",
@@ -167,8 +171,8 @@ def drive_transaction(
     attempts = 0
     while True:
         attempts += 1
-        kernel.stats.moves_attempted += 1
-        txn = MoveTransaction(kernel, runtime, operation)
+        kernel.charge_stat("moves_attempted", pid=process.pid)
+        txn = MoveTransaction(kernel, runtime, operation, pid=process.pid)
         try:
             result = attempt(txn)
         except RollbackError:
@@ -180,8 +184,8 @@ def drive_transaction(
             if transient and policy.should_retry(attempts):
                 backoff = policy.backoff_cycles(attempts)
                 wasted += backoff
-                kernel.stats.move_retries += 1
-                kernel.stats.backoff_cycles += backoff
+                kernel.charge_stat("move_retries", pid=process.pid)
+                kernel.charge_stat("backoff_cycles", backoff, pid=process.pid)
                 if kernel.tracer is not None:
                     kernel.tracer.instant(
                         "move.retry", "resilience",
@@ -202,7 +206,7 @@ def drive_transaction(
             )
             if kernel.degradation is not None:
                 kernel.degradation.record_failure(failure)
-                kernel.stats.moves_degraded += 1
+                kernel.charge_stat("moves_degraded", pid=process.pid)
                 if kernel.tracer is not None:
                     kernel.tracer.instant(
                         "move.degraded", "resilience",
@@ -210,7 +214,8 @@ def drive_transaction(
                          "step": txn.current_step, "attempts": attempts},
                     )
             if charge_move_cycles:
-                kernel.stats.move_cycles += wasted
+                kernel.charge_stat("move_cycles", wasted, pid=process.pid)
+            kernel.record_pause(process.pid, wasted)
             error = MoveError(
                 f"{operation} of [{lo:#x}, {hi:#x}) failed at step "
                 f"{txn.current_step!r} after {attempts} attempt(s): {exc}",
@@ -223,7 +228,7 @@ def drive_transaction(
             error.failure = failure
             raise error from exc
         txn.commit()
-        kernel.stats.moves_committed += 1
+        kernel.charge_stat("moves_committed", pid=process.pid)
         if kernel.tracer is not None:
             kernel.tracer.instant(
                 "move.commit", "resilience",
@@ -232,7 +237,8 @@ def drive_transaction(
             )
         total = result[-1] + wasted
         if charge_move_cycles:
-            kernel.stats.move_cycles += total
+            kernel.charge_stat("move_cycles", total, pid=process.pid)
+        kernel.record_pause(process.pid, total)
         return result[:-1] + (total,)
 
 
@@ -378,21 +384,42 @@ def execute_page_move(
             setattr(layout, attr, segment_base + delta)
 
     # The old frames return to the kernel; undo re-claims exactly them.
+    # When the source pages sit in a CoW share group (this move is the
+    # group's own ``cow-break`` service — admission refuses everyone
+    # else), only this tenant's membership detaches: frames still mapped
+    # by other members stay allocated, frames whose refcount hit zero
+    # are freed.  Undo reattaches the membership and re-claims exactly
+    # what was freed; the undo is recorded BEFORE the detach so a fault
+    # *during* the detach still rolls back.
     txn.enter(STEP_RELEASE_FRAMES)
     source_pages = plan.length // PAGE_SIZE
-    def reclaim_source(base=plan.lo, count=source_pages):
-        if not kernel.frames.alloc_at(base // PAGE_SIZE, count):
-            raise RollbackError(
-                f"source frames at {base:#x} were reallocated mid-rollback"
-            )
-    journal.record(STEP_RELEASE_FRAMES, "re-claim source frames", reclaim_source)
-    kernel.frames.free_address(plan.lo, source_pages)
+    shares = getattr(kernel, "shares", None)
+    if shares is not None and shares.range_shared(process.pid, plan.lo, plan.hi):
+        released_holder: list = []
+        def reattach_shared(
+            base=plan.lo, count=source_pages, holder=released_holder
+        ):
+            shares.reattach_range(process.pid, base, count, holder)
+        journal.record(
+            STEP_RELEASE_FRAMES, "reattach shared source pages", reattach_shared
+        )
+        shares.detach_range(process.pid, plan.lo, source_pages, released_holder)
+    else:
+        def reclaim_source(base=plan.lo, count=source_pages):
+            if not kernel.frames.alloc_at(base // PAGE_SIZE, count):
+                raise RollbackError(
+                    f"source frames at {base:#x} were reallocated mid-rollback"
+                )
+        journal.record(
+            STEP_RELEASE_FRAMES, "re-claim source frames", reclaim_source
+        )
+        kernel.frames.free_address(plan.lo, source_pages)
 
     # Step 12 — the commit point.  Everything after this line is
     # observable; nothing before it is.
     txn.enter(STEP_RESUME)
     process.pages_moved += plan.page_count
-    kernel.stats.carat_moves += 1
+    kernel.charge_stat("carat_moves", pid=process.pid)
     runtime.stats.moves_serviced += 1
     runtime.stats.move_cost_accum = runtime.stats.move_cost_accum + cost
     kernel.notifier.pte_change(
@@ -485,7 +512,7 @@ def execute_protection_change(
 
     txn.enter(STEP_RESUME)
     runtime.resume()
-    kernel.stats.carat_protection_changes += 1
+    kernel.charge_stat("carat_protection_changes", pid=process.pid)
     kernel._sanitize("protection-change")
     return (
         txn.stop_cycles + txn.stalled_cycles + kernel.costs.alloc_table_update,

@@ -312,22 +312,36 @@ def _rule_frame_ownership(ctx: CheckContext, report: SanitizerReport) -> None:
     """The frame allocator's idea of "allocated" must equal the union of
     what page tables map and what CARAT regions cover: an allocated frame
     nobody references is leaked; a free frame somebody references is a
-    use-after-free waiting to happen."""
+    use-after-free waiting to happen.
+
+    Cross-process rule: a frame may be claimed by at most one PID —
+    *unless* it is registered with the kernel's CoW share manager, in
+    which case exactly the registered member PIDs may map it."""
     kernel = ctx.kernel
     frames = kernel.frames
     total = frames.total_frames
-    owners: Dict[int, str] = {}
+    owners: Dict[int, Tuple[str, int]] = {}
+    shares = getattr(kernel, "shares", None)
+    shared_owners: Dict[int, set] = (
+        shares.shared_frame_owners() if shares is not None else {}
+    )
 
     def claim(frame: int, owner: str, pid: int) -> None:
         if frame in owners:
+            prior_owner, prior_pid = owners[frame]
+            members = shared_owners.get(frame)
+            if members is not None and pid in members and prior_pid in members:
+                return  # registered CoW sharing: multi-ownership is legal
             report.add(
                 "frame-ownership",
-                f"frame {frame} claimed by both {owners[frame]} and {owner}",
+                f"frame {frame} claimed by both {prior_owner} and {owner}"
+                + ("" if members is None else
+                   f" but the share table registers only pids {sorted(members)}"),
                 pid=pid,
                 subject=frame,
             )
         else:
-            owners[frame] = owner
+            owners[frame] = (owner, pid)
 
     for process in kernel.processes.values():
         if process.page_table is not None:
@@ -368,16 +382,75 @@ def _rule_frame_ownership(ctx: CheckContext, report: SanitizerReport) -> None:
             if owner is not None:
                 report.add(
                     "frame-ownership",
-                    f"frame {frame} is free but still referenced by {owner}",
+                    f"frame {frame} is free but still referenced by "
+                    f"{owner[0]}",
                     subject=frame,
                 )
         elif owner is None:
+            if frame in shared_owners:
+                # Canonical hold: the share group keeps its frames
+                # allocated even when every member has CoW-broken away,
+                # so a late attacher still finds pristine pages.
+                continue
             report.add(
                 "frame-ownership",
                 f"allocated frame {frame} is referenced by no page table "
                 f"or region (leaked)",
                 subject=frame,
             )
+
+
+def _rule_shared_cow(ctx: CheckContext, report: SanitizerReport) -> None:
+    """The CoW share table must stay consistent with the machine:
+
+    * every attached shared page's frame is actually allocated;
+    * every member PID is a live process the kernel knows;
+    * no member holds *write* permission on a page still attached to a
+      share group — a writable shared page lets one tenant silently
+      corrupt every other member (the exact bug CoW-breaking exists to
+      prevent; the fault injector's ``corrupt_cow_share`` plants it).
+    """
+    kernel = ctx.kernel
+    shares = getattr(kernel, "shares", None)
+    if shares is None:
+        return
+    frames = kernel.frames
+    for group in shares.groups.values():
+        for pid, page_indices in group.members.items():
+            process = kernel.processes.get(pid)
+            if process is None:
+                report.add(
+                    "shared-cow",
+                    f"share group {group.key[:12]} lists unknown pid {pid}",
+                    pid=pid,
+                    subject=group.base,
+                )
+                continue
+            regions = process.regions
+            for index in sorted(page_indices):
+                address = group.base + index * PAGE_SIZE
+                frame = address // PAGE_SIZE
+                if frames.frame_is_free(frame):
+                    report.add(
+                        "shared-cow",
+                        f"shared page {address:#x} (group {group.key[:12]}) "
+                        f"is attached to pid {pid} but its frame is free",
+                        pid=pid,
+                        subject=address,
+                    )
+                if regions is None:
+                    continue
+                region = regions.find(address)
+                if region is not None and region.allows("write"):
+                    report.add(
+                        "shared-cow",
+                        f"pid {pid} holds write permission on CoW-shared "
+                        f"page {address:#x} (group {group.key[:12]}) "
+                        f"without detaching — other members see its "
+                        f"stores",
+                        pid=pid,
+                        subject=address,
+                    )
 
 
 # ----------------------------------------------------------------------
@@ -432,6 +505,7 @@ DEFAULT_RULES: List[Tuple[str, Rule]] = [
     ("register-coverage", _rule_register_coverage),
     ("tlb", _rule_tlb),
     ("frame-ownership", _rule_frame_ownership),
+    ("shared-cow", _rule_shared_cow),
     ("heap", _rule_heap),
 ]
 

@@ -145,6 +145,33 @@ class FaultInjector:
         self.injected.append(f"leak-frame: frame {frame}")
         return frame
 
+    # -- CoW sharing ------------------------------------------------------
+
+    def corrupt_cow_share(self, process) -> int:
+        """Grant ``process`` write permission on one of its CoW-shared
+        pages *without* detaching it from the share group — the stores of
+        one tenant would silently reach every other member.  Detected by
+        ``shared-cow``."""
+        from repro.runtime.regions import PERM_RWX
+
+        shares = self.kernel.shares
+        if shares is None:
+            raise ValueError("kernel has no ShareManager attached")
+        for group in shares.groups.values():
+            indices = group.members.get(process.pid)
+            if indices:
+                index = min(indices)
+                address = group.base + index * PAGE_SIZE
+                process.regions.set_range_perms(
+                    address, address + PAGE_SIZE, PERM_RWX
+                )
+                self.injected.append(
+                    f"corrupt-cow-share: pid {process.pid} made shared "
+                    f"page {address:#x} writable without detaching"
+                )
+                return address
+        raise ValueError(f"pid {process.pid} has no attached shared pages")
+
 
 # ---------------------------------------------------------------------------
 # Step-targeted protocol fault injection (the resilience campaign)

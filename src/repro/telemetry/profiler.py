@@ -52,7 +52,12 @@ _APP, _GUARD, _TRACK, _MMU, _FAULT, _TIER, _INSTS = range(7)
 class CycleProfiler:
     """Delta-capture profiler over ``InterpStats``' cycle counters."""
 
-    def __init__(self) -> None:
+    def __init__(self, pid: int = 0) -> None:
+        #: Owning tenant's PID (the trace events' ``pid`` lane convention):
+        #: a multi-tenant scheduler builds one profiler per tenant and
+        #: stamps it, so every bucket in ``to_dict`` names its owner.
+        #: Single-process runs leave it at 0.
+        self.pid = pid
         #: category -> cycles (instruction-attributed + external).
         self.buckets: Dict[str, int] = {c: 0 for c in PROFILE_CATEGORIES}
         #: function name -> 7-slot accumulator row (see _APP.._INSTS).
@@ -122,12 +127,17 @@ class CycleProfiler:
     def attach(self, interpreter) -> None:
         """Interpose on an interpreter (either engine) and its runtime.
 
+        Adopts the interpreter's process PID when the profiler was not
+        already stamped, so per-tenant profiles label themselves.
+
         Everything installed here is an *instance* attribute shadowing a
         class method — detaching is just never attaching; no class or
         module state is touched, so concurrent unprofiled interpreters
         are unaffected.
         """
         interpreter.profiler = self  # the fast engine's loop checks this
+        if not self.pid:
+            self.pid = interpreter.process.pid
         profiler = self
         execute = interpreter._execute  # bound reference method
 
@@ -262,6 +272,7 @@ class CycleProfiler:
     def to_dict(self) -> dict:
         return {
             "schema": "carat.profile.v1",
+            "pid": self.pid,
             "total_cycles": self.total_cycles,
             "instructions": self.instructions,
             "buckets": dict(self.buckets),

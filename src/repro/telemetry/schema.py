@@ -8,7 +8,7 @@ Every line of a trace JSONL file (and every element of a Chrome
       "cat":  str,            # emitting layer — see CATEGORIES in tracer.py
       "ph":   "B"|"E"|"i"|"C",# phase: span begin/end, instant, counter
       "ts":   int >= 0,       # simulated cycles (logical seq pre-machine)
-      "pid":  int,            # always 0 (one simulated machine)
+      "pid":  int,            # owning tenant's PID (0 = single-process run)
       "tid":  int,            # logical track, 0 = main
       "args": object,         # optional structured payload
       "s":    "t",            # instants only: scope = thread
@@ -17,8 +17,11 @@ Every line of a trace JSONL file (and every element of a Chrome
 The validator is intentionally plain Python (no jsonschema dependency —
 the container image is frozen): it checks required keys, types, the
 phase alphabet, category membership, timestamp monotonic sanity, and
-per-tid begin/end balance.  Used by ``tests/test_telemetry.py`` and the
-CI trace-smoke job via ``repro trace``.
+begin/end balance — both keyed per ``(pid, tid)`` lane, so multi-tenant
+traces (one pid per tenant) load cleanly in Chrome's trace viewer,
+which renders each pid as its own process group.  Used by
+``tests/test_telemetry.py`` and the CI trace-smoke job via
+``repro trace``.
 """
 
 from __future__ import annotations
@@ -56,7 +59,9 @@ _CATS = frozenset(TRACE_SCHEMA["cat"])
 def validate_events(events: Iterable[dict]) -> List[str]:
     """Validate decoded event dicts; returns a list of error strings
     (empty list = valid).  Checks structure, then cross-event invariants:
-    non-decreasing timestamps per tid and balanced B/E nesting per tid."""
+    non-decreasing timestamps and balanced B/E nesting, each keyed per
+    ``(pid, tid)`` lane (Chrome's trace viewer nests spans per pid/tid
+    pair, so a multi-tenant trace must hold these per tenant)."""
     errors: List[str] = []
     last_ts: dict = {}
     stacks: dict = {}
@@ -88,14 +93,17 @@ def validate_events(events: Iterable[dict]) -> List[str]:
         if "args" in event and not isinstance(event["args"], dict):
             errors.append(f"{where}: args must be an object")
         tid = event.get("tid")
+        pid = event.get("pid")
         ts = event.get("ts")
-        if isinstance(tid, int) and isinstance(ts, int):
-            if tid in last_ts and ts < last_ts[tid]:
+        if isinstance(tid, int) and isinstance(pid, int) and isinstance(ts, int):
+            lane = (pid, tid)
+            if lane in last_ts and ts < last_ts[lane]:
                 errors.append(
-                    f"{where}: timestamp {ts} precedes {last_ts[tid]} on tid {tid}"
+                    f"{where}: timestamp {ts} precedes {last_ts[lane]} "
+                    f"on pid {pid} tid {tid}"
                 )
-            last_ts[tid] = ts
-            stack = stacks.setdefault(tid, [])
+            last_ts[lane] = ts
+            stack = stacks.setdefault(lane, [])
             if ph == "B":
                 stack.append((name, index))
             elif ph == "E":
@@ -108,10 +116,11 @@ def validate_events(events: Iterable[dict]) -> List[str]:
                             f"{where}: end {name!r} closes span "
                             f"{open_name!r} opened at event {open_index}"
                         )
-    for tid, stack in stacks.items():
+    for (pid, tid), stack in stacks.items():
         for open_name, open_index in stack:
             errors.append(
-                f"unclosed span {open_name!r} (event {open_index}, tid {tid})"
+                f"unclosed span {open_name!r} "
+                f"(event {open_index}, pid {pid}, tid {tid})"
             )
     return errors
 

@@ -106,6 +106,12 @@ class Tracer:
         self.events: List[TraceEvent] = []
         #: Events discarded after the buffer filled (reported, not silent).
         self.dropped = 0
+        #: The PID lane events land in (the ``tid`` convention, one level
+        #: up): a multi-tenant scheduler sets this to the running tenant's
+        #: PID around each quantum so every event any layer emits —
+        #: protocol steps, policy epochs, counters — is stamped with its
+        #: owning tenant.  Single-process runs leave it at 0.
+        self.current_pid = 0
         self._clock: Optional[Callable[[], int]] = None
         self._clock_offset = 0
         self._seq = 0
@@ -143,36 +149,64 @@ class Tracer:
     # -- emission --------------------------------------------------------
 
     def _emit(
-        self, name: str, cat: str, ph: str, args: Optional[dict], tid: int
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        args: Optional[dict],
+        tid: int,
+        pid: Optional[int] = None,
     ) -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
         self._seq += 1
-        self.events.append(TraceEvent(name, cat, ph, self.now(), 0, tid, args))
+        owner = self.current_pid if pid is None else pid
+        self.events.append(
+            TraceEvent(name, cat, ph, self.now(), owner, tid, args)
+        )
 
     def instant(
-        self, name: str, cat: str, args: Optional[dict] = None, tid: int = 0
+        self,
+        name: str,
+        cat: str,
+        args: Optional[dict] = None,
+        tid: int = 0,
+        pid: Optional[int] = None,
     ) -> None:
-        self._emit(name, cat, PH_INSTANT, args, tid)
+        self._emit(name, cat, PH_INSTANT, args, tid, pid)
 
     def begin(
-        self, name: str, cat: str, args: Optional[dict] = None, tid: int = 0
+        self,
+        name: str,
+        cat: str,
+        args: Optional[dict] = None,
+        tid: int = 0,
+        pid: Optional[int] = None,
     ) -> None:
         self._depth[tid] = self._depth.get(tid, 0) + 1
-        self._emit(name, cat, PH_BEGIN, args, tid)
+        self._emit(name, cat, PH_BEGIN, args, tid, pid)
 
     def end(
-        self, name: str, cat: str, args: Optional[dict] = None, tid: int = 0
+        self,
+        name: str,
+        cat: str,
+        args: Optional[dict] = None,
+        tid: int = 0,
+        pid: Optional[int] = None,
     ) -> None:
         self._depth[tid] = max(0, self._depth.get(tid, 0) - 1)
-        self._emit(name, cat, PH_END, args, tid)
+        self._emit(name, cat, PH_END, args, tid, pid)
 
     def counter(
-        self, name: str, values: Dict[str, int], tid: int = 0
+        self,
+        name: str,
+        values: Dict[str, int],
+        tid: int = 0,
+        pid: Optional[int] = None,
     ) -> None:
         """A counter sample: ``values`` become the tracked series."""
-        self._emit(name, "metrics", PH_COUNTER, dict(values), tid)
+        self._emit(name, "metrics", PH_COUNTER, dict(values), tid, pid)
 
     @contextmanager
     def span(
