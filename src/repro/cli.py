@@ -58,6 +58,35 @@ def _add_engine_flag(parser, help_suffix: str = "") -> None:
     )
 
 
+def _add_async_move_flags(parser) -> None:
+    parser.add_argument(
+        "--async-moves",
+        action="store_true",
+        dest="async_moves",
+        help="service policy moves through the asynchronous move queue: "
+        "pre-copy runs in bounded chunks with the world running and one "
+        "batched stop covers the patch-and-flip tail",
+    )
+    parser.add_argument(
+        "--move-batch",
+        type=int,
+        default=4,
+        dest="move_batch",
+        metavar="N",
+        help="queued same-tenant moves amortizing one flip stop "
+        "(default 4; needs --async-moves)",
+    )
+    parser.add_argument(
+        "--chunk-budget",
+        type=int,
+        default=0,
+        dest="chunk_budget",
+        metavar="CYCLES",
+        help="cycle cap per pre-copy chunk; 0 streams each move's "
+        "pre-copy in one step (default 0; needs --async-moves)",
+    )
+
+
 def _add_telemetry_flags(parser) -> None:
     parser.add_argument(
         "--trace",
@@ -151,6 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="attempts per move before it degrades (default: 3)",
     )
+    _add_async_move_flags(run)
     _add_telemetry_flags(run)
 
     bench = sub.add_parser("bench", help="run one suite workload in all modes")
@@ -238,6 +268,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="attempts per move before it degrades (default: 3)",
     )
+    _add_async_move_flags(policy)
 
     smp = sub.add_parser(
         "smp",
@@ -319,6 +350,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run under the cross-layer invariant checker (including the "
         "cross-process frame-ownership and shared-CoW rules)",
     )
+    _add_async_move_flags(smp)
     smp.add_argument(
         "--json",
         metavar="FILE",

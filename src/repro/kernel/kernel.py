@@ -183,6 +183,11 @@ class Kernel:
         #: Attached :class:`~repro.telemetry.Tracer`; every Figure-8
         #: protocol step lands in it as an instant event.
         self.tracer = None
+        #: Attached :class:`~repro.resilience.movequeue.MoveQueue`;
+        #: when present, policy moves enqueue instead of running the
+        #: full protocol synchronously, and :meth:`advance_clock` drains
+        #: them incrementally with bounded pauses.
+        self.move_queue = None
 
     def _trace(self, step: int, message: str) -> None:
         if self.trace_protocol:
@@ -829,7 +834,17 @@ class Kernel:
         tracer observes only — it never charges a cycle anywhere."""
         self.tracer = tracer
 
+    def attach_move_queue(self, queue) -> None:
+        """Install a :class:`~repro.resilience.movequeue.MoveQueue`:
+        policy moves become asynchronous — enqueued with their
+        destination claimed, pre-copied in bounded chunks from
+        :meth:`advance_clock` (and the scheduler's quantum boundaries),
+        and flipped in one short batched world stop."""
+        self.move_queue = queue
+
     def advance_clock(self, cycles: int) -> None:
         self.clock_cycles += cycles
         if self.policy is not None:
             self.policy.on_clock(self)
+        if self.move_queue is not None:
+            self.move_queue.step()

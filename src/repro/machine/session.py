@@ -83,6 +83,14 @@ class RunConfig:
     #: Path prefix for trace export (written as PREFIX.jsonl and
     #: PREFIX.chrome.json); implies ``trace``.
     trace_out: Optional[str] = None
+    #: Asynchronous move service (``--async-moves``): policy moves
+    #: enqueue into a :class:`~repro.resilience.movequeue.MoveQueue`
+    #: and run incrementally instead of stopping the world per move.
+    async_moves: bool = False
+    #: Queued same-tenant moves amortizing one flip stop (``--move-batch``).
+    move_batch: int = 4
+    #: Cycle cap per pre-copy chunk (``--chunk-budget``); 0 = unchunked.
+    chunk_budget: int = 0
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -105,6 +113,16 @@ class RunConfig:
             raise ValueError(
                 f"quantum must be a positive instruction count, "
                 f"not {self.quantum!r}"
+            )
+        if not isinstance(self.move_batch, int) or self.move_batch < 1:
+            raise ValueError(
+                f"move_batch must be a positive move count, "
+                f"not {self.move_batch!r}"
+            )
+        if not isinstance(self.chunk_budget, int) or self.chunk_budget < 0:
+            raise ValueError(
+                f"chunk_budget must be a non-negative cycle count, "
+                f"not {self.chunk_budget!r}"
             )
 
     @property
@@ -236,6 +254,16 @@ class CaratSession:
             from repro.resilience import DegradationManager
 
             kernel.attach_degradation(DegradationManager())
+        if config.async_moves and kernel.move_queue is None:
+            from repro.resilience import MoveQueue
+
+            kernel.attach_move_queue(
+                MoveQueue(
+                    kernel,
+                    batch_size=config.move_batch,
+                    chunk_budget=config.chunk_budget,
+                )
+            )
         return kernel
 
     # ------------------------------------------------------------------
@@ -304,6 +332,8 @@ class CaratSession:
                 )
             if profiler is not None:
                 profiler.finish(interpreter.stats)
+        if kernel.move_queue is not None:
+            kernel.move_queue.drain_all()
         if sanitizer is not None:
             sanitizer.finish(kernel)
         if tracer is not None and config.trace_out is not None:

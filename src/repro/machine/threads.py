@@ -116,14 +116,22 @@ class ThreadGroup:
 
     def run_round(self) -> bool:
         """One scheduling round: every live thread runs one quantum.
-        Returns True while any thread remains."""
+        Returns True while any thread remains.  Every thread is at a
+        safepoint between quanta, so an attached move queue advances one
+        bounded chunk here."""
         for thread in self.alive:
             thread.run_steps(self.quantum)
+        queue = getattr(self.kernel, "move_queue", None)
+        if queue is not None:
+            queue.step()
         return not self.all_done
 
     def run_to_completion(self, max_rounds: int = 1_000_000) -> None:
         for _ in range(max_rounds):
             if not self.run_round():
+                queue = getattr(self.kernel, "move_queue", None)
+                if queue is not None:
+                    queue.drain_all()
                 return
         raise InterpError("thread group exceeded its round budget")
 

@@ -69,6 +69,7 @@ class FairnessArbiter:
     def wire(self, scheduler) -> None:
         self.kernel = scheduler.kernel
         tiered = self.kernel.frames.tiered
+        total_weight = sum(t.spec.weight for t in scheduler.tenants) or 1
         for tenant in scheduler.tenants:
             heat = HeatTracker()
             heat.install(tenant.interpreter)
@@ -81,7 +82,13 @@ class FairnessArbiter:
                 else None
             )
             state = _TenantPolicy(tenant, heat, compaction, tiering)
-            state.stats.budget_cycles = self.budget_cycles
+            # Each tenant's contract is its *weighted share* of the
+            # global budget — the same number on_round hands out — so
+            # summary() and budgets_respected() report against the share
+            # actually enforced, not the whole-machine budget.
+            state.stats.budget_cycles = self._weight_share(
+                tenant.spec.weight, total_weight
+            )
             self.states[tenant.process.pid] = state
 
     # ------------------------------------------------------------------
@@ -150,15 +157,19 @@ class FairnessArbiter:
         if coldest is None:
             return
         _, state, residents = coldest
-        budget = EpochBudget(self.budget_cycles)
+        # Pressure relief spends from the tenant's own share, not the
+        # whole-machine budget, and books the spend into the same
+        # per-epoch ledger budgets_respected() audits.
+        budget = EpochBudget(state.stats.budget_cycles)
         with kernel.tenant(state.tenant.process.pid):
-            demoted = state.tiering._evict_one(
-                float("inf"), residents, budget,
+            demoted = state.tiering.demote_coldest(
+                residents, budget,
                 state.tenant.interpreter, state.stats,
             )
         if demoted:
             self.pressure_demotions += 1
             state.stats.move_cycles += budget.spent
+            state.stats.epoch_move_cycles.append(budget.spent)
 
     # ------------------------------------------------------------------
     # Reporting

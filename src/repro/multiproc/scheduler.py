@@ -47,12 +47,20 @@ from repro.telemetry import Tracer
 
 
 def percentile(values: Sequence[int], fraction: float) -> int:
-    """Nearest-rank percentile of raw samples (0 for an empty list)."""
+    """Nearest-rank percentile of raw samples (0 for an empty list).
+
+    Rank is ``ceil(n * fraction)`` computed in exact integer arithmetic
+    (via ``float.as_integer_ratio``), clamped to ``[1, n]`` — a float
+    epsilon here goes off-by-one once ``n * fraction`` lands close
+    enough to an integer boundary.
+    """
     if not values:
         return 0
     ordered = sorted(values)
-    rank = max(1, int(len(ordered) * fraction + 0.999999))
-    return ordered[min(rank, len(ordered)) - 1]
+    num, den = float(fraction).as_integer_ratio()
+    rank = -(-len(ordered) * num // den)
+    rank = min(len(ordered), max(1, rank))
+    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -240,6 +248,16 @@ class Scheduler:
             self.tracer.set_clock(self._machine_clock)
         if self.share and kernel.shares is None:
             kernel.attach_shares(ShareManager(kernel))
+        if config.async_moves and kernel.move_queue is None:
+            from repro.resilience import MoveQueue
+
+            kernel.attach_move_queue(
+                MoveQueue(
+                    kernel,
+                    batch_size=config.move_batch,
+                    chunk_budget=config.chunk_budget,
+                )
+            )
         self.sanitizer = _make_sanitizer(config.sanitize, None, kernel)
 
         interpreter_class = _interpreter_class(config.engine)
@@ -323,6 +341,12 @@ class Scheduler:
             self.rounds += 1
             if self.arbiter is not None:
                 self.arbiter.on_round(self)
+            if kernel.move_queue is not None:
+                # Every tenant is at a safepoint between rounds; advance
+                # the incremental move pipeline one bounded chunk.
+                kernel.move_queue.step()
+        if kernel.move_queue is not None:
+            kernel.move_queue.drain_all()
         if self.sanitizer is not None:
             self.sanitizer.finish(kernel)
 

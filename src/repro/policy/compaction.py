@@ -176,6 +176,7 @@ class CompactionDaemon:
                 hole_frame * PAGE_SIZE,
                 "policy-compaction",
                 heat=self.heat,
+                estimate=estimate,
             )
             if result is None:
                 # Degraded: the move failed and its range is quarantined.
@@ -213,6 +214,11 @@ class CompactionDaemon:
                 self.process.pid, plan.lo, plan.hi
             ):
                 continue  # CoW-shared pages are pinned for policy moves
+            queue = self.kernel.move_queue
+            if queue is not None and queue.overlaps_pending(
+                self.process.pid, plan.lo, plan.hi
+            ):
+                continue  # already queued for an incremental move
             for hole_start, hole_length in holes:
                 if (
                     hole_length >= plan.page_count

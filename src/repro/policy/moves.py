@@ -92,6 +92,7 @@ def perform_move(
     destination: int,
     reason: str,
     heat=None,
+    estimate: int = 0,
 ) -> Optional[Tuple[MovePlan, MoveCost, int]]:
     """Execute one policy move through the Figure 8 protocol, patching
     the interpreter's live registers and charging the move's cycles to
@@ -107,7 +108,35 @@ def perform_move(
     transaction adopts a caller-claimed destination, so callers must not
     free it again).  Without one, the
     :class:`~repro.errors.MoveError` propagates.  Either way the program
-    pays for the wasted attempts."""
+    pays for the wasted attempts.
+
+    With a :class:`~repro.resilience.movequeue.MoveQueue` attached to
+    the kernel, the move is *deferred*: the request (destination already
+    claimed by the caller) enqueues for incremental service and this
+    returns ``(None, None, estimate)`` — the caller's own upper-bound
+    estimate, so epoch budgets stay conservative (``estimate`` bounds
+    what the queue will eventually charge for the move itself).  A
+    refused enqueue behaves like a degraded move: ``None``, destination
+    already released."""
+    queue = getattr(kernel, "move_queue", None)
+    if queue is not None:
+        from repro.resilience.movequeue import MoveRequest
+
+        accepted = queue.enqueue(
+            MoveRequest(
+                process=process,
+                lo=lo,
+                page_count=page_count,
+                destination=destination,
+                reason=reason,
+                heat=heat,
+                interpreter=interpreter,
+                estimate=estimate,
+            )
+        )
+        if not accepted:
+            return None
+        return None, None, estimate
     snapshots = None
     if interpreter is not None and interpreter.frames:
         snapshots = interpreter.register_snapshots()

@@ -109,6 +109,11 @@ class TieringBalancer:
                 self.process.pid, plan.lo, plan.hi
             ):
                 continue  # CoW-shared pages are pinned for policy moves
+            queue = self.kernel.move_queue
+            if queue is not None and queue.overlaps_pending(
+                self.process.pid, plan.lo, plan.hi
+            ):
+                continue  # already queued for an incremental move
             # Moves happen at plan (page-range) granularity, so heat
             # comparisons must too: a cold allocation sharing a page
             # with a hot one is NOT a cheap thing to move.
@@ -174,6 +179,7 @@ class TieringBalancer:
                 destination,
                 "policy-promote",
                 heat=self.heat,
+                estimate=estimate,
             )
             if result is None:
                 # Degraded: the range is quarantined and rollback already
@@ -185,6 +191,21 @@ class TieringBalancer:
             if stats is not None:
                 stats.promotions += 1
             return moves + 1
+
+    def demote_coldest(
+        self,
+        residents: List[Tuple[object, float]],
+        budget: EpochBudget,
+        interpreter=None,
+        stats=None,
+    ) -> Optional[int]:
+        """Public pressure-relief entry point: demote the coldest
+        evictable fast-tier resident unconditionally (no incoming-heat
+        comparison).  Returns 1 on success, ``None`` if nothing could be
+        evicted within ``budget``."""
+        return self._evict_one(
+            float("inf"), residents, budget, interpreter, stats
+        )
 
     def _evict_one(
         self,
@@ -215,6 +236,10 @@ class TieringBalancer:
                 self.process.pid, plan.lo, plan.hi
             ):
                 continue  # CoW-shared pages are pinned for policy moves
+            if kernel.move_queue is not None and kernel.move_queue.overlaps_pending(
+                self.process.pid, plan.lo, plan.hi
+            ):
+                continue  # already queued for an incremental move
             plan_score = self._range_heat(plan.lo, plan.hi)
             if plan_score >= incoming_score:
                 continue  # would carry out something at least as hot
@@ -241,6 +266,7 @@ class TieringBalancer:
             destination,
             "policy-demote",
             heat=self.heat,
+            estimate=estimate,
         )
         if result is None:
             # Degraded: the victim stays put (its range is quarantined)

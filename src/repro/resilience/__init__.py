@@ -34,6 +34,7 @@ from repro.resilience.journal import (
     JournalEntry,
     MoveJournal,
 )
+from repro.resilience.movequeue import MoveQueue, MoveRequest, StaleMove
 from repro.resilience.retry import (
     InjectedFault,
     InjectedHang,
@@ -46,6 +47,7 @@ from repro.resilience.transaction import (
     execute_allocation_move,
     execute_page_move,
     execute_protection_change,
+    install_move_metadata,
 )
 
 __all__ = [
@@ -56,6 +58,8 @@ __all__ = [
     "JournalEntry",
     "MoveFailure",
     "MoveJournal",
+    "MoveQueue",
+    "MoveRequest",
     "MoveTransaction",
     "PAGE_MOVE_STEPS",
     "PROTECTION_STEPS",
@@ -74,10 +78,12 @@ __all__ = [
     "STEP_RESERVE",
     "STEP_RESUME",
     "STEP_WORLD_STOP",
+    "StaleMove",
     "StepTimeout",
     "TORN_CAPABLE_STEPS",
     "drive_transaction",
     "execute_allocation_move",
     "execute_page_move",
     "execute_protection_change",
+    "install_move_metadata",
 ]

@@ -247,93 +247,17 @@ def drive_transaction(
 # ---------------------------------------------------------------------------
 
 
-def execute_page_move(
-    txn: MoveTransaction,
-    kernel,
-    process,
-    lo: int,
-    hi: int,
-    register_snapshots,
-    destination: Optional[int],
-    thread_count: int,
-    reason: str,
-):
-    """One attempt of the full Figure 8 page move (kernel side)."""
-    from repro.kernel.pagetable import PAGE_SHIFT, PAGE_SIZE
+def install_move_metadata(txn: MoveTransaction, kernel, process, plan, destination: int) -> None:
+    """The kernel-side metadata tail of a page move: region table,
+    heap/globals/layout rebase, and source-frame release — every mutation
+    journaled against ``txn``.  Shared verbatim by the serial protocol
+    (:func:`execute_page_move`) and the incremental batch driver's flip,
+    so the two paths cannot drift."""
+    from repro.kernel.pagetable import PAGE_SIZE
     from repro.runtime.regions import PERM_RWX, Region
 
-    runtime = process.runtime
     regions = process.regions
     journal = txn.journal
-    kernel._trace(1, f"request page move [{lo:#x}, {hi:#x})")
-
-    # Steps 2-3: signal all threads; they dump registers and barrier.
-    txn.world_stop(thread_count, reuse_existing=True)
-    kernel._trace(2, f"signal {thread_count} thread(s)")
-    kernel._trace(3, "threads dump registers and enter signal handlers")
-    kernel._trace(4, "barrier; negotiate move with the kernel module")
-
-    # Step 4: negotiate — the runtime may expand the page set.
-    txn.enter(STEP_NEGOTIATE)
-    plan = runtime.patcher.plan_move(lo, hi)
-    kernel._trace(
-        5,
-        f"negotiated source range [{plan.lo:#x}, {plan.hi:#x})"
-        + (" (expanded)" if plan.expanded else ""),
-    )
-
-    # Reserve the destination.  The transaction owns it either way: a
-    # kernel-allocated range is allocated here; a caller-claimed range is
-    # adopted (and re-claimed on retry, since the previous attempt's
-    # rollback released it).  Rollback always frees it, so the machine
-    # holds no orphan frames at the recovery-oracle checkpoint — callers
-    # must NOT free the destination again after a MoveError.
-    txn.enter(STEP_RESERVE)
-    pages = plan.length // PAGE_SIZE
-    if destination is None:
-        destination = kernel.frames.alloc_address(pages)
-    else:
-        frame = destination // PAGE_SIZE
-        if (
-            destination < 0
-            or destination % PAGE_SIZE
-            or frame + pages > kernel.frames.total_frames
-        ):
-            raise KernelError(
-                f"destination {destination:#x} is not a page-aligned "
-                f"{pages}-page range inside physical memory"
-            )
-        if kernel.frames.frame_is_free(frame):
-            if not kernel.frames.alloc_at(frame, pages):
-                raise KernelError(
-                    f"destination [{destination:#x}, +{pages} page(s)) was "
-                    "partially reallocated between attempts"
-                )
-    journal.record(
-        STEP_RESERVE,
-        f"release destination [{destination:#x}, +{pages} page(s))",
-        lambda d=destination, n=pages: kernel.frames.free_address(d, n),
-    )
-    kernel._trace(6, f"{len(plan.allocations)} affected allocation(s) determined")
-
-    # Steps 5-11: the runtime patches and moves (journaled internally).
-    cost = runtime.patcher.execute_move(
-        plan,
-        destination,
-        register_snapshots,
-        journal=journal,
-        fault_hook=txn.enter,
-    )
-    kernel._trace(7, "patches computed for every escape")
-    kernel._trace(8, "escapes patched to post-move addresses")
-    kernel._trace(
-        9,
-        f"register snapshots patched "
-        f"({len(register_snapshots or [])} thread frame(s))",
-    )
-    kernel._trace(10, f"data moved to [{destination:#x}, "
-                      f"{destination + plan.length:#x})")
-    kernel._trace(11, "barrier before resume")
 
     # Region update: the moved range loses permission, the destination
     # gains it; adjacent same-permission regions re-coalesce.  The undo
@@ -415,6 +339,95 @@ def execute_page_move(
         )
         kernel.frames.free_address(plan.lo, source_pages)
 
+
+def execute_page_move(
+    txn: MoveTransaction,
+    kernel,
+    process,
+    lo: int,
+    hi: int,
+    register_snapshots,
+    destination: Optional[int],
+    thread_count: int,
+    reason: str,
+):
+    """One attempt of the full Figure 8 page move (kernel side)."""
+    from repro.kernel.pagetable import PAGE_SHIFT, PAGE_SIZE
+
+    runtime = process.runtime
+    journal = txn.journal
+    kernel._trace(1, f"request page move [{lo:#x}, {hi:#x})")
+
+    # Steps 2-3: signal all threads; they dump registers and barrier.
+    txn.world_stop(thread_count, reuse_existing=True)
+    kernel._trace(2, f"signal {thread_count} thread(s)")
+    kernel._trace(3, "threads dump registers and enter signal handlers")
+    kernel._trace(4, "barrier; negotiate move with the kernel module")
+
+    # Step 4: negotiate — the runtime may expand the page set.
+    txn.enter(STEP_NEGOTIATE)
+    plan = runtime.patcher.plan_move(lo, hi)
+    kernel._trace(
+        5,
+        f"negotiated source range [{plan.lo:#x}, {plan.hi:#x})"
+        + (" (expanded)" if plan.expanded else ""),
+    )
+
+    # Reserve the destination.  The transaction owns it either way: a
+    # kernel-allocated range is allocated here; a caller-claimed range is
+    # adopted (and re-claimed on retry, since the previous attempt's
+    # rollback released it).  Rollback always frees it, so the machine
+    # holds no orphan frames at the recovery-oracle checkpoint — callers
+    # must NOT free the destination again after a MoveError.
+    txn.enter(STEP_RESERVE)
+    pages = plan.length // PAGE_SIZE
+    if destination is None:
+        destination = kernel.frames.alloc_address(pages)
+    else:
+        frame = destination // PAGE_SIZE
+        if (
+            destination < 0
+            or destination % PAGE_SIZE
+            or frame + pages > kernel.frames.total_frames
+        ):
+            raise KernelError(
+                f"destination {destination:#x} is not a page-aligned "
+                f"{pages}-page range inside physical memory"
+            )
+        if kernel.frames.frame_is_free(frame):
+            if not kernel.frames.alloc_at(frame, pages):
+                raise KernelError(
+                    f"destination [{destination:#x}, +{pages} page(s)) was "
+                    "partially reallocated between attempts"
+                )
+    journal.record(
+        STEP_RESERVE,
+        f"release destination [{destination:#x}, +{pages} page(s))",
+        lambda d=destination, n=pages: kernel.frames.free_address(d, n),
+    )
+    kernel._trace(6, f"{len(plan.allocations)} affected allocation(s) determined")
+
+    # Steps 5-11: the runtime patches and moves (journaled internally).
+    cost = runtime.patcher.execute_move(
+        plan,
+        destination,
+        register_snapshots,
+        journal=journal,
+        fault_hook=txn.enter,
+    )
+    kernel._trace(7, "patches computed for every escape")
+    kernel._trace(8, "escapes patched to post-move addresses")
+    kernel._trace(
+        9,
+        f"register snapshots patched "
+        f"({len(register_snapshots or [])} thread frame(s))",
+    )
+    kernel._trace(10, f"data moved to [{destination:#x}, "
+                      f"{destination + plan.length:#x})")
+    kernel._trace(11, "barrier before resume")
+
+    install_move_metadata(txn, kernel, process, plan, destination)
+
     # Step 12 — the commit point.  Everything after this line is
     # observable; nothing before it is.
     txn.enter(STEP_RESUME)
@@ -444,7 +457,7 @@ def execute_allocation_move(
     """One attempt of an allocation-granularity move (Section 6)."""
     runtime = process.runtime
     journal = txn.journal
-    txn.world_stop(thread_count, reuse_existing=False)
+    txn.world_stop(thread_count, reuse_existing=True)
 
     txn.enter(STEP_RESERVE)
     old_address = allocation.address
@@ -481,7 +494,8 @@ def execute_allocation_move(
     txn.enter(STEP_RESUME)
     runtime.stats.moves_serviced += 1
     runtime.stats.move_cost_accum = runtime.stats.move_cost_accum + cost
-    runtime.resume()
+    if txn.initiated_stop:
+        runtime.resume()
     kernel._sanitize("allocation-move")
     return cost, txn.stop_cycles + txn.stalled_cycles + cost.total
 
@@ -499,7 +513,7 @@ def execute_protection_change(
     modification, resume — Section 4.4)."""
     runtime = process.runtime
     regions = process.regions
-    txn.world_stop(thread_count, reuse_existing=False)
+    txn.world_stop(thread_count, reuse_existing=True)
 
     txn.enter(STEP_REGION_PERMS)
     saved_regions = regions.regions
@@ -511,7 +525,8 @@ def execute_protection_change(
     regions.set_range_perms(base, base + length, perms)
 
     txn.enter(STEP_RESUME)
-    runtime.resume()
+    if txn.initiated_stop:
+        runtime.resume()
     kernel.charge_stat("carat_protection_changes", pid=process.pid)
     kernel._sanitize("protection-change")
     return (

@@ -500,6 +500,26 @@ class Patcher:
         # *within* registered regions, so cached region geometry stays valid.
         return cost
 
+    # -- incremental movement (the bounded-pause protocol) -----------------------------
+
+    def begin_incremental_move(
+        self,
+        plan: MovePlan,
+        destination: int,
+        journal=None,
+        fault_hook=None,
+        window=None,
+    ) -> "IncrementalMove":
+        """Start an incremental move: pre-copy and escape scanning run in
+        chunks with the world *running* (``precopy_step``), and only the
+        short reconcile-and-patch tail (``flip``) needs a world stop.
+        ``window`` is the runtime's dirty-tracking
+        :class:`~repro.runtime.runtime.MoveWindow` over the source range."""
+        if destination % PAGE_SIZE:
+            raise KernelError("destination must be page-aligned")
+        self._validate_destination(destination, plan.length)
+        return IncrementalMove(self, plan, destination, journal, fault_hook, window)
+
     # -- convenience -----------------------------------------------------------------
 
     def move_pages(
@@ -512,3 +532,248 @@ class Patcher:
         plan = self.plan_move(lo, hi)
         cost = self.execute_move(plan, destination, register_snapshots)
         return plan, cost
+
+
+class IncrementalMove:
+    """One in-flight incremental move: chunked pre-work, short flip.
+
+    Pre-copy chunks (:meth:`precopy_step`) run with the world *running*;
+    they mutate nothing the program can see — the destination frames are
+    reserved but covered by no region, so guards fault any access — and
+    therefore need no stop.  Each chunk does at most ``chunk_budget``
+    cycles of escape scanning (patch-candidate generation) and data
+    streaming.  The :meth:`flip` runs under the caller's world stop: it
+    re-scans escapes recorded while the window was open, patches escapes
+    and registers against *fresh* machine state, re-copies the whole
+    range (charging cycles only for pages dirtied since the pre-copy),
+    and rebases the tracking structures — exactly the serial tail, minus
+    the bulk copy that already streamed out.
+
+    Every mutation is journaled through the shared transaction journal,
+    so a fault at any chunk boundary rolls the whole move back.
+    """
+
+    def __init__(
+        self,
+        patcher: Patcher,
+        plan: MovePlan,
+        destination: int,
+        journal=None,
+        fault_hook=None,
+        window=None,
+    ) -> None:
+        self.patcher = patcher
+        self.plan = plan
+        self.destination = destination
+        self.journal = journal
+        self.hook = fault_hook if fault_hook is not None else _no_hook
+        self.window = window
+        self.cost = MoveCost()
+        #: Cycles the flip itself cost (the stop-the-world share).
+        self.flip_cycles = 0
+        self._sites_total: Optional[int] = None
+        self._sites_scanned = 0
+        self._bytes_copied = 0
+        self._fixed_charged = False
+        self._image_logged = False
+        self.done_precopy = False
+
+    def precopy_step(self, chunk_budget: int) -> Optional[int]:
+        """Advance the pre-work by roughly ``chunk_budget`` cycles
+        (unbounded when 0); always makes progress.  Returns the cycles
+        charged, or ``None`` once pre-copy is complete."""
+        if self.done_precopy:
+            return None
+        budget = chunk_budget if chunk_budget > 0 else float("inf")
+        costs = self.patcher.costs
+        plan = self.plan
+        memory = self.patcher.memory
+        spent = 0
+
+        if self._sites_total is None:
+            # First chunk: the negotiation/expansion cost, plus an escape
+            # flush so the scan sees a complete map.
+            self.hook(STEP_ESCAPE_FLUSH)
+            self.patcher.escapes.flush(self.patcher.table, memory.read_u64)
+            self.cost.page_expand = (
+                plan.expand_lookups * costs.expand_lookup
+                + len(plan.allocations) * costs.expand_lookup // 4
+            )
+            spent += self.cost.page_expand
+            self._sites_total = sum(
+                len(self.patcher.escapes.escapes_of(allocation))
+                for allocation in plan.allocations
+            )
+
+        # Scan phase: patch-candidate generation, read-only (the flip
+        # patches against fresh state; this phase carries the cost).
+        scan_unit = max(1, costs.escape_record)
+        while self._sites_scanned < self._sites_total:
+            self._sites_scanned += 1
+            self.cost.patch_gen_exec += scan_unit
+            spent += scan_unit
+            if spent >= budget:
+                self.hook(
+                    STEP_PATCH_ESCAPES,
+                    (self._sites_scanned, self._sites_total),
+                )
+                return spent
+        if self._sites_total:
+            self.hook(STEP_PATCH_ESCAPES, (self._sites_scanned, self._sites_total))
+
+        # Copy phase: stream source bytes into the reserved destination.
+        if not self._image_logged:
+            if self.journal is not None:
+                self.journal.log_image(
+                    STEP_COPY_DATA, memory, self.destination, plan.length
+                )
+            self._image_logged = True
+        if not self._fixed_charged:
+            fixed = int(self.patcher.costs.move_alloc_fixed)
+            self.cost.alloc_and_move += fixed
+            spent += fixed
+            self._fixed_charged = True
+        per_byte = costs.move_per_byte
+        remaining = plan.length - self._bytes_copied
+        if remaining > 0:
+            if spent >= budget:
+                return spent  # out of budget this chunk; copy next time
+            room = budget - spent
+            if per_byte > 0 and room != float("inf"):
+                n = min(remaining, max(1, int(room / per_byte)))
+            else:
+                n = remaining
+            data = memory.read_bytes(plan.lo + self._bytes_copied, n)
+            memory.write_bytes(self.destination + self._bytes_copied, data)
+            self._bytes_copied += n
+            copy_cycles = int(per_byte * n)
+            self.cost.alloc_and_move += copy_cycles
+            spent += copy_cycles
+            self.hook(STEP_COPY_DATA, (self._bytes_copied, plan.length))
+        if self._bytes_copied >= plan.length:
+            self.done_precopy = True
+        return spent
+
+    def flip(
+        self,
+        fresh_plan: MovePlan,
+        register_snapshots: Optional[List[RegisterSnapshot]] = None,
+    ) -> MoveCost:
+        """The stop-the-world tail.  The caller holds the world stopped
+        and has re-negotiated ``fresh_plan`` over the same page bounds (a
+        geometry change must retry the whole move before getting here).
+        Returns the accumulated :class:`MoveCost`; the flip's own cycles
+        are in :attr:`flip_cycles`."""
+        patcher = self.patcher
+        costs = patcher.costs
+        memory = patcher.memory
+        plan = fresh_plan
+        delta = self.destination - plan.lo
+        journal = self.journal
+        hook = self.hook
+        window = self.window
+        flip_cycles = 0
+
+        # Escapes recorded while the world ran re-scan now (the
+        # write-barrier dirty check); resolution itself is idempotent.
+        hook(STEP_ESCAPE_FLUSH)
+        patcher.escapes.flush(patcher.table, memory.read_u64)
+        dirty_escapes = window.dirty_escapes if window is not None else 0
+        rescan = dirty_escapes * max(1, costs.escape_record)
+        self.cost.patch_gen_exec += rescan
+        flip_cycles += rescan
+
+        # Patch escapes against fresh state (the pre-scan was the cost
+        # model; the machine is the authority).
+        hook(STEP_PATCH_ESCAPES)
+        patch_sites = [
+            (allocation, location)
+            for allocation in plan.allocations
+            for location in patcher.escapes.escapes_of(allocation)
+        ]
+        patched_escapes = 0
+        for index, (allocation, location) in enumerate(patch_sites):
+            current = memory.read_u64(location)
+            if allocation.address <= current < allocation.end:
+                if journal is not None:
+                    journal.log_u64(STEP_PATCH_ESCAPES, memory, location, current)
+                memory.write_u64(location, current + delta)
+                patched_escapes += 1
+            hook(STEP_PATCH_ESCAPES, (index + 1, len(patch_sites)))
+        exec_cost = (
+            patched_escapes * costs.patch_escape + len(plan.allocations) * 4
+        )
+        self.cost.patch_gen_exec += exec_cost
+        flip_cycles += exec_cost
+
+        # Patch registers from snapshots taken at *this* stop.
+        hook(STEP_PATCH_REGISTERS)
+        snapshots = register_snapshots or []
+        patched_registers = 0
+        for index, snapshot in enumerate(snapshots):
+            if journal is not None:
+                journal.log_registers(STEP_PATCH_REGISTERS, snapshot)
+            patched_registers += snapshot.patch(plan.lo, plan.hi, delta)
+            hook(STEP_PATCH_REGISTERS, (index + 1, len(snapshots)))
+        register_cost = patched_registers * costs.patch_register
+        self.cost.register_patch += register_cost
+        flip_cycles += register_cost
+
+        # Reconcile the copy.  The escape patches above may have
+        # rewritten cells *inside* the source range, and the program may
+        # have written it between chunks — physically re-copy the whole
+        # range (memmove semantics; the destination's pre-move image is
+        # already journaled), charging cycles only for the dirty pages.
+        hook(STEP_COPY_DATA)
+        image = memory.read_bytes(plan.lo, plan.length)
+        half = max(1, plan.length // 2)
+        memory.write_bytes(self.destination, image[:half])
+        hook(STEP_COPY_DATA, (1, 2))
+        memory.write_bytes(self.destination + half, image[half:])
+        hook(STEP_COPY_DATA, (2, 2))
+        dirty_pages = len(window.dirty_pages) if window is not None else 0
+        recopy = int(costs.move_per_byte * dirty_pages * PAGE_SIZE)
+        self.cost.alloc_and_move += recopy
+        flip_cycles += recopy
+
+        # Rebase tracking structures — identical to the serial tail.
+        hook(STEP_REBASE_TRACKING)
+        rekeys: List[Tuple[int, int]] = []
+        ordered = sorted(
+            plan.allocations, key=lambda a: a.address, reverse=delta > 0
+        )
+        for index, allocation in enumerate(ordered):
+            old_address = allocation.address
+            if journal is not None:
+                journal.record(
+                    STEP_REBASE_TRACKING,
+                    f"rebase allocation back to {old_address:#x}",
+                    lambda a=allocation, o=old_address: patcher.table.rebase(a, o),
+                )
+            patcher.table.rebase(allocation, old_address + delta)
+            rekeys.append((old_address, allocation.address))
+            hook(STEP_REBASE_TRACKING, (index + 1, len(ordered)))
+        if journal is not None:
+            journal.record(
+                STEP_REBASE_TRACKING,
+                "rekey escape map back to pre-move bases",
+                lambda pairs=[(n, o) for o, n in rekeys]: patcher.escapes.rekey_all(
+                    pairs
+                ),
+            )
+        patcher.escapes.rekey_all(rekeys)
+        if journal is not None:
+            inverse = [
+                (loc + delta, loc)
+                for loc in patcher.escapes.locations_in_range(plan.lo, plan.hi)
+            ]
+            journal.record(
+                STEP_REBASE_TRACKING,
+                "rewrite escape locations back to the source range",
+                lambda moves=inverse: patcher.escapes.rewrite_locations(moves),
+            )
+        patcher.escapes.rewrite_range(plan.lo, plan.hi, delta)
+        if patcher.regions is not None:
+            patcher.regions.bump_generation()
+        self.flip_cycles = flip_cycles
+        return self.cost

@@ -25,12 +25,14 @@ from repro.machine.costs import DEFAULT_COSTS, CostModel
 from repro.runtime.allocation_table import Allocation, AllocationTable
 from repro.runtime.escape_map import AllocationToEscapeMap
 from repro.runtime.patching import (
+    PAGE_SIZE,
     MemoryInterface,
     MoveCost,
     MovePlan,
     Patcher,
     RegisterSnapshot,
 )
+
 from repro.runtime.regions import (
     GuardMechanism,
     GuardOutcome,
@@ -38,6 +40,44 @@ from repro.runtime.regions import (
     RegionSet,
     make_guard,
 )
+
+#: Extra cycles a guard pays when its access overlaps an in-flight
+#: incremental move's source range: the access must consult the move's
+#: forwarding state before it can proceed (the fine-grained region lock
+#: — only the moving range stalls; every other region is untouched).
+MOVE_WINDOW_STALL_CYCLES = 60
+
+
+class MoveWindow:
+    """One in-flight incremental move's source range, as the guards and
+    tracking callbacks see it between chunks.
+
+    While a window is open the world keeps running: writes into the
+    range mark their pages dirty (the flip re-copies exactly those),
+    new escape records bump ``dirty_escapes`` (the flip re-scans them),
+    and an allocation appearing or vanishing inside the range sets
+    ``structurally_dirty`` (the flip must re-negotiate the plan).
+    """
+
+    __slots__ = ("lo", "hi", "dirty_pages", "dirty_escapes", "structurally_dirty")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        #: Page indices (absolute) written since the window opened.
+        self.dirty_pages: set = set()
+        #: Escape records made since the window opened (re-scanned at flip).
+        self.dirty_escapes = 0
+        self.structurally_dirty = False
+
+    def overlaps(self, address: int, size: int) -> bool:
+        return address < self.hi and address + size > self.lo
+
+    def mark_write(self, address: int, size: int) -> None:
+        lo = max(address, self.lo)
+        hi = min(address + max(1, size), self.hi)
+        for page in range(lo // PAGE_SIZE, (hi + PAGE_SIZE - 1) // PAGE_SIZE):
+            self.dirty_pages.add(page)
 
 
 @dataclass
@@ -120,6 +160,10 @@ class CaratRuntime:
         )
         self.stats = RuntimeStats()
         self._stopped = False
+        #: Open :class:`MoveWindow` list — normally empty, so the guard
+        #: fast path pays one falsy check.  Only accesses overlapping an
+        #: open window's range pay the stall toll.
+        self._move_windows: List[MoveWindow] = []
         #: Attached :class:`~repro.telemetry.Tracer` (set by the session).
         #: Guard faults always emit; per-check and per-tracking-callback
         #: instants only at ``fine`` detail.  Never charges cycles.
@@ -150,6 +194,10 @@ class CaratRuntime:
         containing = self.table.find_containing(address, max(1, size))
         if containing is not None and containing.kind == "stack":
             return containing
+        if self._move_windows:
+            for window in self._move_windows:
+                if window.overlaps(address, max(1, size)):
+                    window.structurally_dirty = True
         allocation = self.table.add(address, size, kind)
         self._note_footprint()
         tracer = self.tracer
@@ -168,6 +216,10 @@ class CaratRuntime:
             # the lifetime histogram (Figure 5) sees them.
             self.escapes.flush(self.table, self.memory.read_u64)
         allocation = self.table.remove_if_present(address)
+        if allocation is not None and self._move_windows:
+            for window in self._move_windows:
+                if window.overlaps(allocation.address, allocation.size):
+                    window.structurally_dirty = True
         if allocation is not None:
             count = self.escapes.escape_count(allocation)
             self._lifetime_escape_counts[count] = (
@@ -182,6 +234,20 @@ class CaratRuntime:
     def on_escape(self, location: int) -> None:
         self.stats.tracking_events += 1
         self.stats.tracking_cycles += self.costs.escape_record
+        if self._move_windows:
+            # An escape matters to an in-flight move only if the stored
+            # pointer lands in its range — those are what the flip must
+            # re-scan (and the write dirties the holding page like any
+            # other store).
+            try:
+                value = self.memory.read_u64(location)
+            except Exception:
+                value = None
+            for window in self._move_windows:
+                if value is None or window.lo <= value < window.hi:
+                    window.dirty_escapes += 1
+                if window.overlaps(location, 8):
+                    window.mark_write(location, 8)
         self.escapes.record(location)
         if self.escapes.needs_flush():
             self.flush_escapes()
@@ -202,6 +268,35 @@ class CaratRuntime:
         current = self.tracking_footprint_bytes()
         if current > self.peak_tracking_bytes:
             self.peak_tracking_bytes = current
+
+    # ------------------------------------------------------------------
+    # Move windows (the incremental protocol's write barrier)
+    # ------------------------------------------------------------------
+
+    def open_move_window(self, lo: int, hi: int) -> MoveWindow:
+        """Open a dirty-tracking window over an in-flight move's source
+        range.  Guards overlapping it pay :data:`MOVE_WINDOW_STALL_CYCLES`
+        and writes mark dirty pages; everything else runs untouched."""
+        window = MoveWindow(lo, hi)
+        self._move_windows.append(window)
+        return window
+
+    def close_move_window(self, window: MoveWindow) -> None:
+        try:
+            self._move_windows.remove(window)
+        except ValueError:
+            pass  # already closed (rollback path)
+
+    def _window_toll(self, address: int, size: int, access: str) -> int:
+        """Cycles an access overlapping any open move window pays, plus
+        the write-barrier side effect (dirty-page marking)."""
+        extra = 0
+        for window in self._move_windows:
+            if window.overlaps(address, size):
+                extra += MOVE_WINDOW_STALL_CYCLES
+                if access == "write":
+                    window.mark_write(address, size)
+        return extra
 
     # ------------------------------------------------------------------
     # Guards (carat.guard.*)
@@ -272,7 +367,10 @@ class CaratRuntime:
         site's memoization cell when the compiled engine can name sites."""
         outcome = self._check_cached(address, size, access, cell)
         self.stats.guards_executed += 1
-        self.stats.guard_cycles += outcome.cycles
+        cycles = outcome.cycles
+        if self._move_windows:
+            cycles += self._window_toll(address, size, access)
+        self.stats.guard_cycles += cycles
         tracer = self.tracer
         if not outcome.allowed:
             self.stats.guard_faults += 1
@@ -286,9 +384,9 @@ class CaratRuntime:
             tracer.instant(
                 "guard.check", "guard",
                 {"address": address, "size": size, "access": access,
-                 "cycles": outcome.cycles},
+                 "cycles": cycles},
             )
-        return outcome.cycles
+        return cycles
 
     def guard_range(
         self,
@@ -305,7 +403,10 @@ class CaratRuntime:
             self.stats.guard_cycles += self.costs.instruction
             return self.costs.instruction
         outcome = self._check_cached(address, length, access, cell)
-        self.stats.guard_cycles += outcome.cycles
+        cycles = outcome.cycles
+        if self._move_windows:
+            cycles += self._window_toll(address, length, access)
+        self.stats.guard_cycles += cycles
         tracer = self.tracer
         if not outcome.allowed:
             self.stats.guard_faults += 1
@@ -319,9 +420,9 @@ class CaratRuntime:
             tracer.instant(
                 "guard.check", "guard",
                 {"address": address, "size": length, "access": access,
-                 "cycles": outcome.cycles},
+                 "cycles": cycles},
             )
-        return outcome.cycles
+        return cycles
 
     def guard_call(
         self,
@@ -334,13 +435,16 @@ class CaratRuntime:
         base = stack_pointer - frame_size
         outcome = self._check_cached(base, frame_size, "write", cell)
         self.stats.guards_executed += 1
-        self.stats.guard_cycles += outcome.cycles
+        cycles = outcome.cycles
+        if self._move_windows:
+            cycles += self._window_toll(base, frame_size, "write")
+        self.stats.guard_cycles += cycles
         tracer = self.tracer
         if tracer is not None and outcome.allowed and tracer.fine:
             tracer.instant(
                 "guard.check", "guard",
                 {"address": base, "size": frame_size, "access": "stack",
-                 "cycles": outcome.cycles},
+                 "cycles": cycles},
             )
         if not outcome.allowed:
             self.stats.guard_faults += 1
@@ -353,7 +457,7 @@ class CaratRuntime:
             # to expand the stack (Section 2.2); the interpreter surfaces
             # this as a fault the kernel can catch.
             raise ProtectionFault(base, frame_size, "stack")
-        return outcome.cycles
+        return cycles
 
     # ------------------------------------------------------------------
     # Kernel-driven changes (Figure 8)

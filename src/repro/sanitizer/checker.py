@@ -325,6 +325,13 @@ def _rule_frame_ownership(ctx: CheckContext, report: SanitizerReport) -> None:
     shared_owners: Dict[int, set] = (
         shares.shared_frame_owners() if shares is not None else {}
     )
+    queued_destinations: set = set()
+    move_queue = getattr(kernel, "move_queue", None)
+    if move_queue is not None:
+        for dest_lo, dest_hi in move_queue.destination_ranges():
+            queued_destinations.update(
+                range(dest_lo // PAGE_SIZE, (dest_hi + PAGE_SIZE - 1) // PAGE_SIZE)
+            )
 
     def claim(frame: int, owner: str, pid: int) -> None:
         if frame in owners:
@@ -391,6 +398,11 @@ def _rule_frame_ownership(ctx: CheckContext, report: SanitizerReport) -> None:
                 # Canonical hold: the share group keeps its frames
                 # allocated even when every member has CoW-broken away,
                 # so a late attacher still finds pristine pages.
+                continue
+            if frame in queued_destinations:
+                # In-flight hold: the frame is a claimed destination of a
+                # queued/incremental move — no region covers it until the
+                # flip installs one, but it is owned, not leaked.
                 continue
             report.add(
                 "frame-ownership",

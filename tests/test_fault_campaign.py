@@ -250,6 +250,146 @@ def test_quarantined_range_refused_at_admission(binary):
 
 
 # ---------------------------------------------------------------------------
+# Chunk-boundary faults: the incremental (queued, batched, chunked) path.
+# ---------------------------------------------------------------------------
+
+#: Steps that fire while a *queued* move is serviced: negotiate/reserve
+#: at batch start, escape-flush/patch-escapes/copy-data inside pre-copy
+#: chunks (so a crash here lands at a chunk boundary, with the world
+#: running), and the flip/install steps under the batched stop.
+QUEUE_FAULT_STEPS = [
+    "negotiate",
+    "reserve-destination",
+    "escape-flush",
+    "patch-escapes",
+    "copy-data",
+    "patch-registers",
+    "rebase-tracking",
+    "region-install",
+    "kernel-metadata",
+    "release-frames",
+]
+
+
+def _queued_run(
+    binary,
+    points,
+    engine="reference",
+    chunk_budget=200,
+    max_attempts=None,
+    degradation=None,
+):
+    """Like :func:`_campaign_run`, but the mid-program move goes through
+    the asynchronous queue (claimed destination, chunked pre-copy) and
+    is serviced by the clock instead of a synchronous request."""
+    from repro.resilience import MoveQueue, MoveRequest
+
+    kernel = Kernel()
+    if max_attempts is not None:
+        kernel.retry_policy = RetryPolicy(max_attempts=max_attempts)
+    injector = ProtocolFaultInjector([replace(p) for p in points])
+    kernel.attach_fault_injector(injector)
+    if degradation is not None:
+        kernel.attach_degradation(degradation)
+    queue = MoveQueue(kernel, batch_size=2, chunk_budget=chunk_budget)
+    kernel.attach_move_queue(queue)
+    done = []
+
+    def setup(interpreter):
+        interpreter.set_tick_interval(200)
+
+        def hook(interp):
+            if done or interp.stats.instructions < 600:
+                return
+            done.append(True)
+            process = interp.process
+            victim = process.runtime.worst_case_allocation()
+            hole, _ = kernel.frames.free_runs(None)[-1]
+            assert kernel.frames.alloc_at(hole, 1)
+            queue.enqueue(
+                MoveRequest(
+                    process=process,
+                    lo=victim.address & ~(PAGE_SIZE - 1),
+                    page_count=1,
+                    destination=hole * PAGE_SIZE,
+                    interpreter=interp,
+                )
+            )
+
+        interpreter.tick_hook = hook
+
+    result = run_carat(binary, kernel=kernel, setup=setup, sanitize=True,
+                       engine=engine)
+    assert done, "the campaign hook never fired"
+    if kernel.move_queue is not None:
+        kernel.move_queue.drain_all()
+    return result, kernel, queue, injector
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("step", QUEUE_FAULT_STEPS)
+def test_one_shot_chunk_boundary_fault_recovers(binary, engine, step):
+    """A crash at any step of the queued path — including mid-pre-copy,
+    where the world is *running* — rolls the batch back (journal undo,
+    windows closed, destination released), and the retry commits with
+    bit-identical program output and clean sanitizer checkpoints."""
+    result, kernel, queue, injector = _queued_run(
+        binary, [FaultPoint(step, "crash")], engine=engine
+    )
+    assert injector.fired == [f"{step}:crash@move0"]
+    assert result.exit_code == 0
+    assert result.output == EXPECTED_OUTPUT
+    assert queue.stats.retries == 1
+    assert queue.stats.serviced == 1
+    assert kernel.stats.moves_attempted == 2
+    assert kernel.stats.moves_committed == 1
+    assert kernel.stats.moves_rolled_back == 1
+    assert kernel.stats.backoff_cycles > 0
+
+
+def test_persistent_chunk_fault_degrades_and_frees_destination(binary):
+    """Retry exhaustion on the queued path: the batch degrades into a
+    quarantined range, the claimed destination frames return to the
+    kernel, and the program is untouched."""
+    manager = DegradationManager()
+    result, kernel, queue, injector = _queued_run(
+        binary,
+        [FaultPoint("copy-data", "crash", persistent=True)],
+        max_attempts=2,
+        degradation=manager,
+    )
+    assert result.exit_code == 0
+    assert result.output == EXPECTED_OUTPUT
+    assert queue.stats.serviced == 0
+    assert queue.stats.degraded == 1
+    assert len(manager.failures) == 1
+    failure = manager.failures[0]
+    assert failure.operation == "page-move-batch"
+    assert manager.is_quarantined(failure.lo, failure.hi)
+    assert kernel.stats.moves_rolled_back == 2
+    assert kernel.stats.moves_degraded == 1
+    # No frames leaked: every claim the batch held was released.
+    from repro.sanitizer import InvariantChecker
+
+    assert InvariantChecker().check_kernel(kernel).ok
+
+
+@pytest.mark.parametrize("step", ["patch-escapes", "copy-data"])
+def test_mid_chunk_torn_fault_recovers(binary, step):
+    """Torn faults land *between two items of mid-step progress* — for
+    the queued path that means between two escapes of a chunk scan or
+    the two halves of the chunked copy."""
+    result, kernel, queue, injector = _queued_run(
+        binary, [FaultPoint(step, "torn")]
+    )
+    assert len(injector.fired) == 1
+    assert result.output == EXPECTED_OUTPUT
+    assert queue.stats.serviced == 1
+    assert kernel.stats.moves_rolled_back == 1
+    assert kernel.stats.moves_committed == 1
+
+
+# ---------------------------------------------------------------------------
 # Property: both engines are identical under identical fault schedules.
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,367 @@
+"""The asynchronous move queue (incremental, bounded-pause moves).
+
+Four pillars:
+
+* **mechanics** — admission re-checked at service time, refused or stale
+  requests release their claimed destination frames, overlapping
+  requests never share a batch, and a range another batch already moved
+  drops instead of double-freeing its source frames;
+* **bounded pauses** — with a chunk budget set, no policy-move pause
+  comes near the serial stop-the-world pause for the same workload,
+  while the queue still services moves (chunks, flips, commits);
+* **engine parity** — reference and fast engines are fingerprint-
+  identical with async + chunked moves on (the CARAT semantic-
+  invisibility claim, extended to the overlapped protocol);
+* **accounting** — per tenant, the pause log and the move-cycle ledger
+  are the same book: ``sum(kernel.pause_log[pid]) ==
+  kernel.tenant_stats[pid].move_cycles``, both engines, with and
+  without the queue, single- and multi-tenant.
+"""
+
+import pytest
+
+from repro.carat import compile_carat
+from repro.kernel import Kernel, PAGE_SIZE
+from repro.machine.executor import run_carat
+from repro.machine.interp import Interpreter
+from repro.machine.session import RunConfig
+from repro.multiproc import FairnessArbiter, Scheduler, TenantSpec
+from repro.policy import (
+    CompactionDaemon,
+    HeatTracker,
+    PolicyEngine,
+    TieringBalancer,
+    scatter_capsule,
+)
+from repro.resilience import DegradationManager, MoveQueue, MoveRequest
+from repro.workloads import get_workload
+from tests.conftest import LINKED_LIST_SOURCE, machine_fingerprint
+
+MB = 1024 * 1024
+ENGINES = ["reference", "fast"]
+
+COUNTER_SOURCE = """
+long counter;
+void main() {
+  long i;
+  for (i = 1; i <= 50; i++) { counter = counter + i; }
+  print_long(counter);
+}
+"""
+
+
+def _loaded(**kernel_kwargs):
+    binary = compile_carat(LINKED_LIST_SOURCE, module_name="list")
+    kernel = Kernel(**kernel_kwargs)
+    process = kernel.load_carat(binary)
+    interp = Interpreter(process, kernel)
+    interp.start("main")
+    interp.run_steps(1200)  # mid build loop: heap nodes and escapes exist
+    return kernel, process, interp
+
+
+def _victim_page(process):
+    victim = process.runtime.worst_case_allocation()
+    return victim.address & ~(PAGE_SIZE - 1)
+
+
+def _claim_hole(kernel, pages=1, offset=0):
+    """Claim ``pages`` frames from the tail free run, like the policy
+    daemons do before enqueueing."""
+    hole, length = kernel.frames.free_runs(None)[-1]
+    frame = hole + offset
+    assert length > offset
+    assert kernel.frames.alloc_at(frame, pages)
+    return frame
+
+
+def _request(process, interp, destination_frame, lo=None):
+    lo = _victim_page(process) if lo is None else lo
+    return MoveRequest(
+        process=process,
+        lo=lo,
+        page_count=1,
+        destination=destination_frame * PAGE_SIZE,
+        interpreter=interp,
+    )
+
+
+def _policy_run(
+    engine="reference",
+    batch_size=None,
+    chunk_budget=0,
+    clear_scatter_pauses=True,
+):
+    """The aggressive policy config from the differential suite (small
+    epochs, scatter, tiering on a tiered machine).  By default the
+    pause log is cleared after scatter, so it holds only moves performed
+    while the program runs (scatter's synchronous setup moves happen
+    before there is a program to pause); the accounting tests keep the
+    full log instead, since the move-cycle ledger spans the whole run."""
+    workload = get_workload("canneal", "tiny")
+    kernel = Kernel(memory_size=16 * MB, fast_memory=1 * MB)
+    if batch_size is not None:
+        kernel.attach_move_queue(
+            MoveQueue(kernel, batch_size=batch_size, chunk_budget=chunk_budget)
+        )
+
+    def setup(interpreter):
+        interpreter.set_tick_interval(1_000)
+        process = interpreter.process
+        scatter_capsule(kernel, process, interpreter=interpreter)
+        if clear_scatter_pauses:
+            kernel.pause_log.clear()
+        heat = HeatTracker()
+        engine_ = PolicyEngine(
+            kernel,
+            process,
+            epoch_cycles=5_000,
+            budget_cycles=500_000,
+            heat=heat,
+            compaction=CompactionDaemon(
+                kernel, process, target_fragmentation=0.05
+            ),
+            tiering=TieringBalancer(
+                kernel, process, heat, max_allocation_pages=40
+            ),
+        )
+        engine_.attach(interpreter)
+
+    result = run_carat(
+        workload.source,
+        kernel=kernel,
+        name=workload.name,
+        heap_size=512 * 1024,
+        stack_size=128 * 1024,
+        setup=setup,
+        sanitize=True,
+        engine=engine,
+    )
+    return kernel, result
+
+
+# ---------------------------------------------------------------------------
+# Queue mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestQueueMechanics:
+    def test_parameters_validated(self):
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            MoveQueue(kernel, batch_size=0)
+        with pytest.raises(ValueError):
+            MoveQueue(kernel, chunk_budget=-1)
+
+    def test_refused_enqueue_frees_claimed_destination(self):
+        kernel, process, interp = _loaded()
+        queue = MoveQueue(kernel)
+        manager = DegradationManager()
+        kernel.attach_degradation(manager)
+        page = _victim_page(process)
+        from tests.test_resilience_transaction import _failure
+
+        manager.record_failure(_failure(lo=page, hi=page + PAGE_SIZE))
+        frame = _claim_hole(kernel)
+        assert not queue.enqueue(_request(process, interp, frame))
+        assert queue.stats.refused == 1
+        assert kernel.frames.frame_is_free(frame)  # claim returned
+        assert queue.idle
+
+    def test_overlaps_pending_and_destination_ranges(self):
+        kernel, process, interp = _loaded()
+        queue = MoveQueue(kernel)
+        frame = _claim_hole(kernel)
+        request = _request(process, interp, frame)
+        assert queue.enqueue(request)
+        assert queue.overlaps_pending(
+            process.pid, request.lo, request.lo + PAGE_SIZE
+        )
+        assert not queue.overlaps_pending(
+            process.pid, request.lo + 16 * PAGE_SIZE,
+            request.lo + 17 * PAGE_SIZE,
+        )
+        assert not queue.overlaps_pending(
+            process.pid + 1, request.lo, request.lo + PAGE_SIZE
+        )
+        assert queue.destination_ranges() == [
+            (frame * PAGE_SIZE, (frame + 1) * PAGE_SIZE)
+        ]
+
+    @pytest.mark.parametrize("batch_size", [1, 4])
+    def test_duplicate_range_drops_stale_not_double_free(self, batch_size):
+        """Two queued requests for the same source range: the first
+        services, the second must drop as stale (its range was emptied
+        by the first flip) and release its destination — not install a
+        region over dead bytes and double-free the source frames."""
+        kernel, process, interp = _loaded()
+        queue = MoveQueue(kernel, batch_size=batch_size, chunk_budget=200)
+        kernel.attach_move_queue(queue)
+        f1 = _claim_hole(kernel, offset=0)
+        f2 = _claim_hole(kernel, offset=1)
+        assert queue.enqueue(_request(process, interp, f1))
+        assert queue.enqueue(_request(process, interp, f2))
+        queue.drain_all()
+        assert queue.stats.serviced == 1
+        assert queue.stats.stale_drops == 1
+        assert queue.stats.chunks > 0 and queue.stats.flips == 1
+        assert not kernel.frames.frame_is_free(f1)  # the move landed
+        assert kernel.frames.frame_is_free(f2)  # the stale claim returned
+        assert queue.idle
+        interp.run_steps(10_000_000)
+        assert interp.output == [str(sum(range(40)))]
+
+    def test_serviced_move_is_committed_and_audited(self):
+        kernel, process, interp = _loaded()
+        queue = MoveQueue(kernel, batch_size=2, chunk_budget=150)
+        kernel.attach_move_queue(queue)
+        frame = _claim_hole(kernel)
+        request = _request(process, interp, frame)
+        assert queue.enqueue(request)
+        queue.drain_all()
+        assert queue.idle
+        assert kernel.stats.moves_committed == 1
+        assert kernel.stats.carat_moves == 1
+        # The destination is live and region-backed; the source range
+        # no longer holds the victim allocation.
+        assert process.regions.find(frame * PAGE_SIZE) is not None
+        interp.run_steps(10_000_000)
+        assert interp.output == [str(sum(range(40)))]
+
+
+# ---------------------------------------------------------------------------
+# Bounded pauses
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedPause:
+    def test_chunked_pauses_stay_far_below_serial(self):
+        serial_kernel, serial = _policy_run("reference")
+        async_kernel, chunked = _policy_run(
+            "reference", batch_size=4, chunk_budget=400
+        )
+        assert chunked.output == serial.output
+        assert chunked.exit_code == serial.exit_code == 0
+        serial_pauses = serial_kernel.pause_log[serial.process.pid]
+        chunked_pauses = async_kernel.pause_log[chunked.process.pid]
+        assert serial_pauses and chunked_pauses
+        # The whole point: the longest pause under chunking is a small
+        # fraction of the serial stop-the-world pause.
+        assert max(chunked_pauses) * 4 < max(serial_pauses)
+        stats = async_kernel.move_queue.stats
+        assert stats.chunks > 0
+        assert stats.flips > 0
+        assert stats.serviced > 0
+        assert async_kernel.move_queue.idle  # drained before the run ended
+
+    def test_zero_chunk_budget_means_unchunked_batches(self):
+        kernel, result = _policy_run(
+            "reference", batch_size=4, chunk_budget=0
+        )
+        assert result.exit_code == 0
+        stats = kernel.move_queue.stats
+        assert stats.serviced > 0
+        # Unbounded budget: each item pre-copies in one chunk.
+        assert stats.chunks <= stats.serviced + stats.stale_drops + \
+            stats.retries * 4
+
+
+# ---------------------------------------------------------------------------
+# Engine parity
+# ---------------------------------------------------------------------------
+
+
+class TestEngineParity:
+    def test_fingerprint_identical_with_async_chunked_moves(self):
+        reference_kernel, reference = _policy_run(
+            "reference", batch_size=4, chunk_budget=400
+        )
+        fast_kernel, fast = _policy_run(
+            "fast", batch_size=4, chunk_budget=400
+        )
+        assert reference.output == fast.output
+        assert reference.instructions == fast.instructions
+        assert machine_fingerprint(
+            reference_kernel, reference.process
+        ) == machine_fingerprint(fast_kernel, fast.process)
+        assert reference_kernel.move_queue.stats.serviced > 0
+        assert (
+            fast_kernel.move_queue.stats.serviced
+            == reference_kernel.move_queue.stats.serviced
+        )
+
+
+# ---------------------------------------------------------------------------
+# The pause-accounting invariant
+# ---------------------------------------------------------------------------
+
+
+def _assert_pause_ledger_matches(kernel):
+    assert kernel.pause_log  # the run actually paused
+    for pid, pauses in kernel.pause_log.items():
+        stats = kernel.tenant_stats.get(pid)
+        assert stats is not None
+        assert sum(pauses) == stats.move_cycles
+    assert (
+        sum(sum(p) for p in kernel.pause_log.values())
+        == kernel.stats.move_cycles - sum(
+            s.move_cycles
+            for pid, s in kernel.tenant_stats.items()
+            if pid not in kernel.pause_log
+        )
+    )
+
+
+class TestPauseAccounting:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("use_queue", [False, True])
+    def test_single_tenant_pause_log_equals_move_cycles(
+        self, engine, use_queue
+    ):
+        """Every cycle a change request held (or chunked past) the world
+        is charged to ``move_cycles`` *and* logged as a pause — the two
+        ledgers must agree exactly, serial or async."""
+        kernel, result = _policy_run(
+            engine,
+            batch_size=4 if use_queue else None,
+            chunk_budget=400,
+            clear_scatter_pauses=False,
+        )
+        assert result.exit_code == 0
+        _assert_pause_ledger_matches(kernel)
+        if use_queue:
+            assert kernel.move_queue.stats.serviced > 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("use_queue", [False, True])
+    def test_multi_tenant_pause_log_equals_move_cycles(
+        self, engine, use_queue
+    ):
+        """The same invariant per tenant on a scheduled machine, where
+        pauses come from CoW breaks attributed through the tenant
+        context."""
+        config = RunConfig(
+            engine=engine,
+            sanitize=True,
+            quantum=123,
+            heap_size=64 * 1024,
+            stack_size=16 * 1024,
+            async_moves=use_queue,
+            move_batch=2,
+            chunk_budget=150,
+        )
+        arbiter = FairnessArbiter(epoch_cycles=500, budget_cycles=4000)
+        scheduler = Scheduler(
+            config,
+            [
+                TenantSpec(COUNTER_SOURCE, weight=1),
+                TenantSpec(COUNTER_SOURCE, weight=3),
+            ],
+            share=True,
+            arbiter=arbiter,
+        )
+        result = scheduler.run()
+        assert all(r.exit_code == 0 for r in result.tenants.values())
+        kernel = scheduler.kernel
+        assert (kernel.move_queue is not None) == use_queue
+        _assert_pause_ledger_matches(kernel)

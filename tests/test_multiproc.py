@@ -16,6 +16,9 @@ Four pillars:
   nothing).
 """
 
+import math
+from fractions import Fraction
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -33,6 +36,7 @@ from repro.multiproc import (
     ShareManager,
     TenantSpec,
 )
+from repro.multiproc.scheduler import percentile
 from repro.runtime.regions import PERM_RW, Region
 from repro.sanitizer import FaultInjector, InvariantChecker
 from repro.telemetry import validate_events
@@ -367,6 +371,74 @@ class TestArbiter:
         }
         assert weights == {1, 3}
         assert all(r.exit_code == 0 for r in result.tenants.values())
+
+    def test_weighted_shares_wired_and_audited(self):
+        """Regression: ``wire()`` used to hand every tenant the whole-
+        machine budget as its contract, so ``budgets_respected()``
+        audited spend against a limit no tenant was actually given.
+        The wired contract must be the weighted share ``on_round``
+        enforces — here 1000/3000 of a 4000-cycle budget."""
+        arbiter = FairnessArbiter(epoch_cycles=500, budget_cycles=4000)
+        result = _schedule(
+            [
+                TenantSpec(COUNTER_SOURCE, weight=1),
+                TenantSpec(COUNTER_SOURCE, weight=3),
+            ],
+            share=True,
+            arbiter=arbiter,
+        )
+        shares = {
+            state.tenant.spec.weight: state.stats.budget_cycles
+            for state in arbiter.states.values()
+        }
+        assert shares == {1: 1000, 3: 3000}
+        # Every per-epoch spend (pressure demotions included — they book
+        # into the same ledger) stayed within the *corrected* share.
+        for state in arbiter.states.values():
+            assert all(
+                spent <= state.stats.budget_cycles
+                for spent in state.stats.epoch_move_cycles
+            )
+        assert arbiter.budgets_respected()
+        assert result.arbitration["budgets_respected"] is True
+
+
+# ---------------------------------------------------------------------------
+# Percentile math (the p99 the scheduler reports)
+# ---------------------------------------------------------------------------
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0
+
+    def test_float_boundary_cases_exact(self):
+        """Regression: rank was ``ceil(n * fraction)`` in *float*
+        arithmetic, and binary rounding pushes products like
+        ``20 * 0.35`` to 7.000000000000001 — ceil'd to rank 8 instead
+        of 7.  Same story for ``100 * 0.99``."""
+        assert percentile(list(range(1, 21)), 0.35) == 7
+        assert percentile(list(range(1, 101)), 0.99) == 99
+        assert percentile([5], 1.0) == 5
+        assert percentile([3, 1, 2], 0.5) == 2  # sorts its input
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=10**9),
+            min_size=1,
+            max_size=200,
+        ),
+        fraction=st.floats(
+            min_value=0.001, max_value=1.0, allow_nan=False
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_exact_nearest_rank_reference(self, values, fraction):
+        """Nearest-rank percentile against a naive reference computed in
+        exact rational arithmetic over the same float input."""
+        n = len(values)
+        rank = min(n, max(1, math.ceil(Fraction(fraction) * n)))
+        assert percentile(values, fraction) == sorted(values)[rank - 1]
 
 
 # ---------------------------------------------------------------------------

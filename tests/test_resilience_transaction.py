@@ -408,6 +408,41 @@ class TestTransactionalMoves:
         assert machine_fingerprint(kernel, process) == before
         assert process.regions.check(base, 8, "write")  # perms untouched
 
+    def test_nested_world_stop_reused_not_recharged(self):
+        # Regression: allocation moves and protection changes used to
+        # initiate a *second* world stop even when the caller already
+        # held one (and then resumed the world out from under the
+        # caller).  With reuse_existing the transaction must piggyback
+        # on the existing stop: no new stop charged, world still
+        # stopped afterwards.
+        kernel, process, interp = _loaded()
+        runtime = process.runtime
+        assert runtime.world_stop(1) > 0
+        assert runtime.is_stopped
+        stops_before = runtime.stats.world_stops
+
+        victim = process.runtime.worst_case_allocation()
+        kernel.request_allocation_move(process, victim)
+        assert runtime.stats.world_stops == stops_before
+        assert runtime.is_stopped  # the caller's stop was not released
+
+        from repro.runtime.regions import PERM_READ, PERM_RWX
+
+        base = process.layout.stack_base
+        kernel.request_protection_change(process, base, PAGE_SIZE, PERM_READ)
+        assert runtime.stats.world_stops == stops_before
+        assert runtime.is_stopped
+        kernel.request_protection_change(process, base, PAGE_SIZE, PERM_RWX)
+        runtime.resume()
+
+        # Without a caller-held stop the transaction initiates its own
+        # stop and releases it on commit.
+        kernel.request_allocation_move(
+            process, process.runtime.worst_case_allocation()
+        )
+        assert runtime.stats.world_stops == stops_before + 1
+        assert not runtime.is_stopped
+
     def test_protection_change_commit_unaffected_by_one_shot_fault(self):
         kernel, process, interp = _loaded()
         injector = ProtocolFaultInjector(
