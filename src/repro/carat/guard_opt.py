@@ -297,6 +297,14 @@ def _covered(available: Set[tuple], tag: tuple) -> bool:
     return False
 
 
+# Public aliases for the coverage lattice.  The trace tier
+# (machine.tracejit) re-runs the same write-covers-read dominance test
+# over a recorded superblock at run time, so the static pass and the
+# runtime elision can never disagree about what a prior guard proves.
+guard_tag = _guard_tag
+guard_covered = _covered
+
+
 def _eliminate_redundant_guards(fn: Function, table: GuardTable) -> int:
     def generates(inst: Instruction) -> List[tuple]:
         if is_guard_call(inst):

@@ -50,10 +50,11 @@ from repro.ir.printer import print_module
 def _add_engine_flag(parser, help_suffix: str = "") -> None:
     parser.add_argument(
         "--engine",
-        choices=["reference", "fast"],
+        choices=["reference", "fast", "trace"],
         default="reference",
-        help="execution engine: readable reference interpreter or the "
-        "pre-compiled fast engine (identical observable behavior)"
+        help="execution engine: readable reference interpreter, the "
+        "pre-compiled fast engine, or the trace tier that compiles hot "
+        "superblocks on top of it (identical observable behavior)"
         + help_suffix,
     )
 
@@ -152,6 +153,20 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-steps", type=int, default=50_000_000)
     _add_engine_flag(run)
     run.add_argument("--stats", action="store_true", help="print cycle accounting")
+    run.add_argument(
+        "--trace-threshold",
+        type=int,
+        default=16,
+        help="--engine trace: back-edge executions before a hot block "
+        "anchor is recorded into a superblock (default: 16)",
+    )
+    run.add_argument(
+        "--trace-max-blocks",
+        type=int,
+        default=48,
+        help="--engine trace: superblock length cap, in branch-entered "
+        "blocks (default: 48)",
+    )
     run.add_argument(
         "--sanitize",
         action="store_true",
@@ -507,12 +522,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"-- exit code    : {result.exit_code}", file=sys.stderr)
         print(f"-- instructions : {result.instructions}", file=sys.stderr)
         print(f"-- cycles       : {result.cycles}", file=sys.stderr)
-        if args.engine == "fast":
+        if args.engine in ("fast", "trace"):
             stats = result.stats
             print(
                 f"-- dispatch     : {stats.compiled_blocks} compiled blocks, "
                 f"{stats.dispatch_cache_hits} cache hits, "
                 f"{stats.dispatch_cache_misses} cache misses",
+                file=sys.stderr,
+            )
+        if args.engine == "trace":
+            stats = result.stats
+            print(
+                f"-- traces       : {stats.traces_compiled} compiled, "
+                f"{stats.trace_exits} side exits, "
+                f"{stats.trace_respecializations} respecializations, "
+                f"{stats.guard_checks_elided} guard checks elided",
                 file=sys.stderr,
             )
         if result.process.runtime is not None:
@@ -522,7 +546,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{rt.stats.guard_faults} faults",
                 file=sys.stderr,
             )
-            if args.engine == "fast":
+            if args.engine in ("fast", "trace"):
                 print(
                     f"-- guard cache  : {rt.stats.region_cache_hits} hits, "
                     f"{rt.stats.region_cache_misses} misses, "

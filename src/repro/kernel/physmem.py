@@ -1,14 +1,15 @@
 """Physical memory and the page frame allocator.
 
-A flat byte-addressable physical memory (a ``bytearray``) with typed
-accessors, plus a bitmap frame allocator handing out 4 KB frames — the
-kernel substrate both execution models sit on.  In the CARAT model the
-program addresses this memory directly; in the traditional model the MMU
-translates first.
+A flat byte-addressable physical memory (an anonymous ``mmap``) with
+typed accessors, plus a bitmap frame allocator handing out 4 KB frames —
+the kernel substrate both execution models sit on.  In the CARAT model
+the program addresses this memory directly; in the traditional model the
+MMU translates first.
 """
 
 from __future__ import annotations
 
+import mmap
 import struct
 from typing import List, Optional, Tuple
 
@@ -53,7 +54,14 @@ class PhysicalMemory:
         self.size = size
         #: Byte address where the slow tier starts; ``None`` = untiered.
         self.fast_size = fast_size
-        self._data = bytearray(size)
+        # Anonymous mmap instead of ``bytearray(size)``: the OS hands out
+        # demand-zeroed pages lazily, so booting a kernel costs microseconds
+        # instead of a full memset of the whole physical address space —
+        # which dominated short runs and multi-tenant boot (one memory per
+        # kernel).  Slicing semantics are identical for every consumer
+        # (slice reads decode the same, exact-length slice writes, whole-
+        # buffer ``bytes()`` snapshots).
+        self._data = mmap.mmap(-1, size)
         #: Counters for bandwidth-style accounting.
         self.bytes_read = 0
         self.bytes_written = 0

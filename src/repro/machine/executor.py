@@ -43,12 +43,18 @@ from repro.kernel.kernel import DEFAULT_HEAP, DEFAULT_STACK, Kernel
 from repro.kernel.process import Process
 from repro.machine.fastexec import FastInterpreter
 from repro.machine.interp import Interpreter, InterpStats
+from repro.machine.tracejit import TraceInterpreter
 from repro.sanitizer import Sanitizer
 
-#: Selectable execution engines: the readable reference interpreter and
-#: the pre-compiled fast engine (identical observable behavior; see
-#: :mod:`repro.machine.fastexec`).
-ENGINES = {"reference": Interpreter, "fast": FastInterpreter}
+#: Selectable execution engines: the readable reference interpreter, the
+#: pre-compiled fast engine, and the trace tier that compiles hot
+#: superblocks on top of it (all three identical in observable behavior;
+#: see :mod:`repro.machine.fastexec` / :mod:`repro.machine.tracejit`).
+ENGINES = {
+    "reference": Interpreter,
+    "fast": FastInterpreter,
+    "trace": TraceInterpreter,
+}
 
 #: Sentinel distinguishing "caller explicitly passed this kwarg" from
 #: "caller took the default" — the shims only warn on the former.

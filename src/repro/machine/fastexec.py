@@ -570,11 +570,17 @@ def _compile_cast(inst: CastInst) -> Op:
     )
 
 
-def _compile_gep(inst: GEPInst) -> Op:
-    key = id(inst)
-    # Walk the indexed type once, here, instead of per execution: each
-    # index contributes either a static offset (constant index) or a
-    # dynamic term.  Struct indices are constant by construction.
+def _gep_plan(
+    inst: GEPInst,
+) -> Tuple[int, List[Tuple[Value, int]], Optional[str]]:
+    """Walk the indexed type once, at compile time: each index contributes
+    either a static offset (constant index) or a dynamic ``(value, stride)``
+    term.  Struct indices are constant by construction.  Returns
+    ``(const_offset, dynamic_terms, bad_type_rep)``; a non-``None`` third
+    element names the non-aggregate type the walk hit, and the caller must
+    then emit the lazy reference fault with that exact wording.  Shared
+    with the trace tier, which inlines the same address expression into
+    superblock bodies."""
     const_offset = 0
     dynamic: List[Tuple[Value, int]] = []
     current: Type = inst.source_type
@@ -591,19 +597,26 @@ def _compile_gep(inst: GEPInst) -> Op:
             current = current.fields[index.value]
             continue
         else:
-            # Mirror the reference fault lazily: this index is only an
-            # error if the instruction actually executes.
-            rep = str(current)
-
-            def bad_gep_op(interp, frame, _rep=rep):
-                interp.stats.cycles += interp._cost_instruction
-                raise InterpError(f"gep into non-aggregate {_rep}")
-
-            return bad_gep_op
+            return 0, [], str(current)
         if isinstance(index, ConstantInt):
             const_offset += index.value * stride
         else:
             dynamic.append((index, stride))
+    return const_offset, dynamic, None
+
+
+def _compile_gep(inst: GEPInst) -> Op:
+    key = id(inst)
+    const_offset, dynamic, bad_type = _gep_plan(inst)
+    if bad_type is not None:
+        # Mirror the reference fault lazily: the bad index is only an
+        # error if the instruction actually executes.
+
+        def bad_gep_op(interp, frame, _rep=bad_type):
+            interp.stats.cycles += interp._cost_instruction
+            raise InterpError(f"gep into non-aggregate {_rep}")
+
+        return bad_gep_op
 
     ns: Dict[str, object] = {"_key": key}
     operands: List[Value] = [inst.pointer]
@@ -939,7 +952,7 @@ def _compile_intrinsic(inst: CallInst, name: str, code: "ModuleCode") -> Op:
     Guard sites get a numbered memoization cell for the region cache."""
     args = inst.args
     if name in (GUARD_LOAD, GUARD_STORE):
-        site = code.new_guard_site()
+        site = code.new_guard_site(inst)
         ns: Dict[str, object] = {
             "_site": site,
             "_access": "read" if name == GUARD_LOAD else "write",
@@ -968,7 +981,7 @@ def _compile_intrinsic(inst: CallInst, name: str, code: "ModuleCode") -> Op:
             ns,
         )
     if name == GUARD_CALL:
-        site = code.new_guard_site()
+        site = code.new_guard_site(inst)
         ns = {"_site": site, "_size_v": args[0]}
         size = _expr(args[0], ns, "s")
         return _gen(
@@ -990,7 +1003,7 @@ def _compile_intrinsic(inst: CallInst, name: str, code: "ModuleCode") -> Op:
             ns,
         )
     if name == GUARD_RANGE:
-        site = code.new_guard_site()
+        site = code.new_guard_site(inst)
         ns = {"_site": site, "_addr_v": args[0], "_len_v": args[1]}
         addr = _expr(args[0], ns, "a")
         length = _expr(args[1], ns, "n")
@@ -1151,6 +1164,12 @@ class ModuleCode:
         #: dispatch loop's safepoint check costs one tuple unpack.
         self.ops_by_block: Dict[int, List[Tuple[Op, bool]]] = {}
         self.guard_sites = 0
+        #: instruction id -> guard-site index, so the trace tier can find
+        #: the memoization cell belonging to a guard it re-compiles.
+        self.guard_site_of: Dict[int, int] = {}
+        #: (anchor id, chain ids, variant) -> compiled trace code, shared
+        #: across interpreters of the same binary (see machine.tracejit).
+        self.trace_codes: Dict[tuple, object] = {}
         self.compiled_blocks = 0
         self.compiled_functions = 0
         for function in module.functions.values():
@@ -1164,9 +1183,10 @@ class ModuleCode:
                 ]
                 self.compiled_blocks += 1
 
-    def new_guard_site(self) -> int:
+    def new_guard_site(self, inst: Instruction) -> int:
         site = self.guard_sites
         self.guard_sites += 1
+        self.guard_site_of[id(inst)] = site
         return site
 
     def _compile(self, inst: Instruction) -> Op:
@@ -1245,10 +1265,15 @@ class FastInterpreter(Interpreter):
         code, was_cached = compile_module(self.module)
         self._code = code
         self.stats.compiled_blocks = code.compiled_blocks
+        # Hit/miss accounting is in *block* units, matching
+        # ``compiled_blocks``: a cold run compiles every block (all
+        # misses), a warm run reuses every block (all hits).  Counting
+        # functions here — or nothing on the cold path — made the hit
+        # rate unrelatable to the cache's actual unit of work.
         if was_cached:
-            self.stats.dispatch_cache_hits = code.compiled_functions
+            self.stats.dispatch_cache_hits = code.compiled_blocks
         else:
-            self.stats.dispatch_cache_misses = code.compiled_functions
+            self.stats.dispatch_cache_misses = code.compiled_blocks
         #: Per-site region-cache cells — per interpreter, NOT in the
         #: shared compiled code: a fresh RegionSet could coincidentally
         #: repeat a stale (generation, geometry) pair across runs.

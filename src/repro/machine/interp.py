@@ -116,6 +116,16 @@ class InterpStats:
     compiled_blocks: int = 0
     dispatch_cache_hits: int = 0
     dispatch_cache_misses: int = 0
+    #: Trace-tier accounting (``--engine trace`` only; both other engines
+    #: leave these at zero).  Like the dispatch-cache counters these are
+    #: wall-clock bookkeeping: superblocks compiled, side exits back to
+    #: the block tier, guard re-specializations after a region-generation
+    #: bump, and guard checks served by a specialized (pre-resolved)
+    #: parameter check instead of the full mechanism dispatch.
+    traces_compiled: int = 0
+    trace_exits: int = 0
+    trace_respecializations: int = 0
+    guard_checks_elided: int = 0
 
     def hot_tier_share(self) -> float:
         """Fraction of tier-accounted accesses served by the fast tier."""

@@ -91,6 +91,11 @@ class RunConfig:
     move_batch: int = 4
     #: Cycle cap per pre-copy chunk (``--chunk-budget``); 0 = unchunked.
     chunk_budget: int = 0
+    #: Trace-tier tuning (``--engine trace`` only; other engines ignore
+    #: them): back-edge executions before a block anchor is recorded,
+    #: and the superblock length cap in blocks.
+    trace_threshold: int = 16
+    trace_max_blocks: int = 48
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -123,6 +128,16 @@ class RunConfig:
             raise ValueError(
                 f"chunk_budget must be a non-negative cycle count, "
                 f"not {self.chunk_budget!r}"
+            )
+        if not isinstance(self.trace_threshold, int) or self.trace_threshold < 1:
+            raise ValueError(
+                f"trace_threshold must be a positive execution count, "
+                f"not {self.trace_threshold!r}"
+            )
+        if not isinstance(self.trace_max_blocks, int) or self.trace_max_blocks < 1:
+            raise ValueError(
+                f"trace_max_blocks must be a positive block count, "
+                f"not {self.trace_max_blocks!r}"
             )
 
     @property
@@ -303,6 +318,11 @@ class CaratSession:
                 guard_mechanism=config.guard_mechanism,
             )
         interpreter = _interpreter_class(config.engine)(process, kernel)
+        if hasattr(interpreter, "set_trace_tuning"):
+            interpreter.set_trace_tuning(
+                threshold=config.trace_threshold,
+                max_blocks=config.trace_max_blocks,
+            )
         if sanitizer is not None:
             sanitizer.attach_interpreter(interpreter)
         if tracer is not None:

@@ -287,6 +287,20 @@ class GuardMechanism:
         """
         return self.check(regions, address, size, access)
 
+    def steady_cycles(self, regions: RegionSet) -> Optional[int]:
+        """Cycle charge of a *steady-state hit* under the current region
+        geometry, or ``None`` if this mechanism has no constant hit cost.
+
+        The trace tier bakes this number into a specialized guard check
+        (BranchFreeTranslator-style): the value is only valid while
+        ``regions.version`` is unchanged *and* any mechanism predictor
+        state matches what the specialization captured — the caller's
+        fast-path condition must enforce both, and re-derive the number
+        after every generation bump.  Must equal what :meth:`check_known`
+        would charge on the corresponding hit.
+        """
+        return None
+
 
 class BinarySearchGuard(GuardMechanism):
     """Probe the ordered region array by binary search; cost is one probe
@@ -331,6 +345,16 @@ class BinarySearchGuard(GuardMechanism):
             1, math.ceil(math.log2(n + 1))
         )
         return GuardOutcome(allowed, cycles, region)
+
+    def steady_cycles(self, regions: RegionSet) -> Optional[int]:
+        n = len(regions)
+        if n == 0:
+            return None
+        if n == 1:
+            return self.costs.range_guard_single
+        return self.costs.binary_search_probe * max(
+            1, math.ceil(math.log2(n + 1))
+        )
 
 
 class IfTreeGuard(GuardMechanism):
@@ -383,6 +407,12 @@ class IfTreeGuard(GuardMechanism):
         )
         allowed = address + size <= region.end and region.allows(access)
         return GuardOutcome(allowed, cycles, region)
+
+    def steady_cycles(self, regions: RegionSet) -> Optional[int]:
+        # The constant cost exists only on the predictable path; the
+        # specializer's fast-path condition must check the predictor
+        # (``stride_hint`` or a repeated leaf) before charging this.
+        return self.costs.guard_cost("if_tree", len(regions), strided=True)
 
 
 class MPXGuard(GuardMechanism):
@@ -446,6 +476,12 @@ class MPXGuard(GuardMechanism):
         if allowed:
             self._bound = region
         return GuardOutcome(allowed, cycles, region)
+
+    def steady_cycles(self, regions: RegionSet) -> Optional[int]:
+        # Valid only while the bounds register still holds the region the
+        # specialization captured (a register reload by any interleaved
+        # guard must demote the site back to the generic path).
+        return self.costs.mpx_guard
 
 
 def make_guard(name: str, costs: CostModel = DEFAULT_COSTS) -> GuardMechanism:

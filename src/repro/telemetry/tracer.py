@@ -38,6 +38,7 @@ PH_COUNTER = "C"
 CATEGORIES = (
     "compiler",    # pass begin/end with IR deltas
     "guard",       # guard check hit/miss/fault
+    "trace",       # trace-tier compiles, side exits, respecializations
     "tracking",    # allocation/escape tracking
     "protocol",    # Figure-8 steps 1-12
     "policy",      # policy-engine epochs

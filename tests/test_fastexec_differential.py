@@ -1,13 +1,16 @@
-"""Differential tests: the fast engine is observably the reference engine.
+"""Differential tests: the compiled engines are observably the reference.
 
 The fast execution engine (:mod:`repro.machine.fastexec`) trades
 per-tick interpretation for pre-compiled dispatch plus an
-epoch-invalidated guard cache.  Its contract is that nothing observable
-changes: bit-identical program output, exit codes, and memory image, and
-semantically identical stats (the dispatch/region-cache counters are the
-only additions).  These tests check the contract three ways —
-property-based random programs, targeted cache-invalidation scenarios,
-and end-to-end runs under an aggressive page-moving policy engine.
+epoch-invalidated guard cache; the trace tier
+(:mod:`repro.machine.tracejit`) further compiles hot superblocks with
+parameter-specialized guards.  Their shared contract is that nothing
+observable changes: bit-identical program output, exit codes, and memory
+image, and semantically identical stats (the dispatch/region-cache and
+trace counters are the only additions).  These tests check the contract
+three ways — property-based random programs run under all three engines,
+targeted cache-invalidation scenarios, and end-to-end runs under an
+aggressive page-moving policy engine and the multi-tenant scheduler.
 """
 
 import pytest
@@ -20,6 +23,7 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.physmem import PhysicalMemory
 from repro.machine.executor import run_carat, run_traditional
 from repro.machine.fastexec import compile_module
+from repro.machine.session import CaratSession, RunConfig
 from repro.runtime import (
     PERM_RW,
     CaratRuntime,
@@ -74,6 +78,13 @@ def _snapshot(result):
         runtime,
         bytes(result.kernel.memory._data),
     )
+
+
+def _hot_trace(interpreter):
+    """Setup hook: promote at 2 back-edge executions so even the tiny
+    property-test programs exercise the trace tier."""
+    if hasattr(interpreter, "set_trace_tuning"):
+        interpreter.set_trace_tuning(threshold=2)
 
 
 # ---------------------------------------------------------------------------
@@ -134,7 +145,11 @@ class TestPropertyDifferential:
         binary = compile_carat(source, CompileOptions(), module_name="fuzz")
         reference = _snapshot(run_carat(binary, engine="reference"))
         fast = _snapshot(run_carat(binary, engine="fast"))
+        trace = _snapshot(
+            run_carat(binary, engine="trace", setup=_hot_trace)
+        )
         assert reference == fast
+        assert reference == trace
 
     @given(mini_c_programs())
     @settings(max_examples=8, deadline=None)
@@ -146,7 +161,12 @@ class TestPropertyDifferential:
         )
         reference = _snapshot(run_traditional(binary, engine="reference"))
         fast = _snapshot(run_traditional(binary, engine="fast"))
+        config = RunConfig(
+            mode="traditional", engine="trace", trace_threshold=2
+        )
+        trace = _snapshot(CaratSession(config).run(binary))
         assert reference == fast
+        assert reference == trace
 
 
 # ---------------------------------------------------------------------------
@@ -244,9 +264,12 @@ class TestDispatchCache:
         first = run_carat(binary, engine="fast")
         second = run_carat(binary, engine="fast")
         assert first.stats.compiled_blocks > 0
-        assert first.stats.dispatch_cache_misses > 0
+        # The unit of caching is the basic block: a cold run misses once
+        # per block it compiles, and a warm run hits once per block it
+        # reuses — never a per-function or per-module count.
+        assert first.stats.dispatch_cache_misses == first.stats.compiled_blocks
         assert first.stats.dispatch_cache_hits == 0
-        assert second.stats.dispatch_cache_hits > 0
+        assert second.stats.dispatch_cache_hits == second.stats.compiled_blocks
         assert second.stats.dispatch_cache_misses == 0
         assert second.stats.compiled_blocks == first.stats.compiled_blocks
 
@@ -267,6 +290,10 @@ class TestDispatchCache:
         assert result.stats.compiled_blocks == 0
         assert result.stats.dispatch_cache_hits == 0
         assert result.stats.dispatch_cache_misses == 0
+        assert result.stats.traces_compiled == 0
+        assert result.stats.trace_exits == 0
+        assert result.stats.trace_respecializations == 0
+        assert result.stats.guard_checks_elided == 0
 
     def test_unknown_engine_rejected(self):
         workload = get_workload("ep", "tiny")
@@ -324,16 +351,58 @@ def _policy_run(workload, engine):
 
 class TestMidRunMoveParity:
     @pytest.mark.parametrize("name", ["canneal", "mcf"])
-    def test_policy_moves_identical_under_both_engines(self, name):
+    def test_policy_moves_identical_under_all_engines(self, name):
         workload = get_workload(name, "tiny")
         reference, ref_policy = _policy_run(workload, "reference")
         fast, fast_policy = _policy_run(workload, "fast")
+        trace, trace_policy = _policy_run(workload, "trace")
         assert _snapshot(reference) == _snapshot(fast)
+        assert _snapshot(reference) == _snapshot(trace)
         # The runs must actually have moved pages, and the moves must have
         # invalidated live guard-cache entries (else the test proves
         # nothing).
         assert ref_policy.stats.total_moves > 0
         assert fast_policy.stats.total_moves == ref_policy.stats.total_moves
+        assert trace_policy.stats.total_moves == ref_policy.stats.total_moves
         rt_stats = fast.process.runtime.stats
         assert rt_stats.region_cache_hits > 0
         assert rt_stats.region_cache_invalidations > 0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: multi-tenant scheduling under all three engines.
+# ---------------------------------------------------------------------------
+
+
+class TestMultiTenantParity:
+    def _schedule(self, engine):
+        from repro.multiproc import Scheduler, TenantSpec
+
+        specs = [
+            TenantSpec(get_workload("ep", "tiny").source, name="ep"),
+            TenantSpec(get_workload("cg", "tiny").source, name="cg"),
+        ]
+        config = RunConfig(
+            engine=engine,
+            quantum=400,
+            heap_size=256 * 1024,
+            stack_size=64 * 1024,
+            trace_threshold=4,
+        )
+        return Scheduler(config, specs).run()
+
+    def test_scheduled_tenants_fingerprint_identically(self):
+        """Per-tenant fingerprints (output + every modeled counter) must
+        match across engines even with quantum interleaving — tenant
+        switches must invalidate per-site specialization correctly, and
+        compiled traces must never leak across tenant interpreters."""
+        reference = self._schedule("reference")
+        fast = self._schedule("fast")
+        trace = self._schedule("trace")
+        assert reference.fingerprints() == fast.fingerprints()
+        assert reference.fingerprints() == trace.fingerprints()
+        # The trace run must actually have compiled traces in at least
+        # one tenant, or this proves nothing about the trace tier.
+        assert any(
+            r.stats.traces_compiled > 0 for r in trace.tenants.values()
+        )

@@ -13,9 +13,9 @@ kernel↔runtime upcall path.  The acceptance bar, per fault:
   quarantined, the program still finishes with identical output, and
   state is never corrupted.
 
-The property test at the bottom drives the reference and fast engines
-through *identical* random fault schedules and asserts the runs are
-observably the same, memory image included.
+The property test at the bottom drives all three engines (reference,
+fast, trace) through *identical* random fault schedules and asserts the
+runs are observably the same, memory image included.
 """
 
 import random
@@ -403,6 +403,10 @@ def _scheduled_run(binary, points, engine):
 
     def setup(interpreter):
         interpreter.set_tick_interval(200)
+        if hasattr(interpreter, "set_trace_tuning"):
+            # Promote early so the trace tier is live while the faulted
+            # moves (and their rollbacks) mutate the region map.
+            interpreter.set_trace_tuning(threshold=2)
 
         def hook(interp):
             if len(moved) >= 4:
@@ -449,5 +453,7 @@ class TestFaultScheduleDifferential:
         points = random_fault_schedule(random.Random(seed), count=3)
         reference = _scheduled_run(binary, points, "reference")
         fast = _scheduled_run(binary, points, "fast")
+        trace = _scheduled_run(binary, points, "trace")
         assert reference == fast
+        assert reference == trace
         assert reference[1] == tuple(EXPECTED_OUTPUT)

@@ -64,7 +64,7 @@ void main() {
 }
 """
 
-ENGINES = ["reference", "fast"]
+ENGINES = ["reference", "fast", "trace"]
 
 #: Capsule sizes for direct ``load_carat`` calls (the kernel default is
 #: an 8 MiB heap — far too big for multi-tenant unit fixtures).
