@@ -373,6 +373,124 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the carat.multitenant.v1 result document to FILE",
     )
 
+    soak = sub.add_parser(
+        "soak",
+        help="long-horizon service soak with continuous chaos injection "
+        "and steady-state watchdogs",
+    )
+    soak.add_argument(
+        "--workload",
+        choices=["kvservice", "kvburst"],
+        default="kvservice",
+        help="request-serving workload family (default kvservice)",
+    )
+    soak.add_argument(
+        "--requests",
+        type=int,
+        default=100_000,
+        dest="requests",
+        help="total requests to serve across all tenants (default 100000)",
+    )
+    soak.add_argument(
+        "--horizon",
+        type=int,
+        default=400,
+        dest="horizon",
+        help="maximum epochs before the watchdog declares the soak "
+        "exhausted (default 400)",
+    )
+    soak.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        dest="tenants",
+        help="number of service tenants (default 1)",
+    )
+    soak.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.0,
+        dest="chaos_rate",
+        help="expected protocol faults armed per epoch (0 disables chaos)",
+    )
+    soak.add_argument(
+        "--seed",
+        type=int,
+        default=77,
+        dest="seed",
+        help="chaos schedule seed (same seed => identical fault sequence "
+        "and run fingerprint)",
+    )
+    soak.add_argument(
+        "--slo-p99",
+        type=int,
+        default=0,
+        dest="slo_p99",
+        help="p99 cycles-per-request SLO gate (0 disables)",
+    )
+    _add_engine_flag(soak, " for every tenant")
+    soak.add_argument(
+        "--rounds-per-epoch",
+        type=int,
+        default=25,
+        dest="rounds_per_epoch",
+        help="scheduler rounds per soak epoch (default 25)",
+    )
+    soak.add_argument(
+        "--warmup",
+        type=int,
+        default=5,
+        dest="warmup",
+        help="epochs excluded from steady-state judgement (default 5)",
+    )
+    soak.add_argument(
+        "--sanitize-every",
+        type=int,
+        default=8,
+        dest="sanitize_every",
+        help="epochs between full invariant-checker checkpoints "
+        "(0 = final check only; default 8)",
+    )
+    soak.add_argument(
+        "--drain-budget",
+        type=int,
+        default=12,
+        dest="drain_budget",
+        help="epochs a quarantined range may stay quarantined (default 12)",
+    )
+    soak.add_argument(
+        "--quantum",
+        type=int,
+        default=1000,
+        help="round-robin time slice in instructions (default 1000)",
+    )
+    soak.add_argument(
+        "--heap-kb",
+        type=int,
+        default=64,
+        help="per-tenant heap in KiB (default 64)",
+    )
+    soak.add_argument(
+        "--fast-kb",
+        type=int,
+        default=96,
+        help="fast-tier size in KiB (0 disables tiering; default 96, "
+        "deliberately tight so tiering churn gives chaos moves to hit)",
+    )
+    soak.add_argument("--max-steps", type=int, default=500_000_000)
+    soak.add_argument(
+        "--crash-dump",
+        default=None,
+        metavar="FILE",
+        help="crash-dump bundle path (default soak-crash-<engine>.json)",
+    )
+    soak.add_argument(
+        "--json",
+        metavar="FILE",
+        dest="json_out",
+        help="write the carat.soak.v1 report document to FILE",
+    )
+
     sanitize = sub.add_parser(
         "sanitize",
         help="audit workload runs under the cross-layer invariant checker",
@@ -589,7 +707,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.tracer is not None:
         summary = result.tracer.summary()
         print(
-            f"-- trace        : {summary['total']} events"
+            f"-- trace        : {summary['total']} events, "
+            f"{result.tracer.dropped_events} dropped"
             + (f" -> {config.trace_out}.jsonl" if config.trace_out else ""),
             file=sys.stderr,
         )
@@ -805,6 +924,78 @@ def _cmd_smp(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.machine.session import RunConfig
+    from repro.soak import SoakRunner
+
+    if args.tenants < 1:
+        raise SystemExit("repro soak: --tenants must be at least 1")
+    config = RunConfig.from_args(
+        args,
+        mode="carat",
+        name=args.workload,
+        heap_size=args.heap_kb * 1024,
+    )
+    runner = SoakRunner(
+        config,
+        workload=args.workload,
+        fast_memory=args.fast_kb * 1024 or None,
+        crash_dump_path=args.crash_dump,
+    )
+    report = runner.run()
+
+    print(
+        f"soak        : {args.tenants} x {args.workload} ({config.engine}, "
+        f"quantum {config.quantum}, chaos rate {config.chaos_rate:g}, "
+        f"seed {config.chaos_seed})"
+    )
+    print(
+        f"horizon     : {report.epochs} epochs ({report.rounds} rounds, "
+        f"{report.machine_cycles} machine cycles)"
+    )
+    print(
+        f"requests    : {report.requests_completed}/{report.requests_target} "
+        f"served, {report.throughput_rpkc():.3f} per kilocycle"
+    )
+    print(
+        f"latency     : p50 {report.latency_p50} / p99 {report.latency_p99} "
+        f"cycles per request ({report.latency_samples} samples)"
+    )
+    efi = report.efi_trajectory
+    print(
+        f"efi         : first {efi[0]:.4f} last {efi[-1]:.4f} "
+        f"max {max(efi):.4f}"
+        if efi
+        else "efi         : no samples"
+    )
+    faults = report.faults
+    print(
+        f"chaos       : {faults['injected']} armed, {faults['fired']} fired, "
+        f"{faults['move_retries']} retries, {faults['moves_degraded']} "
+        f"degraded, {faults['quarantines_drained']} quarantines drained"
+    )
+    print(f"sanitizer   : {report.sanitizer}")
+    print(f"trace       : {report.dropped_events} dropped events")
+    print(f"fingerprint : {report.fingerprint()}")
+    if report.verdicts:
+        print(f"verdicts    : {len(report.verdicts)} steady-state violation(s)")
+        for verdict in report.verdicts:
+            print(
+                f"  [{verdict['name']}] epoch {verdict['epoch']}: "
+                f"{verdict['detail']}"
+            )
+    else:
+        print("verdicts    : none — steady state held")
+    if report.crash_dump:
+        print(f"crash dump  : {report.crash_dump}")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"json        : {args.json_out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_sanitize(args: argparse.Namespace) -> int:
     from repro.machine.session import CaratSession, RunConfig
     from repro.sanitizer import Sanitizer
@@ -918,6 +1109,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "policy": _cmd_policy,
         "smp": _cmd_smp,
+        "soak": _cmd_soak,
         "sanitize": _cmd_sanitize,
         "trace": _cmd_trace,
         "profile": _cmd_profile,

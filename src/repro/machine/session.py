@@ -96,6 +96,28 @@ class RunConfig:
     #: and the superblock length cap in blocks.
     trace_threshold: int = 16
     trace_max_blocks: int = 48
+    #: Soak harness (the ``soak`` subcommand; :mod:`repro.soak`):
+    #: simulated requests summed across all tenants (``--requests``),
+    #: the epoch horizon the watchdog enforces (``--horizon``), the
+    #: tenant count (``--tenants``), scheduler rounds folded into one
+    #: soak epoch, and warmup epochs the steady-state monitor skips.
+    soak_requests: int = 100_000
+    soak_horizon: int = 400
+    soak_tenants: int = 1
+    soak_rounds_per_epoch: int = 8
+    soak_warmup: int = 5
+    #: Chaos injection: expected protocol faults armed per epoch
+    #: (``--chaos-rate``; 0 disables) drawn from ``--seed``.
+    chaos_rate: float = 0.0
+    chaos_seed: int = 77
+    #: SLO gate: p99 cycles-per-request cap (``--slo-p99``; 0 disables).
+    slo_p99: int = 0
+    #: Epochs between full sanitizer checkpoints during a soak
+    #: (``--sanitize-every``; 0 disables the periodic checks).
+    sanitize_every: int = 8
+    #: Epochs a quarantined range may stay pinned before the
+    #: degradation-must-drain verdict fires (``--drain-budget``).
+    drain_budget: int = 12
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -139,6 +161,26 @@ class RunConfig:
                 f"trace_max_blocks must be a positive block count, "
                 f"not {self.trace_max_blocks!r}"
             )
+        for field_name in (
+            "soak_requests", "soak_horizon", "soak_tenants",
+            "soak_rounds_per_epoch", "drain_budget",
+        ):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    f"{field_name} must be a positive int, not {value!r}"
+                )
+        for field_name in ("soak_warmup", "slo_p99", "sanitize_every"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(
+                    f"{field_name} must be a non-negative int, not {value!r}"
+                )
+        if not isinstance(self.chaos_rate, (int, float)) or self.chaos_rate < 0:
+            raise ValueError(
+                f"chaos_rate must be a non-negative fault rate, "
+                f"not {self.chaos_rate!r}"
+            )
 
     @property
     def faulting(self) -> bool:
@@ -163,7 +205,16 @@ class RunConfig:
         return dataclasses.replace(self, **changes)
 
     #: argparse dest -> config field, where the names differ.
-    _ARG_ALIASES = {"guard": "guard_mechanism"}
+    _ARG_ALIASES = {
+        "guard": "guard_mechanism",
+        # The soak subcommand's short flag names.
+        "requests": "soak_requests",
+        "horizon": "soak_horizon",
+        "tenants": "soak_tenants",
+        "rounds_per_epoch": "soak_rounds_per_epoch",
+        "warmup": "soak_warmup",
+        "seed": "chaos_seed",
+    }
 
     @classmethod
     def from_args(cls, args, **overrides) -> "RunConfig":

@@ -334,22 +334,44 @@ class Scheduler:
                 f"instructions"
             )
 
-    def run(self) -> ScheduleResult:
-        self._build()
+    def start(self) -> None:
+        """Compile, load, and wire every tenant without running anything.
+
+        Idempotent; ``run()`` calls it implicitly.  External drivers (the
+        soak runner) call it explicitly so they can attach fault
+        injectors, degradation managers, and memory probes to the built
+        kernel before the first quantum executes."""
+        if self.kernel is None:
+            self._build()
+
+    def step_round(self) -> bool:
+        """Advance the schedule by exactly one round: one quantum per
+        live tenant, then arbitration and one move-queue chunk.  Every
+        tenant is at a safepoint when this returns, so callers may
+        inspect or mutate kernel state between rounds.  Returns True
+        while any tenant still has work."""
+        self.start()
         kernel = self.kernel
-        while any(not tenant.done for tenant in self.tenants):
-            if self.rounds >= self.max_rounds:
-                raise InterpError("schedule exceeded its round budget")
-            for tenant in self.tenants:
-                if not tenant.done:
-                    self._run_quantum(tenant)
-            self.rounds += 1
-            if self.arbiter is not None:
-                self.arbiter.on_round(self)
-            if kernel.move_queue is not None:
-                # Every tenant is at a safepoint between rounds; advance
-                # the incremental move pipeline one bounded chunk.
-                kernel.move_queue.step()
+        if all(tenant.done for tenant in self.tenants):
+            return False
+        if self.rounds >= self.max_rounds:
+            raise InterpError("schedule exceeded its round budget")
+        for tenant in self.tenants:
+            if not tenant.done:
+                self._run_quantum(tenant)
+        self.rounds += 1
+        if self.arbiter is not None:
+            self.arbiter.on_round(self)
+        if kernel.move_queue is not None:
+            # Every tenant is at a safepoint between rounds; advance
+            # the incremental move pipeline one bounded chunk.
+            kernel.move_queue.step()
+        return any(not tenant.done for tenant in self.tenants)
+
+    def finish(self) -> ScheduleResult:
+        """Close the books: drain deferred moves, run the end-of-run
+        sanitizer checkpoint, and assemble the result document."""
+        kernel = self.kernel
         if kernel.move_queue is not None:
             kernel.move_queue.drain_all()
         if self.sanitizer is not None:
@@ -382,3 +404,12 @@ class Scheduler:
                 self.arbiter.summary() if self.arbiter is not None else None
             ),
         )
+
+    def run(self) -> ScheduleResult:
+        """Run the whole schedule to completion (the one-shot path the
+        ``smp`` subcommand and tests use): ``start`` + ``step_round``
+        until every tenant exits + ``finish``."""
+        self.start()
+        while self.step_round():
+            pass
+        return self.finish()

@@ -13,7 +13,7 @@ costs the *policy* its placement, not the program its correctness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -55,6 +55,14 @@ class DegradationManager:
     #: Quarantined (pinned) byte ranges — refused at move admission.
     quarantined: List[Tuple[int, int]] = field(default_factory=list)
     _cooldown_left: int = 0
+    #: Epoch clock for quarantine aging (advanced by long-horizon
+    #: drivers via :meth:`advance_epoch`; untouched elsewhere, so
+    #: short-run behavior is unchanged: quarantines persist).
+    epoch: int = 0
+    #: range -> the epoch it was quarantined at.
+    quarantine_entered: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: Ranges released back to movability, in release order.
+    released: List[Tuple[int, int]] = field(default_factory=list)
 
     def record_failure(self, failure: MoveFailure) -> None:
         self.failures.append(failure)
@@ -62,6 +70,7 @@ class DegradationManager:
             failure.lo, failure.hi
         ):
             self.quarantined.append((failure.lo, failure.hi))
+            self.quarantine_entered[(failure.lo, failure.hi)] = self.epoch
         self._cooldown_left = max(self._cooldown_left, self.cooldown_epochs)
 
     # -- admission -------------------------------------------------------
@@ -80,6 +89,54 @@ class DegradationManager:
             (hi - lo + page_size - 1) // page_size
             for lo, hi in self.quarantined
         )
+
+    # -- quarantine aging and release ------------------------------------
+
+    def advance_epoch(self) -> None:
+        """Tick the quarantine age clock (long-horizon drivers call this
+        once per soak epoch)."""
+        self.epoch += 1
+
+    def quarantine_age(self, lo: int, hi: int) -> int:
+        """Epochs since ``[lo, hi)`` was quarantined."""
+        return self.epoch - self.quarantine_entered[(lo, hi)]
+
+    def oldest_quarantine_age(self) -> int:
+        """Age of the longest-pinned quarantine (0 when none)."""
+        if not self.quarantined:
+            return 0
+        return max(self.quarantine_age(lo, hi) for lo, hi in self.quarantined)
+
+    def release(self, lo: int, hi: int) -> bool:
+        """Un-quarantine the exact range ``[lo, hi)``: its pages become
+        movable again.  Returns False when the range is not quarantined."""
+        key = (lo, hi)
+        if key not in self.quarantine_entered:
+            return False
+        self.quarantined.remove(key)
+        del self.quarantine_entered[key]
+        self.released.append(key)
+        return True
+
+    def release_expired(
+        self, min_age: Optional[int] = None
+    ) -> List[Tuple[int, int]]:
+        """Release every quarantined range at least ``min_age`` epochs
+        old (default: :attr:`cooldown_epochs`) and return them.  The
+        quarantine was protecting the protocol from a range that kept
+        failing; once the cooldown has elapsed the fault is presumed
+        transient and the range earns another chance — if it fails
+        again it is simply re-quarantined with a fresh entry epoch."""
+        if min_age is None:
+            min_age = self.cooldown_epochs
+        expired = [
+            (lo, hi)
+            for lo, hi in self.quarantined
+            if self.quarantine_age(lo, hi) >= min_age
+        ]
+        for lo, hi in expired:
+            self.release(lo, hi)
+        return expired
 
     # -- policy cooldown -------------------------------------------------
 

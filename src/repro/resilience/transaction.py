@@ -358,6 +358,31 @@ def execute_page_move(
     journal = txn.journal
     kernel._trace(1, f"request page move [{lo:#x}, {hi:#x})")
 
+    # A caller-claimed destination belongs to the transaction from the
+    # very first step of the attempt: a fault anywhere before the
+    # reserve step (world stop, negotiation, reserve entry) must still
+    # free those frames on rollback, or they leak — the caller is told
+    # never to free a destination after a MoveError.  On a retry the
+    # previous rollback already released the range (it is free again),
+    # so the reserve step below re-claims and re-journals it instead.
+    adopted = (
+        destination is not None
+        and destination >= 0
+        and destination % PAGE_SIZE == 0
+        and destination // PAGE_SIZE < kernel.frames.total_frames
+        and not kernel.frames.frame_is_free(destination // PAGE_SIZE)
+    )
+    if adopted:
+        claimed_pages = (hi - lo) // PAGE_SIZE
+        journal.record(
+            STEP_WORLD_STOP,
+            f"release adopted destination [{destination:#x}, "
+            f"+{claimed_pages} page(s))",
+            lambda d=destination, n=claimed_pages: kernel.frames.free_address(
+                d, n
+            ),
+        )
+
     # Steps 2-3: signal all threads; they dump registers and barrier.
     txn.world_stop(thread_count, reuse_existing=True)
     kernel._trace(2, f"signal {thread_count} thread(s)")
@@ -400,11 +425,14 @@ def execute_page_move(
                     f"destination [{destination:#x}, +{pages} page(s)) was "
                     "partially reallocated between attempts"
                 )
-    journal.record(
-        STEP_RESERVE,
-        f"release destination [{destination:#x}, +{pages} page(s))",
-        lambda d=destination, n=pages: kernel.frames.free_address(d, n),
-    )
+    if not adopted:
+        # An adopted (caller-claimed) destination was journaled at
+        # attempt start; recording again here would double-free it.
+        journal.record(
+            STEP_RESERVE,
+            f"release destination [{destination:#x}, +{pages} page(s))",
+            lambda d=destination, n=pages: kernel.frames.free_address(d, n),
+        )
     kernel._trace(6, f"{len(plan.allocations)} affected allocation(s) determined")
 
     # Steps 5-11: the runtime patches and moves (journaled internally).

@@ -1,0 +1,31 @@
+"""The soak-and-chaos orchestrator: operate the stack, don't just test it.
+
+Layers on :class:`~repro.multiproc.Scheduler` /
+:class:`~repro.machine.session.RunConfig` to run the request-serving
+service workloads for long horizons, continuously arming the protocol
+fault injector (:class:`ChaosSchedule`), sampling telemetry every epoch,
+and enforcing steady-state invariants as structured
+:class:`~repro.soak.invariants.Verdict` records
+(:class:`~repro.soak.invariants.SteadyStateMonitor`).  The
+:class:`SoakRunner` drives it all and writes a crash-dump bundle when
+its watchdog trips.
+"""
+
+from repro.soak.chaos import ChaosSchedule
+from repro.soak.invariants import (
+    EpochSample,
+    SteadyStateMonitor,
+    Verdict,
+    windowed_slope,
+)
+from repro.soak.runner import SoakReport, SoakRunner
+
+__all__ = [
+    "ChaosSchedule",
+    "EpochSample",
+    "SoakReport",
+    "SoakRunner",
+    "SteadyStateMonitor",
+    "Verdict",
+    "windowed_slope",
+]

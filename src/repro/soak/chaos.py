@@ -1,0 +1,136 @@
+"""Continuous, seeded chaos: rate-based fault arming over a long soak.
+
+The fault-campaign tests aim one :class:`FaultPoint` at one step of one
+move.  A soak needs the *service* view: faults keep arriving for the
+whole horizon, at every Figure-8 step and chunk boundary, while the
+request traffic keeps flowing.  :class:`ChaosSchedule` produces that
+pressure deterministically — one seeded ``random.Random`` draws the
+whole campaign, so the same seed yields the identical fault sequence
+(and, because everything downstream is deterministic too, an identical
+run fingerprint).
+
+Per epoch the schedule *arms* a Poisson-ish number of fresh fault
+points (expectation = ``rate``) into the shared
+:class:`~repro.sanitizer.faults.ProtocolFaultInjector`, and *sweeps*
+whatever did not fire at epoch end — so a ``persistent`` point lives at
+most one epoch: long enough to exhaust a move's retries into
+degradation, never long enough to wedge the machine forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Optional
+
+from repro.resilience.journal import PAGE_MOVE_STEPS, TORN_CAPABLE_STEPS
+from repro.sanitizer.faults import (
+    FAULT_KINDS,
+    FaultPoint,
+    ProtocolFaultInjector,
+)
+
+
+class ChaosSchedule:
+    """Seeded rate-based fault driver; see module docstring."""
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int,
+        *,
+        persistent_share: float = 0.2,
+        hang_stall_cycles: int = 50_000_000,
+    ) -> None:
+        if rate < 0:
+            raise ValueError("chaos rate must be non-negative")
+        self.rate = float(rate)
+        self.seed = seed
+        self.persistent_share = persistent_share
+        self.hang_stall_cycles = hang_stall_cycles
+        self.rng = random.Random(seed)
+        self.injector = ProtocolFaultInjector([], self.rng)
+        self.epochs_armed = 0
+        #: Every point ever armed, as spec strings, in arming order.
+        self.armed: List[str] = []
+        #: Points swept un-fired at epoch ends.
+        self.swept = 0
+
+    # ------------------------------------------------------------------
+    # The per-epoch arm/sweep cycle
+    # ------------------------------------------------------------------
+
+    def _draw_point(self) -> FaultPoint:
+        rng = self.rng
+        kind = rng.choice(FAULT_KINDS)
+        step = rng.choice(
+            sorted(TORN_CAPABLE_STEPS) if kind == "torn" else PAGE_MOVE_STEPS
+        )
+        # move_index=None: the point hits whichever move happens next —
+        # a soak cannot know global move indices in advance.  Persistent
+        # points exhaust that move's retries into degradation; the sweep
+        # below keeps them from outliving the epoch.
+        return FaultPoint(
+            step=step,
+            kind=kind,
+            move_index=None,
+            persistent=rng.random() < self.persistent_share,
+            stall_cycles=self.hang_stall_cycles,
+        )
+
+    def arm_epoch(self) -> List[FaultPoint]:
+        """Install this epoch's fault points into the injector: a whole
+        number of expected faults plus one more with probability equal
+        to the fractional part of ``rate``."""
+        count = int(self.rate)
+        if self.rng.random() < self.rate - count:
+            count += 1
+        points = [self._draw_point() for _ in range(count)]
+        for point in points:
+            self.armed.append(
+                f"{point.step}:{point.kind}"
+                + (":persist" if point.persistent else "")
+            )
+        self.injector.points.extend(points)
+        self.epochs_armed += 1
+        return points
+
+    def sweep_epoch(self) -> int:
+        """Remove every point still armed (one-shots that found no move
+        to hit, and persistent points that must not outlive their
+        epoch).  Returns how many were swept."""
+        remaining = len(self.injector.points)
+        if remaining:
+            self.injector.points.clear()
+        self.swept += remaining
+        return remaining
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def fired(self) -> List[str]:
+        """The faults that actually hit a move (injector log)."""
+        return self.injector.fired
+
+    def fingerprint(self) -> str:
+        """Digest of the complete armed + fired sequence — two runs with
+        the same seed and workload must produce the same value."""
+        digest = hashlib.sha256()
+        digest.update(f"seed={self.seed};rate={self.rate}".encode())
+        digest.update("|".join(self.armed).encode())
+        digest.update(b"#")
+        digest.update("|".join(self.fired).encode())
+        return digest.hexdigest()
+
+    def summary(self) -> dict:
+        return {
+            "rate": self.rate,
+            "seed": self.seed,
+            "epochs_armed": self.epochs_armed,
+            "injected": len(self.armed),
+            "fired": len(self.fired),
+            "swept_unfired": self.swept,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,558 @@
+"""The soak runner: epochs, probes, watchdogs, and the final report.
+
+One :class:`SoakRunner` owns one multi-tenant schedule of the
+request-serving service workload and advances it in *epochs* (a fixed
+number of scheduler rounds).  Between epochs — every tenant parked at a
+safepoint — it:
+
+1. sweeps and re-arms the :class:`~repro.soak.chaos.ChaosSchedule`
+   (faults keep arriving for the whole horizon);
+2. ages the :class:`~repro.resilience.degrade.DegradationManager` and
+   releases cooldown-expired quarantines (degradation must *drain*);
+3. probes each tenant's ``completed`` request counter straight out of
+   simulated memory (the allocation table tracks the global across
+   moves, so the probe survives relocation) and derives
+   cycles-per-request latency samples;
+4. samples fragmentation, table/escape/frame sizes, and move counters
+   into the :class:`~repro.soak.invariants.SteadyStateMonitor`;
+5. runs its watchdog: a machine that retired zero instructions while
+   tenants live, a tenant stalled for several epochs, or a move queue
+   that stopped servicing is *wedged* — the runner writes a crash-dump
+   bundle (last trace events + sanitizer report + metrics snapshot) and
+   fails with a verdict instead of hanging forever;
+6. every ``sanitize_every`` epochs, checkpoints the full cross-layer
+   invariant checker.
+
+Determinism: given one config (seed included), the run — schedule,
+faults, verdicts, per-tenant results — is a pure function, and
+:meth:`SoakReport.fingerprint` digests it for bit-identical re-runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.machine.session import RunConfig
+from repro.multiproc.arbiter import FairnessArbiter
+from repro.multiproc.scheduler import Scheduler, TenantSpec, percentile
+from repro.policy.fragmentation import assess_fragmentation
+from repro.resilience.degrade import DegradationManager
+from repro.sanitizer.hooks import Sanitizer
+from repro.soak.chaos import ChaosSchedule
+from repro.soak.invariants import EpochSample, SteadyStateMonitor
+from repro.telemetry.metrics import MetricsRegistry
+from repro.workloads.service import service_source
+
+#: Trace events bundled into a crash dump.
+CRASH_DUMP_EVENTS = 200
+
+#: Consecutive zero-progress epochs before a tenant/queue counts as stalled.
+STALL_PATIENCE = 3
+
+
+@dataclass
+class _TenantProbe:
+    """Memory probe into one tenant's observable globals."""
+
+    tenant: object
+    #: The allocation backing the ``completed`` global — the table
+    #: rebases it in place on every move, so ``allocation.address`` is
+    #: always current.
+    completed_alloc: object
+    completed: int = 0
+    cycles: int = 0
+    stalled_epochs: int = 0
+
+
+@dataclass
+class SoakReport:
+    """Everything one soak produced (``carat.soak.v1``)."""
+
+    engine: str
+    workload: str
+    config: dict
+    epochs: int
+    rounds: int
+    machine_cycles: int
+    requests_target: int
+    requests_completed: int
+    latency_p50: int
+    latency_p99: int
+    latency_samples: int
+    efi_trajectory: List[float]
+    verdicts: List[dict]
+    faults: dict
+    tenants: Dict[int, dict]
+    sanitizer: Optional[str]
+    sanitizer_checks: int
+    dropped_events: int
+    completed_run: bool
+    crash_dump: Optional[str] = None
+    epoch_samples: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.completed_run and not self.verdicts
+
+    def fingerprint(self) -> str:
+        """Digest of every deterministic observable: per-tenant run
+        fingerprints, the chaos arm/fire sequence, request totals, and
+        verdict names.  Same seed + config => same value, bit-identical."""
+        digest = hashlib.sha256()
+        payload = {
+            "tenants": {
+                str(pid): info["fingerprint"]
+                for pid, info in sorted(self.tenants.items())
+            },
+            "chaos": self.faults.get("fingerprint"),
+            "requests": self.requests_completed,
+            "verdicts": [v["name"] for v in self.verdicts],
+            "epochs": self.epochs,
+        }
+        digest.update(json.dumps(payload, sort_keys=True).encode())
+        return digest.hexdigest()
+
+    def throughput_rpkc(self) -> float:
+        """Requests served per thousand simulated machine cycles."""
+        if not self.machine_cycles:
+            return 0.0
+        return 1000.0 * self.requests_completed / self.machine_cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "carat.soak.v1",
+            "engine": self.engine,
+            "workload": self.workload,
+            "config": self.config,
+            "completed_run": self.completed_run,
+            "ok": self.ok,
+            "epochs": self.epochs,
+            "rounds": self.rounds,
+            "machine_cycles": self.machine_cycles,
+            "requests": {
+                "target": self.requests_target,
+                "completed": self.requests_completed,
+                "throughput_rpkc": self.throughput_rpkc(),
+            },
+            "latency": {
+                "p50": self.latency_p50,
+                "p99": self.latency_p99,
+                "samples": self.latency_samples,
+            },
+            "efi": {
+                "first": self.efi_trajectory[0] if self.efi_trajectory else 0.0,
+                "last": self.efi_trajectory[-1] if self.efi_trajectory else 0.0,
+                "max": max(self.efi_trajectory, default=0.0),
+                "trajectory": self.efi_trajectory,
+            },
+            "faults": self.faults,
+            "verdicts": self.verdicts,
+            "tenants": {str(pid): info for pid, info in sorted(self.tenants.items())},
+            "sanitizer": self.sanitizer,
+            "sanitizer_checks": self.sanitizer_checks,
+            "dropped_events": self.dropped_events,
+            "fingerprint": self.fingerprint(),
+            "crash_dump": self.crash_dump,
+            "epoch_samples": self.epoch_samples,
+        }
+
+
+class SoakRunner:
+    """Long-horizon service soak with continuous chaos; see module doc."""
+
+    def __init__(
+        self,
+        config: RunConfig,
+        *,
+        workload: str = "kvservice",
+        keys: int = 64,
+        hot_keys: int = 8,
+        window: int = 24,
+        burst: int = 16,
+        #: Deliberately smaller than the tenants' combined hot set, so
+        #: the tiering balancer keeps promoting/demoting for the whole
+        #: horizon — continuous Figure-8 traffic for chaos to hit.
+        fast_memory: Optional[int] = 96 * 1024,
+        arbiter_epoch_cycles: int = 25_000,
+        arbiter_budget_cycles: int = 25_000,
+        crash_dump_path: Optional[str] = None,
+    ) -> None:
+        # The tracer is the crash-dump flight recorder; it charges no
+        # cycles, so forcing it on never perturbs a fingerprint.
+        self.config = config if config.tracing else config.replace(trace=True)
+        self.workload = workload
+        self.crash_dump_path = crash_dump_path or f"soak-crash-{config.engine}.json"
+        per_tenant = -(-config.soak_requests // config.soak_tenants)
+        self.requests_per_tenant = per_tenant
+        if workload == "kvburst":
+            source = service_source(
+                per_tenant, keys=keys, hot_keys=hot_keys, window=48,
+                burst=8, burst_factor=8, blob_spread=9, seed=23,
+            )
+        else:
+            source = service_source(
+                per_tenant, keys=keys, hot_keys=hot_keys, window=window,
+                burst=burst,
+            )
+        specs = [
+            TenantSpec(source, name=f"svc{i}")
+            for i in range(config.soak_tenants)
+        ]
+        self.scheduler = Scheduler(
+            self.config,
+            specs,
+            share=False,
+            arbiter=FairnessArbiter(
+                epoch_cycles=arbiter_epoch_cycles,
+                budget_cycles=arbiter_budget_cycles,
+            ),
+            fast_memory=fast_memory,
+        )
+        self.chaos: Optional[ChaosSchedule] = (
+            ChaosSchedule(config.chaos_rate, config.chaos_seed)
+            if config.chaos_rate > 0
+            else None
+        )
+        self.monitor = SteadyStateMonitor(
+            warmup=config.soak_warmup,
+            slo_p99=config.slo_p99,
+            drain_budget=config.drain_budget,
+        )
+        self.sanitizer = Sanitizer(
+            raise_on_violation=False, shadow_escapes=False
+        )
+        self.probes: List[_TenantProbe] = []
+        self.epoch = 0
+        self.drained = 0
+        self._last_instructions = 0
+        self._last_serviced = 0
+        self._queue_stalled_epochs = 0
+        self._crash_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _wire(self) -> None:
+        self.scheduler.start()
+        kernel = self.scheduler.kernel
+        # Chaos-exhausted moves must degrade (quarantine + cooldown),
+        # never crash the machine.
+        if kernel.degradation is None:
+            kernel.attach_degradation(DegradationManager())
+        if self.chaos is not None:
+            kernel.attach_fault_injector(self.chaos.injector)
+        for tenant in self.scheduler.tenants:
+            address = tenant.process.globals_map["completed"]
+            alloc = tenant.process.runtime.table.at(address)
+            if alloc is None:
+                raise RuntimeError(
+                    f"tenant {tenant.process.pid}: the 'completed' global "
+                    f"is not in the allocation table — not a service "
+                    f"workload?"
+                )
+            self.probes.append(_TenantProbe(tenant, alloc))
+
+    def _read_completed(self, probe: _TenantProbe) -> int:
+        kernel = self.scheduler.kernel
+        return kernel.memory.read_int(probe.completed_alloc.address, 8)
+
+    # ------------------------------------------------------------------
+    # Epoch bookkeeping
+    # ------------------------------------------------------------------
+
+    def _sample_epoch(self) -> EpochSample:
+        kernel = self.scheduler.kernel
+        degradation = kernel.degradation
+        frag = assess_fragmentation(kernel.frames)
+        table_entries = 0
+        escape_footprint = 0
+        escape_pending = 0
+        completed_total = 0
+        latencies: List[int] = []
+        for probe in self.probes:
+            runtime = probe.tenant.process.runtime
+            table_entries += len(runtime.table)
+            escape_footprint += runtime.escapes.memory_footprint_bytes()
+            escape_pending += runtime.escapes.pending_count
+            completed = self._read_completed(probe)
+            cycles = probe.tenant.interpreter.stats.cycles
+            d_req = completed - probe.completed
+            d_cyc = cycles - probe.cycles
+            if d_req > 0:
+                latencies.append(d_cyc // d_req)
+                probe.stalled_epochs = 0
+            elif not probe.tenant.done:
+                probe.stalled_epochs += 1
+            probe.completed = completed
+            probe.cycles = cycles
+            completed_total += completed
+        return EpochSample(
+            epoch=self.epoch,
+            machine_cycles=self.scheduler.clock,
+            efi=frag.external_fragmentation,
+            allocated_frames=kernel.frames.allocated_frames,
+            table_entries=table_entries,
+            escape_footprint=escape_footprint,
+            escape_pending=escape_pending,
+            completed_requests=completed_total,
+            latencies=latencies,
+            quarantined_ranges=len(degradation.quarantined),
+            oldest_quarantine_age=degradation.oldest_quarantine_age(),
+            moves_attempted=kernel.stats.moves_attempted,
+            moves_committed=kernel.stats.moves_committed,
+            moves_degraded=kernel.stats.moves_degraded,
+            dropped_events=(
+                self.scheduler.tracer.dropped_events
+                if self.scheduler.tracer is not None
+                else 0
+            ),
+        )
+
+    def _check_pause_ledger(self) -> None:
+        """Pause-ledger conservation: every pause logged for a tenant
+        must equal the move cycles charged to it, exactly."""
+        kernel = self.scheduler.kernel
+        for pid, pauses in kernel.pause_log.items():
+            logged = sum(pauses)
+            charged = kernel.tenant_stats[pid].move_cycles
+            if logged != charged:
+                self.monitor.flag(
+                    "pause-ledger",
+                    self.epoch,
+                    f"pid {pid}: {logged} pause cycles logged vs "
+                    f"{charged} move cycles charged",
+                    logged - charged,
+                    0,
+                )
+
+    def _watchdog(self, live: bool) -> Optional[str]:
+        """Returns a crash reason when the machine is wedged."""
+        scheduler = self.scheduler
+        total_instructions = sum(
+            t.interpreter.stats.instructions for t in scheduler.tenants
+        )
+        progressed = total_instructions > self._last_instructions
+        self._last_instructions = total_instructions
+        if live and not progressed:
+            return "machine wedged: zero instructions retired this epoch"
+        for probe in self.probes:
+            if probe.stalled_epochs >= STALL_PATIENCE:
+                return (
+                    f"tenant {probe.tenant.process.pid} "
+                    f"({probe.tenant.process.name}) wedged: no request "
+                    f"completed for {probe.stalled_epochs} epochs"
+                )
+        queue = scheduler.kernel.move_queue
+        if queue is not None:
+            serviced = queue.stats.serviced + queue.stats.degraded
+            if not queue.idle and serviced == self._last_serviced:
+                self._queue_stalled_epochs += 1
+                if self._queue_stalled_epochs >= STALL_PATIENCE:
+                    return (
+                        f"move queue stalled: {queue.stats.enqueued - serviced} "
+                        f"move(s) pending, none serviced for "
+                        f"{self._queue_stalled_epochs} epochs"
+                    )
+            else:
+                self._queue_stalled_epochs = 0
+            self._last_serviced = serviced
+        return None
+
+    def _metrics_snapshot(self) -> dict:
+        kernel = self.scheduler.kernel
+        registry = MetricsRegistry()
+        registry.absorb("kernel", kernel.stats)
+        for probe in self.probes:
+            pid = probe.tenant.process.pid
+            registry.absorb(f"interp.{pid}", probe.tenant.interpreter.stats)
+            registry.absorb(f"tenant.{pid}", kernel.tenant_stats[pid])
+        if kernel.move_queue is not None:
+            registry.absorb("movequeue", kernel.move_queue.stats)
+        if kernel.degradation is not None:
+            registry.absorb(
+                "degradation",
+                {
+                    "failures": len(kernel.degradation.failures),
+                    "quarantined": len(kernel.degradation.quarantined),
+                    "released": len(kernel.degradation.released),
+                },
+            )
+        if self.scheduler.arbiter is not None and self.scheduler.arbiter.states:
+            registry.absorb("arbitration", self.scheduler.arbiter.summary())
+        return registry.to_dict()
+
+    def _write_crash_dump(self, reason: str) -> str:
+        """The diagnostic bundle a wedged soak leaves behind."""
+        tracer = self.scheduler.tracer
+        bundle = {
+            "schema": "carat.soak-crash.v1",
+            "reason": reason,
+            "epoch": self.epoch,
+            "rounds": self.scheduler.rounds,
+            "trace_tail": [
+                event.to_dict()
+                for event in (tracer.events[-CRASH_DUMP_EVENTS:] if tracer else [])
+            ],
+            "dropped_events": tracer.dropped_events if tracer else 0,
+            "sanitizer": {
+                "summary": self.sanitizer.describe(),
+                "violations": [
+                    v.describe() for v in self.sanitizer.report.violations
+                ],
+            },
+            "metrics": self._metrics_snapshot(),
+            "chaos": self.chaos.summary() if self.chaos else None,
+            "verdicts": [v.to_dict() for v in self.monitor.verdicts],
+        }
+        path = Path(self.crash_dump_path)
+        path.write_text(json.dumps(bundle, indent=2, sort_keys=True) + "\n")
+        return str(path)
+
+    # ------------------------------------------------------------------
+    # The soak loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SoakReport:
+        config = self.config
+        self._wire()
+        kernel = self.scheduler.kernel
+        degradation = kernel.degradation
+        live = True
+        crash_dump: Optional[str] = None
+        while live and self.epoch < config.soak_horizon:
+            if self.chaos is not None:
+                self.chaos.arm_epoch()
+            for _ in range(config.soak_rounds_per_epoch):
+                if not self.scheduler.step_round():
+                    live = False
+                    break
+            self.epoch += 1
+            if self.chaos is not None:
+                self.chaos.sweep_epoch()
+            degradation.advance_epoch()
+            self.drained += len(degradation.release_expired())
+            sample = self._sample_epoch()
+            self.monitor.observe(sample)
+            self._check_pause_ledger()
+            reason = self._watchdog(live)
+            if reason is None and (
+                config.sanitize_every
+                and self.epoch % config.sanitize_every == 0
+            ):
+                report = self.sanitizer.check_now(
+                    kernel, label=f"soak-epoch-{self.epoch}"
+                )
+                if not report.ok:
+                    reason = f"sanitizer violations at epoch {self.epoch}"
+                    self.monitor.flag(
+                        "sanitizer",
+                        self.epoch,
+                        self.sanitizer.describe(),
+                        len(self.sanitizer.report.errors),
+                        0,
+                    )
+            if reason is not None:
+                self.monitor.flag(
+                    "watchdog", self.epoch, reason, 1, 0
+                )
+                crash_dump = self._write_crash_dump(reason)
+                live = False
+                break
+        if live and self.epoch >= config.soak_horizon:
+            reason = (
+                f"horizon exhausted: {config.soak_horizon} epochs elapsed "
+                f"with tenants still running"
+            )
+            self.monitor.flag(
+                "watchdog", self.epoch, reason, self.epoch, config.soak_horizon
+            )
+            crash_dump = self._write_crash_dump(reason)
+        result = self.scheduler.finish()
+        # Give fresh quarantines their cooldown to drain before judging
+        # the "degradation must drain" invariant.
+        extra = 0
+        while degradation.quarantined and extra <= config.drain_budget:
+            degradation.advance_epoch()
+            self.drained += len(degradation.release_expired())
+            extra += 1
+        if degradation.quarantined:
+            self.monitor.flag(
+                "degradation-drain",
+                self.epoch,
+                f"{len(degradation.quarantined)} quarantine(s) never "
+                f"drained",
+                len(degradation.quarantined),
+                config.drain_budget,
+            )
+        final = self.sanitizer.check_now(kernel, label="soak-final")
+        if not final.ok:
+            self.monitor.flag(
+                "sanitizer",
+                self.epoch,
+                self.sanitizer.describe(),
+                len(self.sanitizer.report.errors),
+                0,
+            )
+        self.monitor.finish(self.epoch)
+
+        completed_total = sum(probe.completed for probe in self.probes)
+        faults = {
+            "injected": len(self.chaos.armed) if self.chaos else 0,
+            "fired": len(self.chaos.fired) if self.chaos else 0,
+            "swept_unfired": self.chaos.swept if self.chaos else 0,
+            "moves_degraded": kernel.stats.moves_degraded,
+            "move_retries": kernel.stats.move_retries,
+            "quarantines_entered": len(degradation.failures),
+            "quarantines_drained": self.drained,
+            "quarantines_stuck": len(degradation.quarantined),
+            "fingerprint": self.chaos.fingerprint() if self.chaos else None,
+        }
+        tenants = {
+            pid: {
+                "name": run.process.name,
+                "exit_code": run.exit_code,
+                "instructions": run.stats.instructions,
+                "cycles": run.stats.cycles,
+                "completed": probe.completed,
+                "fingerprint": run.fingerprint(),
+                "p99_pause": result.p99_pause(pid),
+            }
+            for (pid, run), probe in zip(
+                sorted(result.tenants.items()), self.probes
+            )
+        }
+        completed_run = all(
+            info["exit_code"] == 0 for info in tenants.values()
+        ) and all(t.done for t in self.scheduler.tenants)
+        return SoakReport(
+            engine=config.engine,
+            workload=self.workload,
+            config=config.to_dict(),
+            epochs=self.epoch,
+            rounds=result.rounds,
+            machine_cycles=result.machine_cycles,
+            requests_target=self.requests_per_tenant * config.soak_tenants,
+            requests_completed=completed_total,
+            latency_p50=percentile(self.monitor.latencies, 0.50),
+            latency_p99=percentile(self.monitor.latencies, 0.99),
+            latency_samples=len(self.monitor.latencies),
+            efi_trajectory=self.monitor.efi_trajectory(),
+            verdicts=[v.to_dict() for v in self.monitor.verdicts],
+            faults=faults,
+            tenants=tenants,
+            sanitizer=self.sanitizer.describe(),
+            sanitizer_checks=self.sanitizer.checks_run,
+            dropped_events=(
+                self.scheduler.tracer.dropped_events
+                if self.scheduler.tracer is not None
+                else 0
+            ),
+            completed_run=completed_run,
+            crash_dump=crash_dump,
+            epoch_samples=[s.to_dict() for s in self.monitor.samples],
+        )

@@ -219,6 +219,16 @@ def run_snapshot(result) -> dict:
         registry.absorb("mmu", mmu.stats)
         registry.absorb("dtlb", mmu.dtlb.stats)
         registry.absorb("stlb", mmu.stlb.stats)
+    tracer = getattr(result, "tracer", None)
+    if tracer is not None:
+        registry.absorb(
+            "tracer",
+            {
+                "events": len(tracer.events),
+                "dropped_events": tracer.dropped_events,
+                "max_events": tracer.max_events,
+            },
+        )
 
     document = {
         "schema": RUN_SNAPSHOT_SCHEMA,

@@ -254,6 +254,13 @@ class Tracer:
 
     # -- introspection ---------------------------------------------------
 
+    @property
+    def dropped_events(self) -> int:
+        """Events discarded after the bounded buffer filled — the
+        trace-loss figure long soak runs report instead of silently
+        truncating (``--stats``, run snapshots, soak reports)."""
+        return self.dropped
+
     def summary(self) -> Dict[str, int]:
         """Event counts per category (plus total/dropped)."""
         counts: Dict[str, int] = {}

@@ -1,5 +1,6 @@
 """The benchmark workload suite (Mini-C stand-ins for the paper's
-Mantevo / NAS / PARSEC / SPEC2017 selection)."""
+Mantevo / NAS / PARSEC / SPEC2017 selection, plus the request-serving
+service family the soak harness operates)."""
 
 from repro.workloads.suite import (
     SCALES,
@@ -9,4 +10,20 @@ from repro.workloads.suite import (
     workload_names,
 )
 
-__all__ = ["SCALES", "Workload", "all_workloads", "get_workload", "workload_names"]
+
+def service_source(requests: int, **knobs) -> str:
+    """Parametric request-serving program (lazy import so suite listing
+    stays cheap); see :func:`repro.workloads.service.service_source`."""
+    from repro.workloads.service import service_source as generate
+
+    return generate(requests, **knobs)
+
+
+__all__ = [
+    "SCALES",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "service_source",
+    "workload_names",
+]

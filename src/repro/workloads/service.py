@@ -1,0 +1,172 @@
+"""Request-serving workloads: the north-star service under traffic.
+
+Every other suite module models a batch HPC kernel that allocates,
+computes, and exits.  A *service* behaves differently, and its memory
+behaviour is what the soak harness (:mod:`repro.soak`) operates:
+
+* **arena-per-request** — each request mallocs a scratch blob, works in
+  it, and retires it a bounded number of requests later (a sliding
+  window of live arenas), so the heap churns continuously instead of
+  reaching a static footprint;
+* **hot key-value working set** — a global value table where ~80% of
+  requests hit a small hot subset (zipf-ish 80/20 skew via the seeded
+  LCG), giving the heat tracker a stable signal to chase;
+* **bursty arrivals** — every ``burst``-th request carries a multiple of
+  the normal allocation, so free-space geometry keeps changing and the
+  compaction daemon always has fragmentation to repack.
+
+The request loop maintains two observable globals the soak runner reads
+from simulated memory: ``completed`` (requests served so far — the
+request-latency telemetry probe) and ``checksum`` (the deterministic
+output, identical across engines).
+
+:func:`service_source` is the parametric generator — the soak CLI uses
+it to build programs with exact request counts (up to millions);
+the registered ``kvservice`` / ``kvburst`` workloads are fixed tier
+instantiations for the suite.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.parsec import _LCG
+from repro.workloads.suite import Workload, _tier, register
+
+
+def service_source(
+    requests: int,
+    *,
+    keys: int = 64,
+    hot_keys: int = 8,
+    window: int = 24,
+    burst: int = 16,
+    burst_factor: int = 4,
+    blob_base: int = 2,
+    blob_spread: int = 5,
+    seed: int = 17,
+) -> str:
+    """One request-serving Mini-C program, fully parameterized.
+
+    ``requests`` requests are served; each picks a key (80% from the
+    ``hot_keys`` hot set), allocates a blob of ``blob_base`` +
+    rand(``blob_spread``) longs (times ``burst_factor`` on every
+    ``burst``-th request), folds it into the key's value, and retains it
+    in a linked-list window of ``window`` live arenas before freeing the
+    oldest.  Prints the checksum last.
+    """
+    if requests < 1:
+        raise ValueError("a service must serve at least one request")
+    return f"""
+// request-serving service: hot KV working set, arena-per-request,
+// sliding retained window, bursty arrival sizes.
+{_LCG}
+struct Req {{
+  long len;
+  long *blob;
+  struct Req *next;
+}};
+
+long KEYS = {keys};
+long HOT = {hot_keys};
+long WINDOW = {window};
+long BURST = {burst};
+long REQUESTS = {requests};
+
+long *values;
+struct Req *head;
+struct Req *tail;
+long live;
+long completed;
+long checksum;
+
+long serve(long id) {{
+  long key;
+  if (lcg_next(10) < 8) {{ key = lcg_next(HOT); }}
+  else {{ key = lcg_next(KEYS); }}
+  long blen = {blob_base} + lcg_next({blob_spread});
+  if (id % BURST == 0) {{ blen = blen * {burst_factor}; }}
+  long *blob = (long*)malloc(sizeof(long) * blen);
+  long acc = values[key];
+  long i;
+  for (i = 0; i < blen; i++) {{
+    blob[i] = acc + i;
+    acc = acc + blob[i] % 7;
+  }}
+  values[key] = acc % 1000003;
+  struct Req *node = (struct Req*)malloc(sizeof(struct Req));
+  node->len = blen;
+  node->blob = blob;
+  node->next = null;
+  if (tail == null) {{ head = node; }}
+  else {{ tail->next = node; }}
+  tail = node;
+  live = live + 1;
+  if (live > WINDOW) {{
+    struct Req *old = head;
+    head = old->next;
+    if (head == null) {{ tail = null; }}
+    free((char*)old->blob);
+    free((char*)old);
+    live = live - 1;
+  }}
+  checksum = (checksum + acc) % 2147483647;
+  completed = completed + 1;
+  return acc;
+}}
+
+void main() {{
+  lcg_state = {seed};
+  values = (long*)malloc(sizeof(long) * KEYS);
+  long k;
+  for (k = 0; k < KEYS; k++) {{ values[k] = k * 31 % 1000003; }}
+  head = null;
+  tail = null;
+  live = 0;
+  completed = 0;
+  checksum = 0;
+  long r;
+  for (r = 0; r < REQUESTS; r++) {{ serve(r); }}
+  while (head != null) {{
+    struct Req *old = head;
+    head = old->next;
+    free((char*)old->blob);
+    free((char*)old);
+  }}
+  free((char*)values);
+  print_long(checksum);
+}}
+"""
+
+
+@register("kvservice")
+def kvservice(scale: str) -> Workload:
+    requests = _tier(scale, 300, 2_000, 10_000)
+    source = service_source(requests)
+    return Workload(
+        name="kvservice",
+        suite="service",
+        description="hot-KV request server with arena-per-request churn",
+        behavior="service-churn",
+        source=source,
+    )
+
+
+@register("kvburst")
+def kvburst(scale: str) -> Workload:
+    requests = _tier(scale, 300, 2_000, 10_000)
+    # Shorter burst period, bigger bursts, deeper retained window: the
+    # fragmentation-hostile variant.
+    source = service_source(
+        requests,
+        window=48,
+        burst=8,
+        burst_factor=8,
+        blob_spread=9,
+        seed=23,
+    )
+    return Workload(
+        name="kvburst",
+        suite="service",
+        description="bursty request server: deep window, 8x size spikes",
+        behavior="service-bursty",
+        source=source,
+    )

@@ -51,6 +51,13 @@ def test_multithreaded_migration():
     assert "page moves" in out
 
 
+def test_soak_demo():
+    out = _run("soak_demo.py")
+    assert "steady state  : held" in out
+    assert "fingerprint" in out
+    assert "fired" in out
+
+
 def test_guard_optimization_tour():
     out = _run("guard_optimization_tour.py")
     assert "carat.guard.range" in out

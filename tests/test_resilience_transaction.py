@@ -168,6 +168,35 @@ class TestDegradationManager:
         assert not manager.consume_cooldown_epoch()
         assert not manager.in_cooldown()
 
+    def test_release_expired_frees_aged_quarantines(self):
+        manager = DegradationManager(cooldown_epochs=2)
+        manager.record_failure(_failure())
+        assert manager.release_expired() == []  # age 0: still cooling
+        manager.advance_epoch()
+        assert manager.release_expired() == []  # age 1 < cooldown
+        assert manager.oldest_quarantine_age() == 1
+        manager.advance_epoch()
+        assert manager.release_expired() == [(0x1000, 0x3000)]
+        assert manager.allows(0x1000, 0x3000)
+        assert manager.quarantined == []
+        assert manager.released == [(0x1000, 0x3000)]
+        assert manager.oldest_quarantine_age() == 0
+
+    def test_release_requires_exact_range(self):
+        manager = DegradationManager()
+        manager.record_failure(_failure())
+        assert not manager.release(0x1000, 0x2000)  # sub-range: no
+        assert manager.release(0x1000, 0x3000)
+        assert not manager.release(0x1000, 0x3000)  # already released
+
+    def test_requarantine_after_release_restamps_entry_epoch(self):
+        manager = DegradationManager(cooldown_epochs=1)
+        manager.record_failure(_failure())
+        manager.advance_epoch()
+        assert manager.release_expired() == [(0x1000, 0x3000)]
+        manager.record_failure(_failure())
+        assert manager.quarantine_age(0x1000, 0x3000) == 0
+
 
 # ---------------------------------------------------------------------------
 # Fault-spec parsing and schedules
@@ -338,6 +367,54 @@ class TestTransactionalMoves:
             kernel.request_page_move(process, page)
         assert refused.value.step == "admission"
         assert kernel.stats.moves_attempted == attempted_before
+
+    def test_quarantined_page_movable_again_after_cooldown_release(self):
+        kernel, process, interp = _loaded()
+        kernel.retry_policy = RetryPolicy(max_attempts=2)
+        injector = ProtocolFaultInjector(
+            [FaultPoint("region-install", "crash", persistent=True)]
+        )
+        kernel.attach_fault_injector(injector)
+        manager = DegradationManager(cooldown_epochs=2)
+        kernel.attach_degradation(manager)
+        page = _victim_page(process)
+        with pytest.raises(MoveError):
+            kernel.request_page_move(process, page)
+        assert manager.is_quarantined(page, page + PAGE_SIZE)
+        # The transient fault clears; the cooldown elapses; the range is
+        # released and the very same move now goes through.
+        injector.points.clear()
+        for _ in range(manager.cooldown_epochs):
+            assert manager.release_expired() == []
+            manager.advance_epoch()
+        assert manager.release_expired() == [(page, page + PAGE_SIZE)]
+        committed_before = kernel.stats.moves_committed
+        kernel.request_page_move(process, page)
+        assert kernel.stats.moves_committed == committed_before + 1
+        assert not manager.is_quarantined(page, page + PAGE_SIZE)
+
+    @pytest.mark.parametrize("step", ["world-stop", "reserve-destination"])
+    def test_early_fault_releases_caller_claimed_destination(self, step):
+        # A fault BEFORE the reserve step's own journal entry (world
+        # stop, or at reserve entry) must still free a caller-claimed
+        # destination on rollback — the soak's chaos schedule found
+        # these leaking as orphan frames.
+        kernel, process, interp = _loaded()
+        kernel.retry_policy = RetryPolicy(max_attempts=2)
+        injector = ProtocolFaultInjector(
+            [FaultPoint(step, "crash", persistent=True)]
+        )
+        kernel.attach_fault_injector(injector)
+        hole, length = kernel.frames.free_runs(None)[-1]
+        assert length >= 1
+        assert kernel.frames.alloc_at(hole, 1)
+        free_before = kernel.frames.free_frames
+        with pytest.raises(MoveError):
+            kernel.request_page_move(
+                process, _victim_page(process), destination=hole * PAGE_SIZE
+            )
+        assert kernel.frames.frame_is_free(hole)
+        assert kernel.frames.free_frames == free_before + 1
 
     def test_caller_claimed_destination_released_by_rollback(self):
         kernel, process, interp = _loaded()
