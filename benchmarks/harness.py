@@ -75,6 +75,34 @@ def _guard_mechanism(config: str) -> str:
     return "mpx"
 
 
+def run_carat(
+    program,
+    kernel=None,
+    guard_mechanism: str = "mpx",
+    options: Optional[CompileOptions] = None,
+    name: str = "program",
+    heap_size: Optional[int] = None,
+    stack_size: Optional[int] = None,
+    setup=None,
+    sanitize: bool = False,
+    engine: str = "reference",
+    safety: bool = False,
+) -> RunResult:
+    """The compact legacy call shape the benchmark files use, as an
+    explicit veneer over :class:`CaratSession` (the removed
+    ``repro.machine.executor.run_carat`` shim used to provide this)."""
+    fields = dict(
+        mode="carat", guard_mechanism=guard_mechanism, name=name,
+        sanitize=sanitize, engine=engine, safety=safety,
+    )
+    if heap_size is not None:
+        fields["heap_size"] = heap_size
+    if stack_size is not None:
+        fields["stack_size"] = stack_size
+    session = CaratSession(RunConfig(**fields), kernel=kernel, setup=setup)
+    return session.run(program, options=options)
+
+
 class RunSummary:
     """The slice of a :class:`RunResult` the experiments consume.
 

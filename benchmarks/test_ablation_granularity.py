@@ -13,12 +13,11 @@ Section 4.2 ("by batching the latter, we can mitigate redundant/outdated
 work"): tracking cycles with batch resolution vs flush-per-record.
 """
 
-from harness import SUITE, emit_table, geomean
+from harness import SUITE, emit_table, geomean, run_carat
 
 from repro.carat.pipeline import compile_carat
 from repro.kernel.kernel import Kernel
 from repro.kernel.pagetable import PAGE_SIZE
-from repro.machine.executor import run_carat
 from repro.machine.interp import Interpreter
 
 ABLATION_SUITE = ["canneal", "freqmine", "mcf", "nab", "omnetpp", "xalancbmk", "streamcluster"]

@@ -24,10 +24,9 @@ import json
 import time
 from pathlib import Path
 
-from harness import SCALE, _compile_options, emit_json, emit_table, geomean
+from harness import SCALE, _compile_options, emit_json, emit_table, geomean, run_carat
 
 from repro.carat.pipeline import compile_carat
-from repro.machine.executor import run_carat
 from repro.workloads import get_workload
 
 #: Guard-heavy workloads; ``hpccg`` is the headline (first in the

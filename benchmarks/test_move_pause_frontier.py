@@ -33,10 +33,9 @@ throughput, with bit-identical program output.
 import json
 from pathlib import Path
 
-from harness import emit_json, emit_table
+from harness import emit_json, emit_table, run_carat
 
 from repro.kernel.kernel import Kernel
-from repro.machine.executor import run_carat
 from repro.multiproc.scheduler import percentile
 from repro.policy import (
     CompactionDaemon,

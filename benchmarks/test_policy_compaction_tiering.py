@@ -18,10 +18,9 @@ become cheap policy loops over one mechanism.  Two experiments:
   promotions happened, budgets respected.
 """
 
-from harness import arith_mean, emit_table
+from harness import arith_mean, emit_table, run_carat
 
 from repro.kernel.kernel import Kernel
-from repro.machine.executor import run_carat
 from repro.policy import (
     CompactionDaemon,
     HeatTracker,

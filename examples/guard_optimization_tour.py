@@ -11,7 +11,7 @@ Run:  python examples/guard_optimization_tour.py
 
 from repro import CompileOptions, compile_carat
 from repro.ir import print_function
-from repro.machine import run_carat
+from repro.machine.session import CaratSession, RunConfig
 
 SOURCE = """
 long N = 256;
@@ -43,7 +43,7 @@ def show(title: str, options: CompileOptions) -> None:
             f"hoisted {stats.hoisted}, merged {stats.merged}, "
             f"eliminated {stats.eliminated})"
         )
-    result = run_carat(binary)
+    result = CaratSession(RunConfig(mode="carat")).run(binary)
     runtime = result.process.runtime
     print(
         f"dynamic: {runtime.stats.guards_executed} guard executions, "

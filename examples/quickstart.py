@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import compile_baseline, compile_carat
-from repro.machine import run_carat, run_carat_baseline, run_traditional
+from repro.machine.session import CaratSession, RunConfig
 
 SOURCE = """
 long N = 500;
@@ -45,9 +45,13 @@ def main() -> None:
     print(f"signed by        : {carat_binary.signature.toolchain}")
 
     print("\n== running ==")
-    baseline = run_carat_baseline(SOURCE, name="quickstart")
-    carat = run_carat(carat_binary)
-    traditional = run_traditional(SOURCE, name="quickstart")
+    baseline = CaratSession(
+        RunConfig(mode="baseline", name="quickstart")
+    ).run(SOURCE)
+    carat = CaratSession(RunConfig(mode="carat")).run(carat_binary)
+    traditional = CaratSession(
+        RunConfig(mode="traditional", name="quickstart")
+    ).run(SOURCE)
 
     assert baseline.output == carat.output == traditional.output
     print(f"program output   : {baseline.output[0]} (identical in all modes)")

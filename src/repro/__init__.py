@@ -16,7 +16,8 @@ Quickstart::
     print(result.output, result.cycles)
 
 (The legacy ``run_carat``/``run_carat_baseline``/``run_traditional``
-helpers still work as thin shims over the session.)
+helpers were removed; the names survive as tombstones that raise with a
+pointer at the session API.)
 
 The packages:
 

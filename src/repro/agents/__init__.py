@@ -1,0 +1,24 @@
+"""Translation clients beyond the guarded interpreter.
+
+CARAT's generality claim is that the allocation table can mediate
+translation for *every* consumer of memory, not just compiler-guarded
+code.  This package adds the first such consumers: SPARTA-style agents
+(accelerators, DMA engines) that stream physical memory with **no
+compiler guards at all**, relying on the kernel to hand them pinned
+leases and to drain ("quiesce") those leases before any move flips the
+page they were streaming.
+"""
+
+from repro.agents.mediator import (
+    AgentMediator,
+    DmaAgent,
+    Lease,
+    TranslationClient,
+)
+
+__all__ = [
+    "AgentMediator",
+    "DmaAgent",
+    "Lease",
+    "TranslationClient",
+]

@@ -1,0 +1,338 @@
+"""Kernel-mediated translation for guard-free agents.
+
+A :class:`TranslationClient` is anything that wants to touch physical
+memory but carries none of the compiler's guards — a DMA engine, an
+accelerator, a smart NIC.  SPARTA's observation is that such agents
+must go *through the kernel* for translation; CARAT's analog is the
+:class:`AgentMediator`: clients register, ask :meth:`~AgentMediator.
+translate` for a **pinned lease** over a range the allocation table
+vouches for, and stream it guard-free until they release it.
+
+A lease pins its range against the move protocol from two directions:
+
+* no move may *land* inside a live lease — admission refuses such
+  destinations, and the sanitizer's ``dma-pin`` rule flags any that
+  sneak past (:mod:`repro.sanitizer.checker`);
+* a move whose *source* overlaps a live lease must first drain it at
+  the journaled ``quiesce-agents`` step
+  (:data:`~repro.resilience.journal.STEP_QUIESCE_AGENTS`).  A client
+  that drains gets its lease revoked (journaled, so rollback re-grants
+  it); a client that refuses raises :class:`~repro.errors.
+  QuiesceFailure`, a *non-transient* fault — the move degrades
+  (rollback, destination freed, range quarantined) rather than retry
+  against an agent that will never yield.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import KernelError, QuiesceFailure
+from repro.resilience.journal import STEP_QUIESCE_AGENTS
+
+
+@dataclass
+class Lease:
+    """One pinned translation: ``client`` may touch ``[lo, hi)`` of
+    ``pid``'s memory, guard-free, until released or quiesced."""
+
+    client: str
+    pid: int
+    lo: int
+    hi: int
+    access: str = "read"
+    seq: int = 0
+    live: bool = True
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        return self.lo < hi and lo < self.hi
+
+    def describe(self) -> str:
+        state = "live" if self.live else "released"
+        return (
+            f"lease #{self.seq} {self.client!r} pid={self.pid} "
+            f"[{self.lo:#x}, {self.hi:#x}) {self.access} ({state})"
+        )
+
+
+class TranslationClient:
+    """Base protocol for guard-free memory consumers.
+
+    Subclasses override :meth:`step` (do a bounded slice of work — the
+    kernel clock drives it) and :meth:`quiesce` (the move protocol asks
+    the client to drain a lease; return False to refuse, which degrades
+    the move instead of flipping pages out from under the client).
+    """
+
+    name = "client"
+
+    def attach(self, mediator: "AgentMediator") -> None:
+        self.mediator = mediator
+
+    def step(self, kernel) -> None:  # pragma: no cover - interface
+        pass
+
+    def quiesce(self, lease: Lease) -> bool:
+        return True
+
+    def on_regrant(self, lease: Lease) -> None:
+        """A quiesced lease came back: the move it blocked rolled back."""
+
+
+class AgentMediator:
+    """The kernel-side broker between translation clients and moves."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.clients: Dict[str, TranslationClient] = {}
+        self._leases: List[Lease] = []
+        self._next_seq = 0
+        #: Quiesce outcomes, newest last: (step-label, lease seq, drained).
+        self.quiesce_log: List[str] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, client: TranslationClient) -> TranslationClient:
+        if client.name in self.clients:
+            raise KernelError(f"client {client.name!r} already registered")
+        self.clients[client.name] = client
+        client.attach(self)
+        return client
+
+    def unregister(self, name: str) -> None:
+        client = self.clients.pop(name, None)
+        if client is None:
+            raise KernelError(f"no client named {name!r}")
+        for lease in self.leases_of(name):
+            self.release(lease)
+
+    # -- translation -------------------------------------------------------
+
+    def translate(self, client: TranslationClient, process, address: int,
+                  size: int, access: str = "read") -> Lease:
+        """Validate ``[address, address+size)`` against the allocation
+        table and region set, and pin it under a new lease.
+
+        This is the kernel doing for the agent what the compiler's
+        guards do for the program: no lease is granted over memory the
+        tables do not vouch for."""
+        if size <= 0:
+            raise KernelError(f"lease of {size} byte(s) is empty")
+        if client.name not in self.clients:
+            raise KernelError(f"client {client.name!r} is not registered")
+        runtime = process.runtime
+        if not runtime.regions.check(address, size, access):
+            raise KernelError(
+                f"lease [{address:#x}, {address + size:#x}) is outside "
+                f"every kernel-permitted region of pid {process.pid}"
+            )
+        containing = runtime.table.find_containing(address, size)
+        if containing is None or not containing.live:
+            raise KernelError(
+                f"lease [{address:#x}, {address + size:#x}) is not backed "
+                "by a live tracked allocation"
+            )
+        lease = Lease(
+            client=client.name,
+            pid=process.pid,
+            lo=address,
+            hi=address + size,
+            access=access,
+            seq=self._next_seq,
+        )
+        self._next_seq += 1
+        self._leases.append(lease)
+        return lease
+
+    def release(self, lease: Lease) -> None:
+        lease.live = False
+        if lease in self._leases:
+            self._leases.remove(lease)
+
+    # -- queries -----------------------------------------------------------
+
+    def live_leases(self) -> List[Lease]:
+        return [lease for lease in self._leases if lease.live]
+
+    def leases_of(self, client_name: str) -> List[Lease]:
+        return [l for l in self.live_leases() if l.client == client_name]
+
+    def leases_overlapping(self, lo: int, hi: int,
+                           pid: Optional[int] = None) -> List[Lease]:
+        return [
+            lease
+            for lease in self.live_leases()
+            if lease.overlaps(lo, hi) and (pid is None or lease.pid == pid)
+        ]
+
+    # -- the clock ---------------------------------------------------------
+
+    def step(self) -> None:
+        """One slice of every client's work (driven by
+        :meth:`Kernel.advance_clock`)."""
+        for client in self.clients.values():
+            client.step(self.kernel)
+
+    # -- the quiesce step of the move protocol -----------------------------
+
+    def quiesce_for_move(self, txn, process, lo: int, hi: int) -> int:
+        """Drain every live lease overlapping ``[lo, hi)`` before the
+        move touches anything irreversible.
+
+        Each drained lease is journaled under ``quiesce-agents`` — the
+        undo re-grants it, so a rolled-back move leaves every agent
+        exactly as pinned as before.  Emits ``(done, total)`` progress
+        after each drain (the torn-fault surface); with nothing to
+        drain, a single ``(1, 1)`` "table scanned" hook keeps the step
+        observable for the fault campaign.  A client that refuses
+        raises :class:`QuiesceFailure` (non-transient: the move
+        degrades)."""
+        blocking = self.leases_overlapping(lo, hi, pid=process.pid)
+        total = len(blocking)
+        if total == 0:
+            txn.enter(STEP_QUIESCE_AGENTS, (1, 1))
+            return 0
+        done = 0
+        for lease in blocking:
+            client = self.clients[lease.client]
+            if not client.quiesce(lease):
+                self.quiesce_log.append(f"refused: {lease.describe()}")
+                raise QuiesceFailure(
+                    f"client {lease.client!r} refused to drain "
+                    f"{lease.describe()} blocking move of "
+                    f"[{lo:#x}, {hi:#x})",
+                    client=lease.client,
+                    lo=lease.lo,
+                    hi=lease.hi,
+                )
+            self.release(lease)
+            self.quiesce_log.append(f"drained: {lease.describe()}")
+            txn.journal.record(
+                STEP_QUIESCE_AGENTS,
+                f"re-grant {lease.describe()}",
+                lambda l=lease: self._regrant(l),
+            )
+            done += 1
+            txn.enter(STEP_QUIESCE_AGENTS, (done, total))
+        return total
+
+    def _regrant(self, lease: Lease) -> None:
+        lease.live = True
+        if lease not in self._leases:
+            self._leases.append(lease)
+        client = self.clients.get(lease.client)
+        if client is not None:
+            client.on_regrant(lease)
+
+    def describe(self) -> str:
+        live = self.live_leases()
+        return (
+            f"{len(self.clients)} client(s), {len(live)} live lease(s)"
+            + (
+                ": " + "; ".join(l.describe() for l in live)
+                if live
+                else ""
+            )
+        )
+
+
+class DmaAgent(TranslationClient):
+    """A SPARTA-style DMA engine: streams physical memory guard-free.
+
+    Each clock step it either (a) asks the mediator for a lease over
+    the next live heap allocation of its target process, round-robin by
+    allocation address, or (b) streams up to ``burst`` bytes of its
+    current lease straight out of :class:`~repro.kernel.physmem.
+    PhysicalMemory` — **no guards, no runtime, no cycle accounting in
+    the program's costs** — folding them into a running checksum.  When
+    a lease is fully streamed it is released and the next allocation is
+    claimed.
+
+    ``uncooperative=True`` builds the adversarial variant: it refuses
+    every quiesce request, forcing the move protocol to degrade — the
+    test fixture for the quiesce-vs-degradation contract.
+    """
+
+    def __init__(self, name: str = "dma0", burst: int = 64,
+                 uncooperative: bool = False) -> None:
+        self.name = name
+        self.burst = burst
+        self.uncooperative = uncooperative
+        self.process = None
+        self.lease: Optional[Lease] = None
+        self.cursor = 0
+        self.bytes_streamed = 0
+        self.checksum = 0
+        self.leases_taken = 0
+        self.leases_drained = 0
+        self.quiesces_refused = 0
+
+    def target(self, process) -> None:
+        self.process = process
+
+    # -- TranslationClient -------------------------------------------------
+
+    def step(self, kernel) -> None:
+        if self.process is None:
+            return
+        if self.lease is None or not self.lease.live:
+            self._acquire()
+            return
+        lease = self.lease
+        remaining = lease.hi - self.cursor
+        if remaining <= 0:
+            self.mediator.release(lease)
+            self.lease = None
+            return
+        length = min(self.burst, remaining)
+        data = kernel.memory.read_bytes(self.cursor, length)
+        for byte in data:
+            self.checksum = (self.checksum * 131 + byte) % (1 << 61)
+        self.cursor += length
+        self.bytes_streamed += length
+        if self.cursor >= lease.hi:
+            self.mediator.release(lease)
+            self.lease = None
+
+    def quiesce(self, lease: Lease) -> bool:
+        if self.uncooperative:
+            self.quiesces_refused += 1
+            return False
+        if self.lease is lease:
+            self.lease = None
+        self.leases_drained += 1
+        return True
+
+    def on_regrant(self, lease: Lease) -> None:
+        # The move we were drained for rolled back: resume mid-stream.
+        if self.lease is None:
+            self.lease = lease
+
+    # -- internals ---------------------------------------------------------
+
+    def _acquire(self) -> None:
+        runtime = self.process.runtime
+        heap = sorted(
+            (a for a in runtime.table if a.kind == "heap" and a.live),
+            key=lambda a: a.address,
+        )
+        if not heap:
+            return
+        # Round-robin: the first heap allocation strictly above the last
+        # lease's start, wrapping to the lowest.
+        start = self.lease.lo if self.lease is not None else -1
+        candidate = next((a for a in heap if a.address > start), heap[0])
+        try:
+            lease = self.mediator.translate(
+                self, self.process, candidate.address, candidate.size
+            )
+        except KernelError:
+            return
+        self.lease = lease
+        self.cursor = lease.lo
+        self.leases_taken += 1

@@ -47,8 +47,16 @@ from repro.carat.pipeline import CompileOptions, compile_carat
 from repro.ir.printer import print_module
 
 
-def _add_engine_flag(parser, help_suffix: str = "") -> None:
-    parser.add_argument(
+# ---------------------------------------------------------------------------
+# Shared flag groups.  Each factory returns an ``add_help=False`` parent
+# parser; subcommands compose them via ``parents=[...]`` so every flag in
+# a group is defined exactly once and stays identical everywhere.
+# ---------------------------------------------------------------------------
+
+
+def _engine_flags(help_suffix: str = "") -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--engine",
         choices=["reference", "fast", "trace"],
         default="reference",
@@ -57,10 +65,12 @@ def _add_engine_flag(parser, help_suffix: str = "") -> None:
         "superblocks on top of it (identical observable behavior)"
         + help_suffix,
     )
+    return parent
 
 
-def _add_async_move_flags(parser) -> None:
-    parser.add_argument(
+def _async_move_flags() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--async-moves",
         action="store_true",
         dest="async_moves",
@@ -68,7 +78,7 @@ def _add_async_move_flags(parser) -> None:
         "pre-copy runs in bounded chunks with the world running and one "
         "batched stop covers the patch-and-flip tail",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--move-batch",
         type=int,
         default=4,
@@ -77,7 +87,7 @@ def _add_async_move_flags(parser) -> None:
         help="queued same-tenant moves amortizing one flip stop "
         "(default 4; needs --async-moves)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--chunk-budget",
         type=int,
         default=0,
@@ -86,16 +96,18 @@ def _add_async_move_flags(parser) -> None:
         help="cycle cap per pre-copy chunk; 0 streams each move's "
         "pre-copy in one step (default 0; needs --async-moves)",
     )
+    return parent
 
 
-def _add_telemetry_flags(parser) -> None:
-    parser.add_argument(
+def _telemetry_flags() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--trace",
         action="store_true",
         help="record structured trace events (compiler passes, guard "
         "faults, Figure-8 steps, policy epochs, move outcomes)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--trace-detail",
         choices=["normal", "fine"],
         default="normal",
@@ -103,19 +115,88 @@ def _add_telemetry_flags(parser) -> None:
         help="trace granularity; 'fine' adds one instant per guard check "
         "and tracking callback (small programs only)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--trace-out",
         metavar="PREFIX",
         dest="trace_out",
         help="write the trace to PREFIX.jsonl and PREFIX.chrome.json "
         "(implies --trace)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--profile",
         action="store_true",
         help="attach the cycle-attributed profiler and print the bucket "
         "breakdown (buckets sum exactly to the cycle total)",
     )
+    return parent
+
+
+def _sanitize_flags(
+    help_text: str = "run under the cross-layer invariant checker",
+) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--sanitize", action="store_true", help=help_text)
+    return parent
+
+
+def _fault_flags(context: str = "") -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="kill the move protocol at chosen steps (carat mode): "
+        "comma-separated STEP:KIND[:MOVE][:persist] entries, e.g. "
+        "'copy-data:crash', 'patch-escapes:torn:0', "
+        "'region-install:hang:2:persist', or 'random:N' drawn from "
+        "--fault-seed; failed moves roll back, retry with backoff, and "
+        "degrade when exhausted" + context,
+    )
+    parent.add_argument(
+        "--fault-seed",
+        type=int,
+        default=1234,
+        help="seed for 'random:N' fault schedules (default: 1234)",
+    )
+    parent.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per move before it degrades (default: 3)",
+    )
+    return parent
+
+
+def _client_flags() -> argparse.ArgumentParser:
+    """Translation clients and the memory-safety mode (carat mode only)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--safety",
+        action="store_true",
+        help="guard-time memory safety: every allowed access is also "
+        "checked against allocation-table liveness; use-after-free and "
+        "out-of-bounds raise a structured SafetyFault with HMAC "
+        "provenance tags (carat mode only)",
+    )
+    parent.add_argument(
+        "--agents",
+        type=int,
+        default=0,
+        metavar="N",
+        help="register N guard-free DMA agents that stream the heap "
+        "through kernel-mediated pinned leases; page moves drain "
+        "overlapping leases in the quiesce-agents step (carat mode only)",
+    )
+    parent.add_argument(
+        "--agent-burst",
+        type=int,
+        default=64,
+        dest="agent_burst",
+        metavar="BYTES",
+        help="bytes each DMA agent streams per kernel clock step "
+        "(default 64)",
+    )
+    return parent
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -136,7 +217,18 @@ def _build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--no-guards", action="store_true", help="skip guard injection")
     comp.add_argument("--no-tracking", action="store_true", help="skip tracking")
 
-    run = sub.add_parser("run", help="compile and execute a program")
+    run = sub.add_parser(
+        "run",
+        help="compile and execute a program",
+        parents=[
+            _engine_flags(),
+            _sanitize_flags(),
+            _fault_flags(),
+            _async_move_flags(),
+            _telemetry_flags(),
+            _client_flags(),
+        ],
+    )
     run.add_argument("file", help="Mini-C source file")
     run.add_argument(
         "--mode",
@@ -151,7 +243,6 @@ def _build_parser() -> argparse.ArgumentParser:
         help="guard mechanism for carat mode",
     )
     run.add_argument("--max-steps", type=int, default=50_000_000)
-    _add_engine_flag(run)
     run.add_argument("--stats", action="store_true", help="print cycle accounting")
     run.add_argument(
         "--trace-threshold",
@@ -167,38 +258,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="--engine trace: superblock length cap, in branch-entered "
         "blocks (default: 48)",
     )
-    run.add_argument(
-        "--sanitize",
-        action="store_true",
-        help="run under the cross-layer invariant checker",
-    )
-    run.add_argument(
-        "--inject-faults",
-        metavar="SPEC",
-        help="kill the move protocol at chosen steps (carat mode): "
-        "comma-separated STEP:KIND[:MOVE][:persist] entries, e.g. "
-        "'copy-data:crash', 'patch-escapes:torn:0', "
-        "'region-install:hang:2:persist', or 'random:N' drawn from "
-        "--fault-seed; failed moves roll back, retry with backoff, and "
-        "degrade when exhausted",
-    )
-    run.add_argument(
-        "--fault-seed",
-        type=int,
-        default=1234,
-        help="seed for 'random:N' fault schedules (default: 1234)",
-    )
-    run.add_argument(
-        "--max-retries",
-        type=int,
-        default=None,
-        metavar="N",
-        help="attempts per move before it degrades (default: 3)",
-    )
-    _add_async_move_flags(run)
-    _add_telemetry_flags(run)
 
-    bench = sub.add_parser("bench", help="run one suite workload in all modes")
+    bench = sub.add_parser(
+        "bench",
+        help="run one suite workload in all modes",
+        parents=[
+            _engine_flags(" for every configuration"),
+            _sanitize_flags("run every configuration under the invariant checker"),
+        ],
+    )
     bench.add_argument(
         "name",
         nargs="?",
@@ -207,22 +275,24 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--scale", choices=["tiny", "small", "medium"], default="tiny"
     )
-    _add_engine_flag(bench, " for every configuration")
-    bench.add_argument(
-        "--sanitize",
-        action="store_true",
-        help="run every configuration under the invariant checker",
-    )
 
     policy = sub.add_parser(
         "policy",
         help="run a workload under CARAT with the memory-policy engine",
+        parents=[
+            _engine_flags(" (the policy hooks work under both)"),
+            _sanitize_flags(),
+            _fault_flags(
+                " (policy moves roll back, retry, and degrade — "
+                "quarantined ranges pin and the engine cools down)"
+            ),
+            _async_move_flags(),
+        ],
     )
     policy.add_argument("name", help="workload name (see `repro workloads`)")
     policy.add_argument(
         "--scale", choices=["tiny", "small", "medium"], default="tiny"
     )
-    _add_engine_flag(policy, " (the policy hooks work under both)")
     policy.add_argument(
         "--fast-kb",
         type=int,
@@ -258,36 +328,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="pre-fragment physical memory before running (compaction demo)",
     )
-    policy.add_argument(
-        "--sanitize",
-        action="store_true",
-        help="run under the cross-layer invariant checker",
-    )
-    policy.add_argument(
-        "--inject-faults",
-        metavar="SPEC",
-        help="kill the move protocol at chosen steps; same spec syntax "
-        "as `run --inject-faults` (policy moves roll back, retry, and "
-        "degrade — quarantined ranges pin and the engine cools down)",
-    )
-    policy.add_argument(
-        "--fault-seed",
-        type=int,
-        default=1234,
-        help="seed for 'random:N' fault schedules (default: 1234)",
-    )
-    policy.add_argument(
-        "--max-retries",
-        type=int,
-        default=None,
-        metavar="N",
-        help="attempts per move before it degrades (default: 3)",
-    )
-    _add_async_move_flags(policy)
 
     smp = sub.add_parser(
         "smp",
         help="time-slice N tenants of one workload over a single kernel",
+        parents=[
+            _engine_flags(" for every tenant"),
+            _sanitize_flags(
+                "run under the cross-layer invariant checker (including "
+                "the cross-process frame-ownership and shared-CoW rules)"
+            ),
+            _async_move_flags(),
+            _client_flags(),
+        ],
     )
     smp.add_argument(
         "name", help="workload name (see `repro workloads`) or a Mini-C file"
@@ -301,7 +354,6 @@ def _build_parser() -> argparse.ArgumentParser:
         default=8,
         help="number of tenants to schedule (default 8)",
     )
-    _add_engine_flag(smp, " for every tenant")
     smp.add_argument(
         "--quantum",
         type=int,
@@ -360,13 +412,6 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     smp.add_argument("--max-steps", type=int, default=50_000_000)
     smp.add_argument(
-        "--sanitize",
-        action="store_true",
-        help="run under the cross-layer invariant checker (including the "
-        "cross-process frame-ownership and shared-CoW rules)",
-    )
-    _add_async_move_flags(smp)
-    smp.add_argument(
         "--json",
         metavar="FILE",
         dest="json_out",
@@ -377,6 +422,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "soak",
         help="long-horizon service soak with continuous chaos injection "
         "and steady-state watchdogs",
+        parents=[_engine_flags(" for every tenant")],
     )
     soak.add_argument(
         "--workload",
@@ -428,7 +474,6 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="slo_p99",
         help="p99 cycles-per-request SLO gate (0 disables)",
     )
-    _add_engine_flag(soak, " for every tenant")
     soak.add_argument(
         "--rounds-per-epoch",
         type=int,
@@ -519,6 +564,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace",
         help="record, export, and validate a structured trace of one run",
+        parents=[_engine_flags()],
     )
     trace.add_argument(
         "name", help="workload name (see `repro workloads`) or a Mini-C file"
@@ -532,7 +578,6 @@ def _build_parser() -> argparse.ArgumentParser:
         default="carat",
         help="execution model (default: carat)",
     )
-    _add_engine_flag(trace)
     trace.add_argument(
         "--detail",
         choices=["normal", "fine"],
@@ -556,6 +601,7 @@ def _build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser(
         "profile",
         help="run with the cycle-attributed profiler and print the breakdown",
+        parents=[_engine_flags()],
     )
     profile.add_argument(
         "name", help="workload name (see `repro workloads`) or a Mini-C file"
@@ -569,7 +615,6 @@ def _build_parser() -> argparse.ArgumentParser:
         default="carat",
         help="execution model (default: carat)",
     )
-    _add_engine_flag(profile)
     profile.add_argument(
         "--json",
         action="store_true",
@@ -623,19 +668,41 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.errors import SafetyFault
     from repro.machine.session import CaratSession, RunConfig
 
     source = _read_source(args.file)
     name = Path(args.file).stem
-    config = RunConfig.from_args(args, name=name)
+    try:
+        config = RunConfig.from_args(args, name=name)
+    except ValueError as error:
+        print(f"repro run: {error}", file=sys.stderr)
+        return 2
     if config.faulting and config.mode != "carat":
         print("--inject-faults/--max-retries require --mode carat", file=sys.stderr)
         return 2
-    result = CaratSession(config).run(source)
+    try:
+        result = CaratSession(config).run(source)
+    except SafetyFault as fault:
+        violation = fault.violation
+        print("-- SAFETY FAULT --", file=sys.stderr)
+        print(f"   {violation.describe()}", file=sys.stderr)
+        for key, value in sorted(violation.to_dict().items()):
+            print(f"   {key:16s}: {value}", file=sys.stderr)
+        return 3
     for line in result.output:
         print(line)
     if args.sanitize and result.sanitizer is not None:
         print(f"-- sanitizer    : {result.sanitizer.describe()}", file=sys.stderr)
+    if config.agents and result.kernel.agents is not None:
+        for client in result.kernel.agents.clients.values():
+            print(
+                f"-- agent        : {client.name} leases "
+                f"{client.leases_taken} taken / {client.leases_drained} "
+                f"drained, {client.bytes_streamed} bytes streamed "
+                f"(checksum {client.checksum})",
+                file=sys.stderr,
+            )
     if args.stats:
         print(f"-- exit code    : {result.exit_code}", file=sys.stderr)
         print(f"-- instructions : {result.instructions}", file=sys.stderr)

@@ -67,6 +67,26 @@ class ProtectionFault(InterpError):
         self.access = access
 
 
+class SafetyFault(ProtectionFault):
+    """Safety mode (``--safety``) rejected a *region-legal* access.
+
+    The access passed the ordinary CARAT guard — it lands inside a
+    kernel-permitted region — but the allocation-table liveness check
+    behind it says the program touched memory it does not own: a freed
+    allocation (use-after-free) or bytes past the end of a live one
+    (out-of-bounds).  Carries the structured
+    :class:`~repro.runtime.safety.SafetyViolation`.
+    """
+
+    def __init__(self, violation) -> None:
+        ProtectionFault.__init__(
+            self, violation.address, violation.size, violation.access
+        )
+        # Replace the generic region message with the safety verdict.
+        self.args = (violation.describe(),)
+        self.violation = violation
+
+
 class SegmentationFault(InterpError):
     """A traditional-model access touched an unmapped virtual page."""
 
@@ -120,6 +140,24 @@ class MoveError(KernelError):
         #: The structured :class:`~repro.resilience.degrade.MoveFailure`
         #: recorded for this error, when a DegradationManager is attached.
         self.failure = None
+
+
+class QuiesceFailure(KernelError):
+    """A translation client refused to drain a lease that blocks a move.
+
+    Raised from the ``quiesce-agents`` protocol step.  Deliberately
+    *not* one of the transient fault classes the retry policy respects:
+    a client that will not drain now will not drain on the next attempt
+    either, so the move degrades immediately (rollback + quarantine)
+    instead of burning retries.
+    """
+
+    def __init__(self, message: str, client: str = "", lo: int = 0,
+                 hi: int = 0) -> None:
+        super().__init__(message)
+        self.client = client
+        self.lo = lo
+        self.hi = hi
 
 
 class RollbackError(KernelError):

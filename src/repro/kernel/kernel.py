@@ -188,6 +188,10 @@ class Kernel:
         #: full protocol synchronously, and :meth:`advance_clock` drains
         #: them incrementally with bounded pauses.
         self.move_queue = None
+        #: Attached :class:`~repro.agents.AgentMediator`; when present,
+        #: guard-free translation clients (DMA engines, accelerators)
+        #: hold pinned leases the move protocol must quiesce.
+        self.agents = None
 
     def _trace(self, step: int, message: str) -> None:
         if self.trace_protocol:
@@ -636,7 +640,10 @@ class Kernel:
             raise KernelError("not a CARAT process")
         lo = page_address & ~(PAGE_SIZE - 1)
         hi = lo + page_count_ * PAGE_SIZE
-        self._check_admission(process, "page-move", lo, hi, reason=reason)
+        self._check_admission(
+            process, "page-move", lo, hi, reason=reason,
+            destination=destination,
+        )
         return drive_transaction(
             self,
             process,
@@ -664,13 +671,18 @@ class Kernel:
         lo: int,
         hi: int,
         reason: str = "carat-move",
+        destination: Optional[int] = None,
     ) -> None:
         """Admission control, before any work (no world stop, no attempt
         counted): a range the DegradationManager has quarantined is
         refused, and so is a range holding CoW-shared pages — shared
         frames are pinned for everyone except the CoW-break service
         itself (``reason="cow-break"``), which is *how* a page leaves
-        the share."""
+        the share.  A known ``destination`` overlapping a live
+        translation-client lease is refused too: an agent is streaming
+        those bytes guard-free, so nothing may land on them (a *source*
+        overlapping a lease is fine — the ``quiesce-agents`` step drains
+        it mid-protocol)."""
         if self.degradation is not None and not self.degradation.allows(lo, hi):
             raise MoveError(
                 f"{operation} of [{lo:#x}, {hi:#x}) refused: range is "
@@ -691,6 +703,21 @@ class Kernel:
                 lo=lo,
                 hi=hi,
             )
+        if self.agents is not None and destination is not None:
+            span = hi - lo
+            pinned = self.agents.leases_overlapping(
+                destination, destination + span
+            )
+            if pinned:
+                raise MoveError(
+                    f"{operation} of [{lo:#x}, {hi:#x}) refused: "
+                    f"destination [{destination:#x}, "
+                    f"{destination + span:#x}) overlaps "
+                    f"{pinned[0].describe()}",
+                    step="admission",
+                    lo=lo,
+                    hi=hi,
+                )
 
     def request_allocation_move(
         self,
@@ -842,9 +869,19 @@ class Kernel:
         and flipped in one short batched world stop."""
         self.move_queue = queue
 
+    def attach_agents(self, mediator) -> None:
+        """Install an :class:`~repro.agents.AgentMediator`: registered
+        translation clients (see :mod:`repro.agents`) stream leased
+        memory guard-free from :meth:`advance_clock`, and every move
+        request gains the ``quiesce-agents`` protocol step plus
+        lease-aware admission control."""
+        self.agents = mediator
+
     def advance_clock(self, cycles: int) -> None:
         self.clock_cycles += cycles
         if self.policy is not None:
             self.policy.on_clock(self)
         if self.move_queue is not None:
             self.move_queue.step()
+        if self.agents is not None:
+            self.agents.step()

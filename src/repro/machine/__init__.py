@@ -3,7 +3,7 @@
 * :mod:`repro.machine.costs` — the calibrated cycle cost model
 * :mod:`repro.machine.interp` — the reference IR interpreter (both modes)
 * :mod:`repro.machine.fastexec` — the pre-compiled fast execution engine
-* :mod:`repro.machine.executor` — compile/load/run one-liners (legacy shims)
+* :mod:`repro.machine.executor` — engine registry + RunResult
 * :mod:`repro.machine.session` — the session API: RunConfig + CaratSession
 
 The executor/interpreter names are loaded lazily (PEP 562) because the

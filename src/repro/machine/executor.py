@@ -1,45 +1,31 @@
-"""High-level execution helpers: compile, load, run, collect stats.
+"""Execution-engine registry and the result type every run produces.
 
-These are the *legacy* entry points examples and experiment harnesses
-use; since the session redesign they are thin shims over
-:class:`repro.machine.session.CaratSession`:
+This module used to be the front door (``run_carat`` and friends, each
+with 10+ kwargs); since the session redesign the one run path is
+:class:`repro.machine.session.CaratSession` driven by a
+:class:`~repro.machine.session.RunConfig`.  What remains here is the
+machinery the session itself uses:
 
-* :func:`run_carat` — full CARAT treatment on physical addressing;
-* :func:`run_carat_baseline` — the *CARAT baseline*: the same program with
-  no instrumentation, also on physical addressing (the denominator of
-  every overhead figure);
-* :func:`run_traditional` — the paging model with TLBs and pagewalks
-  (Figure 2's measurement configuration).
+* :data:`ENGINES` / :func:`_interpreter_class` — the selectable
+  execution engines;
+* :class:`RunResult` — everything one execution produced;
+* :func:`_make_sanitizer` / :func:`_as_binary` — attach helpers.
 
-The signatures are preserved exactly, but explicitly passing any of the
-sprawling tuning kwargs (guard mechanism, engine, sizes, ...) emits a
-``DeprecationWarning`` — new code should build a
-:class:`~repro.machine.session.RunConfig` and call
-``CaratSession(config).run(program)`` instead.
-
-All three accept ``sanitize=True`` to run under the cross-layer
-invariant checker (:mod:`repro.sanitizer`): checkpoints fire after every
-kernel change request, at interpreter safepoints, and at end of run, and
-the first error-severity violation raises
-:class:`~repro.sanitizer.hooks.SanitizerError` at the operation that
-caused it.
+The legacy ``run_carat`` / ``run_carat_baseline`` / ``run_traditional``
+names survive only as tombstones: calling them raises with a pointer at
+the session API (tests wanting the compact legacy shape use
+``tests.support``; benchmarks use ``benchmarks.harness``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import warnings
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Union
 
-from repro.carat.pipeline import (
-    CaratBinary,
-    CompileOptions,
-    compile_baseline,
-    compile_carat,
-)
-from repro.kernel.kernel import DEFAULT_HEAP, DEFAULT_STACK, Kernel
+from repro.carat.pipeline import CaratBinary, CompileOptions, compile_carat
+from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process
 from repro.machine.fastexec import FastInterpreter
 from repro.machine.interp import Interpreter, InterpStats
@@ -55,10 +41,6 @@ ENGINES = {
     "fast": FastInterpreter,
     "trace": TraceInterpreter,
 }
-
-#: Sentinel distinguishing "caller explicitly passed this kwarg" from
-#: "caller took the default" — the shims only warn on the former.
-_UNSET = object()
 
 
 def _interpreter_class(engine: str) -> type:
@@ -153,129 +135,23 @@ def _make_sanitizer(
     return active
 
 
-def _legacy_config(mode: str, **maybe_set):
-    """Fold explicitly-passed legacy kwargs into a RunConfig, warning
-    once per call when any sprawling kwarg was supplied."""
-    from repro.machine.session import RunConfig
-
-    explicit = {
-        key: value for key, value in maybe_set.items() if value is not _UNSET
-    }
-    if explicit:
-        warnings.warn(
-            f"passing {sorted(explicit)} to run_* helpers is deprecated; "
-            "build a RunConfig and use CaratSession instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-    return RunConfig(mode=mode, **explicit)
-
-
-def run_carat(
-    program: Union[str, CaratBinary],
-    kernel: Optional[Kernel] = None,
-    guard_mechanism=_UNSET,
-    options: Optional[CompileOptions] = None,
-    entry=_UNSET,
-    max_steps=_UNSET,
-    heap_size=_UNSET,
-    stack_size=_UNSET,
-    name=_UNSET,
-    setup: Optional[Callable[[Interpreter], None]] = None,
-    sanitize=_UNSET,
-    sanitizer: Optional[Sanitizer] = None,
-    engine=_UNSET,
-) -> RunResult:
-    """Compile (if needed), load, and run a program under CARAT.
-
-    ``setup`` (if given) is called with the freshly built interpreter
-    before execution starts — the hook the policy engine uses to attach
-    its heat probe and tick hook (see :mod:`repro.policy`).
-
-    ``sanitize=True`` audits the run with a fresh
-    :class:`~repro.sanitizer.hooks.Sanitizer`; pass ``sanitizer=`` to
-    supply a configured one instead (implies auditing).
-
-    Deprecated shim — prefer ``CaratSession(RunConfig(...)).run(...)``.
-    """
-    from repro.machine.session import CaratSession
-
-    config = _legacy_config(
-        "carat",
-        guard_mechanism=guard_mechanism,
-        entry=entry,
-        max_steps=max_steps,
-        heap_size=heap_size,
-        stack_size=stack_size,
-        name=name,
-        sanitize=sanitize,
-        engine=engine,
+def _removed(name: str, mode: str):
+    raise RuntimeError(
+        f"{name}() was removed: build RunConfig(mode={mode!r}, ...) and "
+        "call CaratSession(config).run(program) — see repro.machine.session"
     )
-    session = CaratSession(
-        config, kernel=kernel, sanitizer=sanitizer, setup=setup
-    )
-    return session.run(program, options=options)
 
 
-def run_carat_baseline(
-    program: Union[str, CaratBinary],
-    kernel: Optional[Kernel] = None,
-    entry=_UNSET,
-    max_steps=_UNSET,
-    heap_size=_UNSET,
-    stack_size=_UNSET,
-    name=_UNSET,
-    sanitize=_UNSET,
-    sanitizer: Optional[Sanitizer] = None,
-    engine=_UNSET,
-) -> RunResult:
-    """The uninstrumented program on physical addressing.
-
-    Deprecated shim — prefer ``CaratSession`` with ``mode="baseline"``.
-    """
-    from repro.machine.session import CaratSession
-
-    config = _legacy_config(
-        "baseline",
-        entry=entry,
-        max_steps=max_steps,
-        heap_size=heap_size,
-        stack_size=stack_size,
-        name=name,
-        sanitize=sanitize,
-        engine=engine,
-    )
-    session = CaratSession(config, kernel=kernel, sanitizer=sanitizer)
-    return session.run(program)
+def run_carat(*args, **kwargs):
+    """Removed — use ``CaratSession(RunConfig(mode='carat', ...))``."""
+    _removed("run_carat", "carat")
 
 
-def run_traditional(
-    program: Union[str, CaratBinary],
-    kernel: Optional[Kernel] = None,
-    entry=_UNSET,
-    max_steps=_UNSET,
-    heap_size=_UNSET,
-    stack_size=_UNSET,
-    name=_UNSET,
-    sanitize=_UNSET,
-    sanitizer: Optional[Sanitizer] = None,
-    engine=_UNSET,
-) -> RunResult:
-    """The paging model: uninstrumented binary, MMU on every data access.
+def run_carat_baseline(*args, **kwargs):
+    """Removed — use ``CaratSession(RunConfig(mode='baseline', ...))``."""
+    _removed("run_carat_baseline", "baseline")
 
-    Deprecated shim — prefer ``CaratSession`` with ``mode="traditional"``.
-    """
-    from repro.machine.session import CaratSession
 
-    config = _legacy_config(
-        "traditional",
-        entry=entry,
-        max_steps=max_steps,
-        heap_size=heap_size,
-        stack_size=stack_size,
-        name=name,
-        sanitize=sanitize,
-        engine=engine,
-    )
-    session = CaratSession(config, kernel=kernel, sanitizer=sanitizer)
-    return session.run(program)
+def run_traditional(*args, **kwargs):
+    """Removed — use ``CaratSession(RunConfig(mode='traditional', ...))``."""
+    _removed("run_traditional", "traditional")

@@ -118,6 +118,19 @@ class RunConfig:
     #: Epochs a quarantined range may stay pinned before the
     #: degradation-must-drain verdict fires (``--drain-budget``).
     drain_budget: int = 12
+    #: CryptSan-style guard-time memory safety (``--safety``): every
+    #: allowed access is additionally checked against allocation-table
+    #: liveness; violations raise :class:`~repro.errors.SafetyFault`
+    #: with HMAC provenance tags.  CARAT mode only.
+    safety: bool = False
+    #: Guard-free translation clients (``--agents``): this many
+    #: SPARTA-style :class:`~repro.agents.DmaAgent` instances are
+    #: registered with an :class:`~repro.agents.AgentMediator` and
+    #: stream the process's heap via pinned leases.  CARAT mode only.
+    agents: int = 0
+    #: Bytes each DMA agent streams per kernel clock step
+    #: (``--agent-burst``).
+    agent_burst: int = 64
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -180,6 +193,26 @@ class RunConfig:
             raise ValueError(
                 f"chaos_rate must be a non-negative fault rate, "
                 f"not {self.chaos_rate!r}"
+            )
+        if not isinstance(self.agents, int) or self.agents < 0:
+            raise ValueError(
+                f"agents must be a non-negative client count, "
+                f"not {self.agents!r}"
+            )
+        if not isinstance(self.agent_burst, int) or self.agent_burst < 1:
+            raise ValueError(
+                f"agent_burst must be a positive byte count, "
+                f"not {self.agent_burst!r}"
+            )
+        if self.safety and self.mode != "carat":
+            raise ValueError(
+                "safety mode rides on CARAT's guards and allocation "
+                f"table; mode {self.mode!r} has neither"
+            )
+        if self.agents and self.mode != "carat":
+            raise ValueError(
+                "translation-client agents need the CARAT allocation "
+                f"table to lease from; mode {self.mode!r} has none"
             )
 
     @property
@@ -368,7 +401,25 @@ class CaratSession:
                 stack_size=config.stack_size,
                 guard_mechanism=config.guard_mechanism,
             )
+        if config.safety and process.runtime is not None:
+            process.runtime.enable_safety()
+        if config.agents:
+            from repro.agents import AgentMediator, DmaAgent
+
+            mediator = kernel.agents
+            if mediator is None:
+                mediator = AgentMediator(kernel)
+                kernel.attach_agents(mediator)
+            for index in range(config.agents):
+                agent = DmaAgent(
+                    name=f"dma{process.pid}.{index}",
+                    burst=config.agent_burst,
+                )
+                agent.target(process)
+                mediator.register(agent)
         interpreter = _interpreter_class(config.engine)(process, kernel)
+        if config.agents:
+            self._wire_agents(kernel, interpreter)
         if hasattr(interpreter, "set_trace_tuning"):
             interpreter.set_trace_tuning(
                 threshold=config.trace_threshold,
@@ -415,6 +466,27 @@ class CaratSession:
             interpreter, binary, sanitizer=sanitizer, tracer=tracer,
             profile=profiler, config=config,
         )
+
+    def _wire_agents(self, kernel: Kernel, interpreter) -> None:
+        """Drive the agent mediator from the interpreter's safepoint tick.
+        The kernel clock only advances when a policy engine is attached;
+        a plain run would otherwise never step the translation clients,
+        so chain a hook that steps them every ``tick_interval``
+        instructions (under whatever a later ``setup`` installs)."""
+        mediator = kernel.agents
+        if mediator is None:
+            return
+        # Tiny programs finish inside one default tick; give the agents
+        # a finer grain so they observably stream during short runs.
+        interpreter.set_tick_interval(min(interpreter.tick_interval, 2_000))
+        previous = interpreter.tick_hook
+
+        def step_agents(interp) -> None:
+            if previous is not None:
+                previous(interp)
+            mediator.step()
+
+        interpreter.tick_hook = step_agents
 
     def _wire_tracer(self, tracer: Tracer, interpreter, process) -> None:
         """Switch the tracer onto the machine clock, point the runtime at

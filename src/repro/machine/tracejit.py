@@ -1534,14 +1534,17 @@ class TraceInterpreter(FastInterpreter):
         tracer = runtime.tracer if runtime is not None else None
         # Specialization bakes per-site region parameters; it must sit
         # out when there is nothing to bake (no runtime), when the
-        # mechanism has no steady-state cost to bake, or when a
+        # mechanism has no steady-state cost to bake, when a
         # fine-detail tracer expects one instant per guard check (the
-        # specialized hit emits none).
+        # specialized hit emits none), or in safety mode — the
+        # specialized hit elides the runtime call that performs the
+        # liveness check, so safety falls back to generic guards.
         specialize = (
             runtime is not None
             and runtime.region_cache_enabled
             and runtime.guard.name in _SPECIALIZABLE
             and not (tracer is not None and tracer.fine)
+            and runtime.safety is None
         )
         mech_name = runtime.guard.name if specialize else ""
         has_tier = self._tier_boundary is not None

@@ -258,6 +258,10 @@ class Scheduler:
                     chunk_budget=config.chunk_budget,
                 )
             )
+        if config.agents and kernel.agents is None:
+            from repro.agents import AgentMediator
+
+            kernel.attach_agents(AgentMediator(kernel))
         self.sanitizer = _make_sanitizer(config.sanitize, None, kernel)
 
         interpreter_class = _interpreter_class(config.engine)
@@ -271,6 +275,18 @@ class Scheduler:
                 share=self.share,
             )
             process.name = spec.name
+            if config.safety and process.runtime is not None:
+                process.runtime.enable_safety()
+            if config.agents:
+                from repro.agents import DmaAgent
+
+                for agent_index in range(config.agents):
+                    agent = DmaAgent(
+                        name=f"dma{process.pid}.{agent_index}",
+                        burst=config.agent_burst,
+                    )
+                    agent.target(process)
+                    kernel.agents.register(agent)
             interpreter = interpreter_class(process, kernel)
             if hasattr(interpreter, "set_trace_tuning"):
                 interpreter.set_trace_tuning(
@@ -366,6 +382,10 @@ class Scheduler:
             # Every tenant is at a safepoint between rounds; advance
             # the incremental move pipeline one bounded chunk.
             kernel.move_queue.step()
+        if kernel.agents is not None:
+            # Same safepoint guarantee covers the translation clients:
+            # each registered agent streams one burst per round.
+            kernel.agents.step()
         return any(not tenant.done for tenant in self.tenants)
 
     def finish(self) -> ScheduleResult:

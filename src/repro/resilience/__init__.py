@@ -22,6 +22,7 @@ from repro.resilience.journal import (
     STEP_NEGOTIATE,
     STEP_PATCH_ESCAPES,
     STEP_PATCH_REGISTERS,
+    STEP_QUIESCE_AGENTS,
     STEP_REBASE_TRACKING,
     STEP_REGION_INSTALL,
     STEP_REGION_PERMS,
@@ -70,6 +71,7 @@ __all__ = [
     "STEP_NEGOTIATE",
     "STEP_PATCH_ESCAPES",
     "STEP_PATCH_REGISTERS",
+    "STEP_QUIESCE_AGENTS",
     "STEP_REBASE_TRACKING",
     "STEP_REGION_INSTALL",
     "STEP_REGION_PERMS",

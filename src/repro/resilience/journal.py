@@ -26,6 +26,7 @@ from repro.errors import RollbackError
 
 STEP_WORLD_STOP = "world-stop"          # steps 1-3: signal, dump, barrier
 STEP_NEGOTIATE = "negotiate"            # step 4: page-set expansion
+STEP_QUIESCE_AGENTS = "quiesce-agents"  # drain translation-client leases
 STEP_RESERVE = "reserve-destination"    # kernel allocates the target range
 STEP_ESCAPE_FLUSH = "escape-flush"      # batched records resolved
 STEP_PATCH_ESCAPES = "patch-escapes"    # steps 5-8: swizzle escaped pointers
@@ -44,6 +45,7 @@ STEP_RESUME = "resume"                  # step 12: completion + threads resume
 PAGE_MOVE_STEPS = (
     STEP_WORLD_STOP,
     STEP_NEGOTIATE,
+    STEP_QUIESCE_AGENTS,
     STEP_RESERVE,
     STEP_ESCAPE_FLUSH,
     STEP_PATCH_ESCAPES,
@@ -75,7 +77,13 @@ PROTECTION_STEPS = (STEP_WORLD_STOP, STEP_REGION_PERMS, STEP_RESUME)
 #: Steps with a mid-step progress hook, where a ``torn`` fault can land
 #: between items (half the escapes patched, half the bytes copied, ...).
 TORN_CAPABLE_STEPS = frozenset(
-    {STEP_PATCH_ESCAPES, STEP_PATCH_REGISTERS, STEP_COPY_DATA, STEP_REBASE_TRACKING}
+    {
+        STEP_QUIESCE_AGENTS,
+        STEP_PATCH_ESCAPES,
+        STEP_PATCH_REGISTERS,
+        STEP_COPY_DATA,
+        STEP_REBASE_TRACKING,
+    }
 )
 
 

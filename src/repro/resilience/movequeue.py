@@ -50,7 +50,12 @@ from typing import Deque, List, Optional, Tuple
 
 from repro.errors import MoveError, ReproError, RollbackError
 from repro.resilience.degrade import MoveFailure
-from repro.resilience.journal import STEP_NEGOTIATE, STEP_RESERVE, STEP_RESUME
+from repro.resilience.journal import (
+    STEP_NEGOTIATE,
+    STEP_QUIESCE_AGENTS,
+    STEP_RESERVE,
+    STEP_RESUME,
+)
 from repro.resilience.retry import InjectedFault, StepTimeout
 from repro.resilience.transaction import MoveTransaction, install_move_metadata
 
@@ -170,13 +175,14 @@ class MoveQueue:
         try:
             self.kernel._check_admission(
                 request.process, "page-move", request.lo, request.hi,
-                reason=request.reason,
+                reason=request.reason, destination=request.destination,
             )
         except MoveError:
-            self.kernel.frames.free_address(
-                request.destination, request.page_count
-            )
-            request.destination_claimed = False
+            if request.destination_claimed:
+                self.kernel.frames.free_address(
+                    request.destination, request.page_count
+                )
+                request.destination_claimed = False
             self.stats.refused += 1
             return False
         self.pending.append(request)
@@ -306,7 +312,7 @@ class MoveQueue:
         try:
             self.kernel._check_admission(
                 request.process, "page-move", request.lo, request.hi,
-                reason=request.reason,
+                reason=request.reason, destination=request.destination,
             )
         except MoveError:
             self._drop(request)
@@ -463,6 +469,18 @@ class MoveQueue:
         kernel = self.kernel
         txn = batch.txn
         txn.world_stop(self.thread_count, reuse_existing=True)
+        # Drain translation-client leases over every batched source range
+        # before the flip rebases it (journaled: rollback re-grants every
+        # drained lease).  The step fires even with no mediator attached
+        # so the fault campaign reaches it on the queued path too.
+        txn.enter(STEP_QUIESCE_AGENTS)
+        if kernel.agents is not None:
+            for item in batch.items:
+                kernel.agents.quiesce_for_move(
+                    txn, item.request.process, item.plan.lo, item.plan.hi
+                )
+        else:
+            txn.enter(STEP_QUIESCE_AGENTS, (1, 1))
         flip_total = 0
         flipped = []
         for item in batch.items:

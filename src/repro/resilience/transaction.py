@@ -34,6 +34,7 @@ from repro.resilience.journal import (
     STEP_ESCAPE_FLUSH,
     STEP_KERNEL_METADATA,
     STEP_NEGOTIATE,
+    STEP_QUIESCE_AGENTS,
     STEP_REGION_INSTALL,
     STEP_REGION_PERMS,
     STEP_RELEASE_FRAMES,
@@ -397,6 +398,18 @@ def execute_page_move(
         f"negotiated source range [{plan.lo:#x}, {plan.hi:#x})"
         + (" (expanded)" if plan.expanded else ""),
     )
+
+    # Quiesce translation clients: any agent streaming the negotiated
+    # range guard-free must drain its lease before a single byte moves
+    # (SPARTA's contract).  The step fires even with no mediator
+    # attached so the fault campaign always has this surface; drained
+    # leases are journaled (rollback re-grants them), and a client that
+    # refuses raises a non-transient QuiesceFailure — the move degrades.
+    txn.enter(STEP_QUIESCE_AGENTS)
+    if kernel.agents is not None:
+        kernel.agents.quiesce_for_move(txn, process, plan.lo, plan.hi)
+    else:
+        txn.enter(STEP_QUIESCE_AGENTS, (1, 1))
 
     # Reserve the destination.  The transaction owns it either way: a
     # kernel-allocated range is allocated here; a caller-claimed range is

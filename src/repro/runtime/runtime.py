@@ -20,7 +20,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ProtectionFault
+from repro.errors import ProtectionFault, SafetyFault
 from repro.machine.costs import DEFAULT_COSTS, CostModel
 from repro.runtime.allocation_table import Allocation, AllocationTable
 from repro.runtime.escape_map import AllocationToEscapeMap
@@ -180,6 +180,25 @@ class CaratRuntime:
         #: High-water mark of the tracking structures (Figure 6 reports
         #: the footprint the run *needed*, not what is live at exit).
         self.peak_tracking_bytes = 0
+        #: Attached :class:`~repro.runtime.safety.SafetyChecker`
+        #: (``--safety`` mode); ``None`` keeps every guard path — and
+        #: every fingerprinted cycle — exactly as before.
+        self.safety = None
+
+    def enable_safety(self, toolchain: Optional[str] = None):
+        """Turn on CryptSan-style guard-time memory safety: every
+        allowed access is additionally checked against allocation-table
+        liveness, and violations raise
+        :class:`~repro.errors.SafetyFault` with HMAC provenance tags.
+        Returns the attached checker."""
+        from repro.runtime.safety import SafetyChecker
+
+        if self.safety is None:
+            if toolchain is None:
+                self.safety = SafetyChecker(self)
+            else:
+                self.safety = SafetyChecker(self, toolchain)
+        return self.safety
 
     # ------------------------------------------------------------------
     # Tracking callbacks (carat.alloc / carat.free / carat.escape)
@@ -199,6 +218,8 @@ class CaratRuntime:
                 if window.overlaps(address, max(1, size)):
                     window.structurally_dirty = True
         allocation = self.table.add(address, size, kind)
+        if self.safety is not None:
+            self.safety.note_alloc(allocation)
         self._note_footprint()
         tracer = self.tracer
         if tracer is not None and tracer.fine:
@@ -221,6 +242,8 @@ class CaratRuntime:
                 if window.overlaps(allocation.address, allocation.size):
                     window.structurally_dirty = True
         if allocation is not None:
+            if self.safety is not None:
+                self.safety.note_free(allocation)
             count = self.escapes.escape_count(allocation)
             self._lifetime_escape_counts[count] = (
                 self._lifetime_escape_counts.get(count, 0) + 1
@@ -355,6 +378,27 @@ class CaratRuntime:
                 cell.fill(regions, outcome.region, gen)
         return outcome
 
+    def _safety_scan(
+        self, address: int, size: int, access: str, cycles: int
+    ) -> int:
+        """Safety-mode liveness check for an access the region guard
+        already allowed.  Returns the cycle total including the check;
+        on a violation, finalizes this guard's accounting (cycles,
+        fault count, trace instant) and raises
+        :class:`~repro.errors.SafetyFault`."""
+        safety = self.safety
+        cycles += safety.check_cycles
+        violation = safety.scan(address, size, access)
+        if violation is None:
+            return cycles
+        self.stats.guard_cycles += cycles
+        self.stats.guard_faults += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "guard.safety-fault", "guard", violation.to_dict()
+            )
+        raise SafetyFault(violation)
+
     def guard_access(
         self,
         address: int,
@@ -370,6 +414,8 @@ class CaratRuntime:
         cycles = outcome.cycles
         if self._move_windows:
             cycles += self._window_toll(address, size, access)
+        if outcome.allowed and self.safety is not None:
+            cycles = self._safety_scan(address, size, access, cycles)
         self.stats.guard_cycles += cycles
         tracer = self.tracer
         if not outcome.allowed:
@@ -406,6 +452,8 @@ class CaratRuntime:
         cycles = outcome.cycles
         if self._move_windows:
             cycles += self._window_toll(address, length, access)
+        if outcome.allowed and self.safety is not None:
+            cycles = self._safety_scan(address, length, access, cycles)
         self.stats.guard_cycles += cycles
         tracer = self.tracer
         if not outcome.allowed:
@@ -438,6 +486,8 @@ class CaratRuntime:
         cycles = outcome.cycles
         if self._move_windows:
             cycles += self._window_toll(base, frame_size, "write")
+        if outcome.allowed and self.safety is not None:
+            cycles = self._safety_scan(base, frame_size, "write", cycles)
         self.stats.guard_cycles += cycles
         tracer = self.tracer
         if tracer is not None and outcome.allowed and tracer.fine:

@@ -502,6 +502,74 @@ def _rule_heap(ctx: CheckContext, report: SanitizerReport) -> None:
 
 
 # ----------------------------------------------------------------------
+# Translation-client leases (DMA pinning)
+# ----------------------------------------------------------------------
+
+
+def _rule_dma_pin(ctx: CheckContext, report: SanitizerReport) -> None:
+    """Guard-free agents make the lease table load-bearing:
+
+    * every live lease must be backed — inside a kernel-permitted
+      region of its process, over allocated frames (an agent streaming
+      an unbacked range reads bytes nobody owns);
+    * **no move may land inside a live lease**: a queued or in-flight
+      destination overlapping a lease would copy bytes onto the exact
+      range an agent is streaming without guards.  Source overlap is
+      legal — the ``quiesce-agents`` protocol step drains it — but a
+      destination overlap has no drain point, which is why admission
+      refuses it and the ``move_into_lease`` fault (which forges a
+      request past admission) must be caught here.
+    """
+    kernel = ctx.kernel
+    agents = getattr(kernel, "agents", None)
+    if agents is None:
+        return
+    frames = kernel.frames
+    for lease in agents.live_leases():
+        process = kernel.processes.get(lease.pid)
+        if process is None or process.regions is None:
+            report.add(
+                "dma-pin",
+                f"{lease.describe()} names pid {lease.pid}, which is not "
+                f"a live CARAT process",
+                pid=lease.pid,
+                subject=lease.lo,
+            )
+            continue
+        if not process.regions.check(lease.lo, lease.length, lease.access):
+            report.add(
+                "dma-pin",
+                f"{lease.describe()} is no longer inside a "
+                f"kernel-permitted region",
+                pid=lease.pid,
+                subject=lease.lo,
+            )
+        for frame in range(lease.lo // PAGE_SIZE,
+                           (lease.hi - 1) // PAGE_SIZE + 1):
+            if frames.frame_is_free(frame):
+                report.add(
+                    "dma-pin",
+                    f"{lease.describe()} covers free frame {frame} — the "
+                    f"agent is streaming unowned memory",
+                    pid=lease.pid,
+                    subject=frame * PAGE_SIZE,
+                )
+                break
+    move_queue = getattr(kernel, "move_queue", None)
+    if move_queue is not None:
+        for dest_lo, dest_hi in move_queue.destination_ranges():
+            for lease in agents.leases_overlapping(dest_lo, dest_hi):
+                report.add(
+                    "dma-pin",
+                    f"queued move destination [{dest_lo:#x}, {dest_hi:#x}) "
+                    f"overlaps {lease.describe()} — the flip would land "
+                    f"bytes under an active guard-free stream",
+                    pid=lease.pid,
+                    subject=dest_lo,
+                )
+
+
+# ----------------------------------------------------------------------
 # The checker
 # ----------------------------------------------------------------------
 
@@ -519,6 +587,7 @@ DEFAULT_RULES: List[Tuple[str, Rule]] = [
     ("frame-ownership", _rule_frame_ownership),
     ("shared-cow", _rule_shared_cow),
     ("heap", _rule_heap),
+    ("dma-pin", _rule_dma_pin),
 ]
 
 

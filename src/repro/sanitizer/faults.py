@@ -145,6 +145,44 @@ class FaultInjector:
         self.injected.append(f"leak-frame: frame {frame}")
         return frame
 
+    # -- translation-client leases ----------------------------------------
+
+    def move_into_lease(self, process) -> int:
+        """Forge a queued move whose *destination* sits inside a live
+        translation-client lease, bypassing the admission check that
+        refuses exactly this (the way a racing enqueue-vs-translate bug
+        would).  The flip would land bytes under an agent's guard-free
+        stream.  Detected by ``dma-pin``."""
+        from repro.resilience.movequeue import MoveRequest
+
+        agents = self.kernel.agents
+        queue = self.kernel.move_queue
+        if agents is None:
+            raise ValueError("kernel has no AgentMediator attached")
+        if queue is None:
+            raise ValueError("kernel has no MoveQueue attached")
+        leases = agents.live_leases()
+        if not leases:
+            raise ValueError("no live lease to collide with")
+        lease = leases[0]
+        destination = lease.lo & ~(PAGE_SIZE - 1)
+        victim = next(
+            a for a in process.runtime.table if a.kind == "heap" and a.live
+        )
+        forged = MoveRequest(
+            process=process,
+            lo=victim.address & ~(PAGE_SIZE - 1),
+            page_count=1,
+            destination=destination,
+            destination_claimed=True,
+        )
+        queue.pending.append(forged)  # straight past enqueue()'s admission
+        self.injected.append(
+            f"move-into-lease: destination {destination:#x} inside "
+            f"{lease.describe()}"
+        )
+        return destination
+
     # -- CoW sharing ------------------------------------------------------
 
     def corrupt_cow_share(self, process) -> int:

@@ -1,0 +1,75 @@
+"""DMA-driver workload: a program that computes while agents stream.
+
+SPARTA's scenario is a host program producing buffers an accelerator
+consumes asynchronously.  ``dmastream`` is the host side: it fills a
+ring of heap buffers with a rolling pattern, repeatedly rewrites them
+(so escapes and the allocation table stay busy), and periodically
+retires and reallocates one buffer — the churn that makes the kernel
+*want* to move pages while :class:`~repro.agents.DmaAgent` instances
+hold leases over them.  Run it with ``--agents N`` to get the full
+producer/consumer picture; the program itself is agent-oblivious (its
+output is identical with agents on or off, which tests assert).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.suite import Workload, _tier, register
+
+
+@register("dmastream")
+def dmastream(scale: str) -> Workload:
+    buffers = _tier(scale, 4, 8, 12)
+    slots = _tier(scale, 64, 256, 1024)
+    rounds = _tier(scale, 6, 12, 24)
+    source = f"""
+// dmastream: refill a ring of DMA-candidate buffers while agents read.
+long BUFFERS = {buffers};
+long SLOTS = {slots};
+long ROUNDS = {rounds};
+
+void fill(long *buf, long n, long salt) {{
+  long i;
+  for (i = 0; i < n; i++) {{ buf[i] = salt * 1315423911 + i * 2654435761; }}
+}}
+
+long fold(long *buf, long n) {{
+  long acc = 0;
+  long i;
+  for (i = 0; i < n; i++) {{ acc = acc + buf[i] * (i + 1); }}
+  return acc;
+}}
+
+void main() {{
+  long **ring = (long**)malloc(sizeof(long*) * BUFFERS);
+  long b;
+  for (b = 0; b < BUFFERS; b++) {{
+    ring[b] = (long*)malloc(sizeof(long) * SLOTS);
+    fill(ring[b], SLOTS, b + 1);
+  }}
+  long total = 0;
+  long round;
+  for (round = 0; round < ROUNDS; round++) {{
+    for (b = 0; b < BUFFERS; b++) {{
+      fill(ring[b], SLOTS, round * BUFFERS + b);
+      total = total + fold(ring[b], SLOTS);
+    }}
+    // Retire one buffer per round and mint a fresh one: allocation
+    // churn under the agents' feet.
+    long victim = round - (round / BUFFERS) * BUFFERS;
+    free((char*)ring[victim]);
+    ring[victim] = (long*)malloc(sizeof(long) * SLOTS);
+    fill(ring[victim], SLOTS, round + 7);
+  }}
+  for (b = 0; b < BUFFERS; b++) {{ total = total + fold(ring[b], SLOTS); }}
+  print_long(total);
+  for (b = 0; b < BUFFERS; b++) {{ free((char*)ring[b]); }}
+  free((char*)ring);
+}}
+"""
+    return Workload(
+        name="dmastream",
+        suite="service",
+        description="buffer-ring producer for DMA/accelerator agents",
+        behavior="streaming-churn",
+        source=source,
+    )

@@ -74,7 +74,7 @@ def _tier(scale: str, tiny: int, small: int, medium: int) -> int:
 
 # Import the suite modules for their registration side effects.
 def _load_all() -> None:
-    from repro.workloads import mantevo, nas, parsec, service, spec  # noqa: F401
+    from repro.workloads import dma, mantevo, nas, parsec, service, spec  # noqa: F401
 
 
 _load_all()

@@ -1,0 +1,421 @@
+"""Translation clients: mediated leases, DMA streaming, and the
+quiesce-vs-degradation contract of the ``quiesce-agents`` move step.
+
+The acceptance bar, per scenario:
+
+* a cooperative agent's lease over a move's source range is *drained*
+  at the journaled quiesce step; if the move later rolls back, the
+  journal undo re-grants the lease and the agent resumes mid-cursor;
+* an uncooperative agent (refuses every quiesce) must *degrade* the
+  move — rollback, destination frames freed, range quarantined, no
+  leak — on both the serial path and the queued/batched path;
+* no move may land *inside* a live lease: admission refuses such
+  destinations, and the sanitizer's ``dma-pin`` rule catches one forged
+  straight past admission (``FaultInjector.move_into_lease``).
+"""
+
+import pytest
+
+from repro.agents import AgentMediator, DmaAgent, Lease, TranslationClient
+from repro.carat import compile_carat
+from repro.errors import KernelError, MoveError, QuiesceFailure
+from repro.kernel import Kernel, PAGE_SIZE
+from repro.machine.session import CaratSession, RunConfig
+from repro.resilience import DegradationManager, MoveQueue, MoveRequest, RetryPolicy
+from repro.sanitizer import InvariantChecker
+from repro.sanitizer.faults import FaultInjector
+from tests.conftest import LINKED_LIST_SOURCE
+from tests.support import run_carat
+
+EXPECTED_OUTPUT = [str(sum(range(40)))]
+
+HEAP_PROGRAM = """
+long N = 600;
+void main() {
+  long *a = (long*)malloc(sizeof(long) * N);
+  long *b = (long*)malloc(sizeof(long) * N);
+  long i; long s = 0;
+  for (i = 0; i < N; i++) { a[i] = i * 3; b[i] = i * 5; }
+  for (i = 0; i < N; i++) { s = s + a[i] + b[i]; }
+  print_long(s);
+}
+"""
+
+
+def _loaded(source=HEAP_PROGRAM):
+    """A kernel + CARAT process that has *run to completion* (so its
+    heap allocations are live in the table) + an attached mediator."""
+    from repro.machine.interp import Interpreter
+
+    kernel = Kernel()
+    binary = compile_carat(source, module_name="agents")
+    process = kernel.load_carat(binary)
+    Interpreter(process, kernel).run("main")
+    mediator = AgentMediator(kernel)
+    kernel.attach_agents(mediator)
+    return kernel, process, mediator
+
+
+def _first_heap_allocation(process):
+    heap = sorted(
+        (a for a in process.runtime.table if a.kind == "heap" and a.live),
+        key=lambda a: a.address,
+    )
+    assert heap, "program has no live heap allocations"
+    return heap[0]
+
+
+# ---------------------------------------------------------------------------
+# Mediator and lease mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestMediator:
+    def test_register_rejects_duplicate_names(self):
+        _, _, mediator = _loaded()
+        mediator.register(DmaAgent(name="dma0"))
+        with pytest.raises(KernelError, match="already registered"):
+            mediator.register(DmaAgent(name="dma0"))
+
+    def test_unregister_releases_client_leases(self):
+        kernel, process, mediator = _loaded()
+        agent = mediator.register(DmaAgent(name="dma0"))
+        allocation = _first_heap_allocation(process)
+        mediator.translate(agent, process, allocation.address, allocation.size)
+        assert len(mediator.live_leases()) == 1
+        mediator.unregister("dma0")
+        assert mediator.live_leases() == []
+        with pytest.raises(KernelError, match="no client"):
+            mediator.unregister("dma0")
+
+    def test_translate_validates_against_the_tables(self):
+        kernel, process, mediator = _loaded()
+        agent = mediator.register(DmaAgent(name="dma0"))
+        allocation = _first_heap_allocation(process)
+        with pytest.raises(KernelError, match="empty"):
+            mediator.translate(agent, process, allocation.address, 0)
+        outsider = DmaAgent(name="ghost")
+        with pytest.raises(KernelError, match="not registered"):
+            mediator.translate(outsider, process, allocation.address, 8)
+        # Outside every region: far past the capsule.
+        with pytest.raises(KernelError, match="outside every"):
+            mediator.translate(agent, process, 2**40, 8)
+        # Region-legal but not backed by a live allocation: free heap
+        # space past the last allocation.
+        free_heap = allocation.address + allocation.size + 4 * PAGE_SIZE
+        with pytest.raises(KernelError, match="not backed"):
+            mediator.translate(agent, process, free_heap, 8)
+
+    def test_lease_overlap_queries(self):
+        kernel, process, mediator = _loaded()
+        agent = mediator.register(DmaAgent(name="dma0"))
+        allocation = _first_heap_allocation(process)
+        lease = mediator.translate(
+            agent, process, allocation.address, allocation.size
+        )
+        assert lease.length == allocation.size
+        assert mediator.leases_overlapping(lease.lo, lease.hi) == [lease]
+        assert mediator.leases_overlapping(lease.hi, lease.hi + 8) == []
+        assert mediator.leases_overlapping(lease.lo, lease.hi, pid=999) == []
+        assert mediator.leases_of("dma0") == [lease]
+        mediator.release(lease)
+        assert not lease.live
+        assert mediator.live_leases() == []
+
+
+# ---------------------------------------------------------------------------
+# DMA streaming through a real run
+# ---------------------------------------------------------------------------
+
+
+class TestDmaStreaming:
+    def test_agents_stream_and_output_is_agent_oblivious(self):
+        config = RunConfig(name="dmastream", agents=2, agent_burst=128)
+        from repro.workloads import get_workload
+
+        workload = get_workload("dmastream", "tiny")
+        plain = CaratSession(RunConfig(name="dmastream")).run(workload.source)
+        result = CaratSession(config).run(workload.source)
+        assert result.output == plain.output
+        assert result.exit_code == 0
+        mediator = result.kernel.agents
+        assert mediator is not None
+        for client in mediator.clients.values():
+            assert client.leases_taken > 0
+            assert client.bytes_streamed > 0
+            assert client.checksum > 0
+
+    def test_streamed_bytes_checksum_matches_memory_contents(self):
+        kernel, process, mediator = _loaded()
+        agent = mediator.register(DmaAgent(name="dma0", burst=32))
+        agent.target(process)
+        allocation = _first_heap_allocation(process)
+        # Step until the first lease is fully streamed.
+        for _ in range(2 + allocation.size // 32):
+            mediator.step()
+            if agent.leases_taken and agent.lease is None:
+                break
+        assert agent.bytes_streamed >= allocation.size
+        expected = 0
+        for byte in kernel.memory.read_bytes(allocation.address, allocation.size):
+            expected = (expected * 131 + byte) % (1 << 61)
+        assert agent.checksum == expected
+
+
+# ---------------------------------------------------------------------------
+# Quiesce: drain + journaled re-grant
+# ---------------------------------------------------------------------------
+
+
+class TestQuiesceDrain:
+    def _leased_victim(self):
+        kernel, process, mediator = _loaded()
+        agent = mediator.register(DmaAgent(name="dma0"))
+        agent.target(process)
+        mediator.step()  # acquires a lease over the first heap allocation
+        lease = agent.lease
+        assert lease is not None and lease.live
+        return kernel, process, mediator, agent, lease
+
+    def test_move_over_lease_drains_it_and_commits(self):
+        kernel, process, mediator, agent, lease = self._leased_victim()
+        page = lease.lo & ~(PAGE_SIZE - 1)
+        kernel.request_page_move(process, page)
+        assert agent.leases_drained == 1
+        assert not lease.live
+        assert mediator.live_leases() == []
+        assert any("drained" in entry for entry in mediator.quiesce_log)
+        assert kernel.stats.moves_committed == 1
+
+    def test_rollback_regrants_the_drained_lease(self):
+        from repro.sanitizer.faults import FaultPoint, ProtocolFaultInjector
+
+        kernel, process, mediator, agent, lease = self._leased_victim()
+        # Crash *after* the quiesce drain; the journal undo must re-grant.
+        kernel.attach_fault_injector(
+            ProtocolFaultInjector(
+                [FaultPoint("copy-data", "crash", persistent=True)]
+            )
+        )
+        kernel.retry_policy = RetryPolicy(max_attempts=2)
+        kernel.attach_degradation(DegradationManager())
+        page = lease.lo & ~(PAGE_SIZE - 1)
+        with pytest.raises(MoveError):
+            kernel.request_page_move(process, page)
+        # Every attempt drained the lease and every rollback re-granted it.
+        assert lease.live
+        assert mediator.live_leases() == [lease]
+        assert agent.lease is lease  # on_regrant resumed the stream
+        assert agent.leases_drained == 2
+        assert InvariantChecker().check_kernel(kernel).ok
+
+
+# ---------------------------------------------------------------------------
+# Degradation: an uncooperative agent must degrade the move, not hang it
+# ---------------------------------------------------------------------------
+
+
+class TestQuiesceDegradation:
+    def test_serial_move_degrades_without_leaking(self):
+        kernel, process, mediator = _loaded()
+        agent = mediator.register(DmaAgent(name="dma0", uncooperative=True))
+        agent.target(process)
+        mediator.step()
+        lease = agent.lease
+        assert lease is not None
+        kernel.retry_policy = RetryPolicy(max_attempts=3)
+        manager = DegradationManager()
+        kernel.attach_degradation(manager)
+        page = lease.lo & ~(PAGE_SIZE - 1)
+        free_before = kernel.frames.free_frames
+        with pytest.raises(MoveError) as error:
+            kernel.request_page_move(process, page)
+        # QuiesceFailure is non-transient: one attempt, no retries.
+        assert error.value.attempts == 1
+        assert error.value.failure is manager.failures[0]
+        assert "refused" in manager.failures[0].error
+        assert manager.is_quarantined(error.value.lo, error.value.hi)
+        assert agent.quiesces_refused == 1
+        assert lease.live  # the refused lease was never revoked
+        # Destination freed on rollback: no frame leak.
+        assert kernel.frames.free_frames == free_before
+        assert kernel.stats.moves_degraded == 1
+        assert kernel.stats.moves_committed == 0
+        assert InvariantChecker().check_kernel(kernel).ok
+
+    def test_queued_move_degrades_without_leaking(self):
+        kernel, process, mediator = _loaded()
+        agent = mediator.register(DmaAgent(name="dma0", uncooperative=True))
+        agent.target(process)
+        mediator.step()
+        lease = agent.lease
+        assert lease is not None
+        kernel.retry_policy = RetryPolicy(max_attempts=3)
+        manager = DegradationManager()
+        kernel.attach_degradation(manager)
+        queue = MoveQueue(kernel, batch_size=2)
+        kernel.attach_move_queue(queue)
+        page = lease.lo & ~(PAGE_SIZE - 1)
+        # Size the request from the patcher's plan: a request smaller
+        # than the allocation it covers would drop as stale, not degrade.
+        plan = process.runtime.patcher.plan_move(page, page + PAGE_SIZE)
+        hole = next(
+            start
+            for start, length in reversed(kernel.frames.free_runs(None))
+            if length >= plan.page_count
+        )
+        assert kernel.frames.alloc_at(hole, plan.page_count)
+        free_before = kernel.frames.free_frames
+        assert queue.enqueue(
+            MoveRequest(
+                process=process,
+                lo=plan.lo,
+                page_count=plan.page_count,
+                destination=hole * PAGE_SIZE,
+            )
+        )
+        queue.drain_all()
+        assert queue.stats.serviced == 0
+        assert queue.stats.degraded == 1
+        assert len(manager.failures) == 1
+        assert manager.is_quarantined(
+            manager.failures[0].lo, manager.failures[0].hi
+        )
+        assert lease.live
+        assert kernel.stats.moves_degraded == 1
+        assert InvariantChecker().check_kernel(kernel).ok
+
+    def test_uncooperative_agent_does_not_corrupt_a_full_run(self):
+        """End to end: the linked-list program runs while an
+        uncooperative agent pins its heap and a mid-run move is
+        requested — the move degrades, the program's output is
+        bit-identical, and the sanitizer stays clean."""
+        kernel = Kernel()
+        kernel.retry_policy = RetryPolicy(max_attempts=2)
+        kernel.attach_degradation(DegradationManager())
+        mediator = AgentMediator(kernel)
+        kernel.attach_agents(mediator)
+        caught = []
+        done = []
+
+        def setup(interpreter):
+            interpreter.set_tick_interval(200)
+            agent = mediator.register(
+                DmaAgent(name="dma0", uncooperative=True)
+            )
+            agent.target(interpreter.process)
+
+            def hook(interp):
+                mediator.step()
+                if done or interp.stats.instructions < 600:
+                    return
+                if agent.lease is None:
+                    return
+                done.append(True)
+                process = interp.process
+                snaps = interp.register_snapshots()
+                try:
+                    kernel.request_page_move(
+                        process,
+                        agent.lease.lo & ~(PAGE_SIZE - 1),
+                        register_snapshots=snaps,
+                    )
+                    interp.apply_snapshots(snaps)
+                except MoveError as exc:
+                    caught.append(exc)
+
+            interpreter.tick_hook = hook
+
+        result = run_carat(
+            LINKED_LIST_SOURCE, kernel=kernel, setup=setup, sanitize=True
+        )
+        assert done, "the move was never requested"
+        assert result.exit_code == 0
+        assert result.output == EXPECTED_OUTPUT
+        assert len(caught) == 1
+        assert kernel.stats.moves_degraded == 1
+
+
+# ---------------------------------------------------------------------------
+# Admission + the dma-pin sanitizer rule
+# ---------------------------------------------------------------------------
+
+
+class TestDmaPin:
+    def test_admission_refuses_destination_inside_live_lease(self):
+        kernel, process, mediator = _loaded()
+        agent = mediator.register(DmaAgent(name="dma0"))
+        agent.target(process)
+        mediator.step()
+        lease = agent.lease
+        assert lease is not None
+        queue = MoveQueue(kernel)
+        kernel.attach_move_queue(queue)
+        victim = sorted(
+            (a for a in process.runtime.table if a.kind == "heap" and a.live),
+            key=lambda a: a.address,
+        )[-1]
+        destination = lease.lo & ~(PAGE_SIZE - 1)
+        source = victim.address & ~(PAGE_SIZE - 1)
+        # Admission control itself raises with the lease in the message.
+        with pytest.raises(MoveError) as refused:
+            kernel._check_admission(
+                process,
+                "page-move",
+                source,
+                source + PAGE_SIZE,
+                destination=destination,
+            )
+        assert refused.value.step == "admission"
+        assert "lease" in str(refused.value)
+        # The queue's producer path maps that to a refusal: nothing is
+        # enqueued, and the (unclaimed, lease-owned) destination frames
+        # are left alone.
+        free_before = kernel.frames.free_frames
+        assert not queue.enqueue(
+            MoveRequest(
+                process=process,
+                lo=source,
+                page_count=1,
+                destination=destination,
+                destination_claimed=False,
+            )
+        )
+        assert queue.stats.refused == 1
+        assert queue.stats.enqueued == 0
+        assert kernel.frames.free_frames == free_before
+
+    def test_forged_move_into_lease_trips_the_dma_pin_rule(self):
+        kernel, process, mediator = _loaded()
+        agent = mediator.register(DmaAgent(name="dma0"))
+        agent.target(process)
+        mediator.step()
+        assert agent.lease is not None
+        queue = MoveQueue(kernel)
+        kernel.attach_move_queue(queue)
+        checker = InvariantChecker()
+        assert checker.check_kernel(kernel).ok
+
+        injector = FaultInjector(kernel)
+        destination = injector.move_into_lease(process)
+        assert destination == agent.lease.lo & ~(PAGE_SIZE - 1)
+        report = checker.check_kernel(kernel)
+        assert not report.ok
+        rules = {violation.rule for violation in report.errors}
+        assert "dma-pin" in rules
+
+    def test_dma_pin_rule_flags_lease_over_freed_frames(self):
+        kernel, process, mediator = _loaded()
+        agent = mediator.register(DmaAgent(name="dma0"))
+        agent.target(process)
+        mediator.step()
+        lease = agent.lease
+        assert lease is not None
+        checker = InvariantChecker()
+        assert checker.check_kernel(kernel).ok
+        # Forge the backing away: free the lease's frames behind the
+        # mediator's back.
+        kernel.frames.free_address(lease.lo & ~(PAGE_SIZE - 1), 1)
+        report = checker.check_kernel(kernel)
+        assert not report.ok
+        assert any(v.rule == "dma-pin" for v in report.errors)

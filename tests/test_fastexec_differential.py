@@ -21,7 +21,7 @@ from repro.carat.pipeline import CompileOptions, compile_carat
 from repro.errors import ProtectionFault
 from repro.kernel.kernel import Kernel
 from repro.kernel.physmem import PhysicalMemory
-from repro.machine.executor import run_carat, run_traditional
+from tests.support import run_carat, run_traditional
 from repro.machine.fastexec import compile_module
 from repro.machine.session import CaratSession, RunConfig
 from repro.runtime import (

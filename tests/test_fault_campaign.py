@@ -28,7 +28,7 @@ from hypothesis import strategies as st
 from repro.carat import compile_carat
 from repro.errors import MoveError
 from repro.kernel import Kernel, PAGE_SIZE
-from repro.machine.executor import run_carat
+from tests.support import run_carat
 from repro.resilience import (
     ALLOCATION_MOVE_STEPS,
     DegradationManager,
@@ -259,6 +259,7 @@ def test_quarantined_range_refused_at_admission(binary):
 #: running), and the flip/install steps under the batched stop.
 QUEUE_FAULT_STEPS = [
     "negotiate",
+    "quiesce-agents",
     "reserve-destination",
     "escape-flush",
     "patch-escapes",
@@ -374,11 +375,12 @@ def test_persistent_chunk_fault_degrades_and_frees_destination(binary):
     assert InvariantChecker().check_kernel(kernel).ok
 
 
-@pytest.mark.parametrize("step", ["patch-escapes", "copy-data"])
+@pytest.mark.parametrize("step", ["quiesce-agents", "patch-escapes", "copy-data"])
 def test_mid_chunk_torn_fault_recovers(binary, step):
     """Torn faults land *between two items of mid-step progress* — for
-    the queued path that means between two escapes of a chunk scan or
-    the two halves of the chunked copy."""
+    the queued path that means between two escapes of a chunk scan, the
+    two halves of the chunked copy, or the lease-drain scan of the
+    quiesce step."""
     result, kernel, queue, injector = _queued_run(
         binary, [FaultPoint(step, "torn")]
     )

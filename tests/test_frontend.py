@@ -7,7 +7,7 @@ from repro.errors import ParseError, RestrictionError, SemanticError
 from repro.frontend import analyze, compile_source, parse
 from repro.frontend.lexer import decode_char_literal, decode_string_literal, tokenize
 from repro.ir import verify_module
-from repro.machine import run_carat_baseline
+from tests.support import run_carat_baseline
 
 
 def run_src(source: str):

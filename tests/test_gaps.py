@@ -13,7 +13,7 @@ from repro.ir import (
     print_module,
 )
 from repro.ir.types import F64, I8, I64, VOID, ptr
-from repro.machine import run_carat_baseline
+from tests.support import run_carat_baseline
 
 
 def run_ir(text: str):
@@ -268,7 +268,7 @@ class TestGuardRangeHoisting:
         binary = compile_carat(
             source, CompileOptions(tracking=False), module_name="nest"
         )
-        from repro.machine import run_carat
+        from tests.support import run_carat
 
         run = run_carat(binary)
         # The range guard must execute far fewer times than the 8 outer

@@ -5,7 +5,7 @@ import pytest
 from repro.carat import CompileOptions, compile_carat
 from repro.kernel import Kernel
 from repro.kernel.pagetable import PAGE_SIZE
-from repro.machine import run_carat, run_carat_baseline
+from tests.support import run_carat, run_carat_baseline
 from repro.machine.interp import Interpreter
 
 

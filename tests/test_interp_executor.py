@@ -5,7 +5,7 @@ import pytest
 from repro.carat import compile_baseline, compile_carat
 from repro.errors import InterpError
 from repro.kernel import Kernel
-from repro.machine import run_carat, run_carat_baseline, run_traditional
+from tests.support import run_carat, run_carat_baseline, run_traditional
 from repro.machine.interp import Interpreter
 from tests.conftest import SUM_SOURCE
 

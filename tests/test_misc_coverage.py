@@ -127,7 +127,7 @@ class TestRunSummaryHarness:
         sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
         from harness import RunSummary
 
-        from repro.machine import run_carat
+        from tests.support import run_carat
         from tests.conftest import SUM_SOURCE
 
         result = run_carat(SUM_SOURCE, name="sum")

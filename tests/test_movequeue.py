@@ -22,7 +22,7 @@ import pytest
 
 from repro.carat import compile_carat
 from repro.kernel import Kernel, PAGE_SIZE
-from repro.machine.executor import run_carat
+from tests.support import run_carat
 from repro.machine.interp import Interpreter
 from repro.machine.session import RunConfig
 from repro.multiproc import FairnessArbiter, Scheduler, TenantSpec

@@ -14,7 +14,7 @@ from repro.analysis.scev import ScalarEvolution
 from repro.carat import CompileOptions, compile_carat
 from repro.carat.intrinsics import GUARD_RANGE
 from repro.frontend import compile_source
-from repro.machine import run_carat
+from tests.support import run_carat
 from repro.transform.pass_manager import optimize_module
 
 SEARCH_WITH_BREAK = """

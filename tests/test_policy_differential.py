@@ -14,7 +14,7 @@ CARAT run, while actually performing policy moves.
 import pytest
 
 from repro.kernel.kernel import Kernel
-from repro.machine.executor import run_carat
+from tests.support import run_carat
 from repro.policy import (
     CompactionDaemon,
     HeatTracker,

@@ -13,7 +13,7 @@ from repro.kernel.mmu_notifier import EventKind
 from repro.kernel.pagetable import PAGE_SHIFT, PAGE_SIZE
 from repro.kernel.physmem import FrameAllocator, PhysicalMemory
 from repro.machine.costs import CostModel
-from repro.machine.executor import run_carat
+from tests.support import run_carat
 from repro.machine.interp import Interpreter
 from repro.policy import (
     CompactionDaemon,

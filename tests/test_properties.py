@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.machine import run_carat, run_carat_baseline
+from tests.support import run_carat, run_carat_baseline
 from repro.runtime.regions import (
     PERM_READ,
     PERM_RW,

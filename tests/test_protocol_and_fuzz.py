@@ -133,7 +133,7 @@ class TestRoundTripFuzz:
         from repro.carat import compile_baseline
         from repro.ir import GlobalVariable, ConstantZero
         from repro.ir.types import ArrayType
-        from repro.machine import run_carat_baseline
+        from tests.support import run_carat_baseline
 
         def with_driver(module: Module) -> Module:
             from repro.ir.types import VOID

@@ -1,0 +1,155 @@
+"""The ``--safety`` detection matrix and its zero-false-positive flank.
+
+Safety mode (:mod:`repro.runtime.safety`) turns CARAT's allocation
+table into a CryptSan-style liveness oracle behind every guard.  These
+tests pin down both halves of its contract:
+
+* **100% detection** — every planted adversarial bug (use-after-free,
+  out-of-bounds into region-legal free space) raises
+  :class:`~repro.errors.SafetyFault` with the right structured verdict,
+  on all three execution engines.
+* **Zero false positives** — every *registered* workload (which by
+  construction contains no bug) runs bit-identically with safety on,
+  paying only the extra check cycles.
+
+The adversarial programs live outside the workload registry (see
+:mod:`repro.workloads.adversarial`) precisely so the sweep here can
+iterate ``all_workloads()`` without tripping over a planted bug.
+"""
+
+import pytest
+
+from repro.errors import SafetyFault
+from repro.runtime.safety import KIND_OOB, KIND_UAF
+from repro.workloads import all_workloads
+from repro.workloads.adversarial import (
+    EXPECTED_KINDS,
+    adversarial_names,
+    adversarial_workload,
+)
+from tests.support import run_carat
+
+ENGINES = ["reference", "fast", "trace"]
+
+#: Engines beyond the reference one are exercised on a representative
+#: subset of the registry; the full sweep runs on the reference engine.
+SWEEP_SUBSET = ["hpccg", "dmastream", "kvburst", "mcf"]
+
+
+# ---------------------------------------------------------------------------
+# Detection matrix: every planted bug fires, on every engine
+# ---------------------------------------------------------------------------
+
+
+class TestDetectionMatrix:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("name", sorted(EXPECTED_KINDS))
+    def test_planted_bug_is_detected(self, name, engine):
+        workload = adversarial_workload(name, "tiny")
+        with pytest.raises(SafetyFault) as fault:
+            run_carat(workload.source, safety=True, engine=engine, name=name)
+        violation = fault.value.violation
+        assert violation.kind == EXPECTED_KINDS[name]
+        assert violation.access == ("write" if name.endswith("write") else "read")
+        assert violation.size >= 1
+        assert violation.address > 0
+        # The structured report round-trips and the prose names the kind.
+        assert violation.to_dict()["kind"] == violation.kind
+        assert violation.kind in fault.value.violation.describe()
+
+    @pytest.mark.parametrize("name", ["uafread", "uafwrite"])
+    def test_uaf_verdict_carries_hmac_provenance(self, name):
+        workload = adversarial_workload(name, "tiny")
+        with pytest.raises(SafetyFault) as fault:
+            run_carat(workload.source, safety=True, name=name)
+        violation = fault.value.violation
+        # The freed allocation's ghost: range + signed provenance.
+        assert violation.kind == KIND_UAF
+        assert violation.allocation_base is not None
+        assert violation.allocation_size > 0
+        assert violation.allocation_kind == "heap"
+        assert violation.seq is not None
+        assert violation.tag is not None and len(violation.tag) == 16
+        int(violation.tag, 16)  # hex HMAC prefix
+        assert violation.tag in violation.describe()
+
+    @pytest.mark.parametrize("name", ["oobread", "oobwrite"])
+    def test_wild_oob_verdict_names_no_allocation(self, name):
+        workload = adversarial_workload(name, "tiny")
+        with pytest.raises(SafetyFault) as fault:
+            run_carat(workload.source, safety=True, name=name)
+        violation = fault.value.violation
+        # The wild index lands in free heap space nobody owns.
+        assert violation.kind == KIND_OOB
+        assert violation.allocation_base is None
+        assert "wild pointer" in violation.describe()
+
+    def test_detection_is_engine_independent(self):
+        """All three engines report the same verdict for the same bug —
+        address, kind, and provenance tag included."""
+        workload = adversarial_workload("uafread", "tiny")
+        verdicts = []
+        for engine in ENGINES:
+            with pytest.raises(SafetyFault) as fault:
+                run_carat(workload.source, safety=True, engine=engine)
+            verdicts.append(fault.value.violation.to_dict())
+        assert verdicts[0] == verdicts[1] == verdicts[2]
+
+
+# ---------------------------------------------------------------------------
+# The flank: no safety, no fault — and no false positives with it on
+# ---------------------------------------------------------------------------
+
+
+class TestAdversarialWithoutSafety:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_KINDS))
+    def test_planted_bug_is_invisible_to_plain_guards(self, name):
+        """Every access the adversarial programs make is region-legal,
+        so without ``--safety`` they run to completion deterministically
+        — which is exactly why the liveness check earns its keep."""
+        workload = adversarial_workload(name, "tiny")
+        first = run_carat(workload.source, name=name)
+        second = run_carat(workload.source, name=name)
+        assert first.exit_code == 0
+        assert first.output == second.output
+        assert first.fingerprint() == second.fingerprint()
+
+
+class TestZeroFalsePositives:
+    @pytest.mark.parametrize(
+        "workload", all_workloads("tiny"), ids=lambda w: w.name
+    )
+    def test_registered_workload_runs_clean_under_safety(self, workload):
+        baseline = run_carat(workload.source, name=workload.name)
+        checked = run_carat(workload.source, safety=True, name=workload.name)
+        assert checked.exit_code == 0
+        assert checked.output == baseline.output
+        safety = checked.process.runtime.safety
+        assert safety is not None
+        assert safety.checks > 0
+        assert safety.violations == []
+        # The oracle is not free: every checked access pays the probe.
+        assert checked.cycles > baseline.cycles
+
+    @pytest.mark.parametrize("engine", ["fast", "trace"])
+    @pytest.mark.parametrize("name", SWEEP_SUBSET)
+    def test_subset_runs_clean_on_compiled_engines(self, name, engine):
+        workload = [w for w in all_workloads("tiny") if w.name == name][0]
+        result = run_carat(
+            workload.source, safety=True, engine=engine, name=name
+        )
+        assert result.exit_code == 0
+        safety = result.process.runtime.safety
+        assert safety.checks > 0 and safety.violations == []
+
+    def test_safety_off_leaves_runs_bit_identical(self):
+        """``safety=False`` must not change a single cycle: the guard
+        paths consult the checker only when one is attached."""
+        workload = adversarial_workload("oobread", "tiny")
+        plain = run_carat(workload.source)
+        explicit = run_carat(workload.source, safety=False)
+        assert plain.process.runtime.safety is None
+        assert plain.fingerprint() == explicit.fingerprint()
+
+    def test_every_adversarial_name_has_an_expected_kind(self):
+        assert sorted(EXPECTED_KINDS) == adversarial_names()

@@ -13,7 +13,7 @@ Two halves:
 
 import pytest
 
-from repro.machine.executor import run_carat, run_traditional
+from tests.support import run_carat, run_traditional
 from repro.runtime.escape_map import AllocationToEscapeMap
 from repro.runtime.allocation_table import AllocationTable
 from repro.sanitizer import (

@@ -1,8 +1,7 @@
-"""Tests for the session API: RunConfig round-trips, CaratSession, and
-the legacy ``run_*`` shims (signature parity + deprecation contract)."""
+"""Tests for the session API: RunConfig round-trips, CaratSession, the
+removed ``run_*`` tombstones, and the ``tests.support`` veneers."""
 
 import argparse
-import warnings
 
 import pytest
 
@@ -12,6 +11,7 @@ from repro.machine.executor import (
     run_traditional,
 )
 from repro.machine.session import CaratSession, RunConfig
+from tests import support
 
 from .conftest import LINKED_LIST_SOURCE, SUM_SOURCE
 
@@ -103,6 +103,58 @@ class TestRunConfig:
         assert RunConfig(trace_out="x").tracing  # trace_out implies trace
 
 
+#: Minimal argv per subcommand, plus the overrides its handler applies
+#: before calling ``from_args`` (mirroring ``repro.cli._cmd_*``).
+SUBCOMMAND_ARGV = {
+    "run": (["run", "prog.c"], {"name": "prog"}),
+    "bench": (["bench", "hpccg"], {"mode": "baseline", "name": "hpccg"}),
+    "policy": (["policy", "hpccg"], {"mode": "carat", "name": "hpccg"}),
+    "smp": (["smp", "hpccg"], {"mode": "carat", "name": "hpccg"}),
+    "soak": (["soak"], {"mode": "carat", "name": "kvservice"}),
+    "sanitize": (["sanitize"], {"mode": "carat"}),
+    "trace": (["trace", "hpccg"], {"name": "hpccg", "trace": True}),
+    "profile": (["profile", "hpccg"], {"name": "hpccg", "profile": True}),
+}
+
+
+class TestFromArgsAliasAudit:
+    """Every subcommand's namespace must map onto RunConfig without
+    drift: each namespace attribute naming a field (directly or via
+    ``_ARG_ALIASES``) lands verbatim, and the result survives a
+    ``to_dict``/``from_dict`` round trip losslessly."""
+
+    @pytest.mark.parametrize("command", sorted(SUBCOMMAND_ARGV))
+    def test_namespace_roundtrip_is_lossless(self, command):
+        import dataclasses
+
+        from repro.cli import _build_parser
+
+        argv, overrides = SUBCOMMAND_ARGV[command]
+        args = _build_parser().parse_args(argv)
+        config = RunConfig.from_args(args, **overrides)
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+        fields = {f.name for f in dataclasses.fields(RunConfig)}
+        for attr, value in vars(args).items():
+            field = RunConfig._ARG_ALIASES.get(attr, attr)
+            if field not in fields or field in overrides:
+                continue
+            assert getattr(config, field) == value, (
+                f"{command}: namespace attr {attr!r} drifted from "
+                f"config field {field!r}"
+            )
+
+    def test_every_alias_names_a_real_field(self):
+        import dataclasses
+
+        fields = {f.name for f in dataclasses.fields(RunConfig)}
+        for attr, field in RunConfig._ARG_ALIASES.items():
+            assert field in fields, f"alias {attr!r} -> unknown {field!r}"
+            assert attr not in fields, (
+                f"alias {attr!r} shadows a field of the same name"
+            )
+
+
 # ---------------------------------------------------------------------------
 # Session behavior
 # ---------------------------------------------------------------------------
@@ -147,60 +199,56 @@ class TestCaratSession:
 
 
 # ---------------------------------------------------------------------------
-# Legacy shim parity
+# Removed legacy shims: the raise contract + the tests.support veneers
 # ---------------------------------------------------------------------------
 
 
-SHIMS = {
+TOMBSTONES = {
     "carat": run_carat,
     "baseline": run_carat_baseline,
     "traditional": run_traditional,
 }
 
+SUPPORT = {
+    "carat": support.run_carat,
+    "baseline": support.run_carat_baseline,
+    "traditional": support.run_traditional,
+}
 
-class TestLegacyShims:
-    @pytest.mark.parametrize("mode", sorted(SHIMS))
-    def test_shim_matches_session_fingerprint(self, mode):
-        shim_result = SHIMS[mode](LINKED_LIST_SOURCE)
+
+class TestRemovedShims:
+    @pytest.mark.parametrize("mode", sorted(TOMBSTONES))
+    def test_calling_removed_shim_raises_with_pointer(self, mode):
+        with pytest.raises(RuntimeError, match="CaratSession"):
+            TOMBSTONES[mode](SUM_SOURCE)
+        with pytest.raises(RuntimeError, match=f"mode={mode!r}"):
+            TOMBSTONES[mode]()
+
+    @pytest.mark.parametrize("mode", sorted(SUPPORT))
+    def test_support_veneer_matches_session_fingerprint(self, mode):
+        veneer_result = SUPPORT[mode](LINKED_LIST_SOURCE)
         session_result = CaratSession(RunConfig(mode=mode)).run(
             LINKED_LIST_SOURCE
         )
-        assert shim_result.fingerprint() == session_result.fingerprint()
+        assert veneer_result.fingerprint() == session_result.fingerprint()
 
-    @pytest.mark.parametrize("mode", sorted(SHIMS))
-    def test_default_call_does_not_warn(self, mode):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            SHIMS[mode](SUM_SOURCE)
-
-    @pytest.mark.parametrize("mode", sorted(SHIMS))
-    def test_explicit_kwargs_warn_deprecation(self, mode):
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            SHIMS[mode](SUM_SOURCE, engine="fast")
-
-    def test_shim_engine_kwarg_still_respected(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            result = run_carat(SUM_SOURCE, engine="fast")
+    def test_support_engine_kwarg_respected(self):
+        result = support.run_carat(SUM_SOURCE, engine="fast")
         assert result.stats.compiled_blocks > 0
 
-    def test_baseline_routes_caller_sanitizer(self):
-        # Regression: run_carat_baseline used to silently drop a
-        # caller-supplied sanitizer instead of attaching it.
+    def test_support_baseline_routes_caller_sanitizer(self):
         from repro.sanitizer import Sanitizer
 
         sanitizer = Sanitizer(raise_on_violation=False)
-        result = run_carat_baseline(SUM_SOURCE, sanitizer=sanitizer)
+        result = support.run_carat_baseline(SUM_SOURCE, sanitizer=sanitizer)
         assert result.sanitizer is sanitizer
         assert sanitizer.checks_run > 0
         assert sanitizer.ok
 
-    def test_carat_setup_hook_still_fires(self):
+    def test_support_carat_setup_hook_fires(self):
         seen = {}
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            run_carat(
-                SUM_SOURCE,
-                setup=lambda interp: seen.setdefault("interp", interp),
-            )
+        support.run_carat(
+            SUM_SOURCE,
+            setup=lambda interp: seen.setdefault("interp", interp),
+        )
         assert "interp" in seen

@@ -12,7 +12,7 @@ import pytest
 
 from repro.carat.pipeline import CompileOptions, compile_carat
 from repro.kernel import PAGE_SIZE, Kernel
-from repro.machine.executor import run_carat
+from tests.support import run_carat
 from repro.machine.session import RunConfig
 from repro.telemetry.metrics import run_snapshot
 

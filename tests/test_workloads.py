@@ -4,7 +4,7 @@ and computes the same answer in all three configurations."""
 import pytest
 
 from repro.carat import compile_baseline, compile_carat
-from repro.machine import run_carat, run_carat_baseline, run_traditional
+from tests.support import run_carat, run_carat_baseline, run_traditional
 from repro.workloads import all_workloads, get_workload, workload_names
 
 ALL_NAMES = workload_names()
